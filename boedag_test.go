@@ -1,0 +1,142 @@
+package boedag_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"boedag"
+)
+
+// TestPublicAPIRoundTrip exercises the exported surface end to end the
+// way the README's quickstart does: model a job, simulate it, estimate
+// it, compare.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	spec := boedag.PaperCluster()
+	model := boedag.NewBOE(spec)
+
+	wc := boedag.WordCount(10 * boedag.GB)
+	est := model.TaskTime(wc, boedag.Map, 66)
+	if est.Duration <= 0 {
+		t.Fatal("BOE returned a non-positive task time")
+	}
+	if len(est.Bottlenecks()) == 0 {
+		t.Fatal("no bottleneck identified")
+	}
+
+	flow := boedag.Single(wc)
+	res, err := boedag.NewSimulator(spec, boedag.SimOptions{Seed: 1}).Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer := &boedag.BOETimer{Model: model, TaskStartOverhead: time.Second}
+	estimator := boedag.NewEstimator(spec, timer, boedag.EstimatorOptions{Mode: boedag.NormalMode})
+	plan, err := estimator.Estimate(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := boedag.Accuracy(plan.Makespan, res.Makespan); acc < 0.8 {
+		t.Errorf("end-to-end accuracy %.2f (plan %v vs sim %v)", acc, plan.Makespan, res.Makespan)
+	}
+}
+
+func TestPublicWorkloadBuilders(t *testing.T) {
+	schema := boedag.PaperTPCHSchema()
+	q21, err := boedag.TPCHQuery(21, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q21.Jobs) != 9 {
+		t.Errorf("Q21 has %d jobs, want 9", len(q21.Jobs))
+	}
+	if _, err := boedag.TPCHQuery(0, schema); err == nil {
+		t.Error("Q0 accepted")
+	}
+	if got := boedag.KMeans(boedag.DefaultKMeans()); len(got.Jobs) != 6 {
+		t.Errorf("KMeans jobs = %d", len(got.Jobs))
+	}
+	if got := boedag.PageRank(boedag.DefaultPageRank()); len(got.Jobs) != 4 {
+		t.Errorf("PageRank jobs = %d", len(got.Jobs))
+	}
+	if got := boedag.WebAnalytics(boedag.GB); len(got.Jobs) != 4 {
+		t.Errorf("WebAnalytics jobs = %d", len(got.Jobs))
+	}
+	if got := boedag.Chain("c", boedag.WordCount(boedag.GB), boedag.TeraSort(boedag.GB)); len(got.Jobs) != 2 {
+		t.Errorf("Chain jobs = %d", len(got.Jobs))
+	}
+}
+
+func TestPublicProfilesAndBaselines(t *testing.T) {
+	spec := boedag.PaperCluster()
+	flow := boedag.Single(boedag.TeraSort(5 * boedag.GB))
+	res, err := boedag.NewSimulator(spec, boedag.SimOptions{Seed: 3}).Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs := boedag.CaptureProfiles(res)
+
+	var buf bytes.Buffer
+	if err := profs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := boedag.LoadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := boedag.NewProfileReplay(back)
+	d, err := replay.TaskTime("TS", boedag.Map, 132)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("replay returned zero")
+	}
+
+	var e boedag.Ernest
+	err = e.Fit([]boedag.ErnestTrainingPoint{
+		{Parallelism: 1, TaskTime: 10 * time.Second},
+		{Parallelism: 4, TaskTime: 5 * time.Second},
+		{Parallelism: 16, TaskTime: 4 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicRenderers(t *testing.T) {
+	spec := boedag.PaperCluster()
+	flow := boedag.Single(boedag.WordCount(2 * boedag.GB))
+	res, err := boedag.NewSimulator(spec, boedag.SimOptions{Seed: 1}).Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	boedag.RenderGantt(&sb, res)
+	if !strings.Contains(sb.String(), "WC/map") {
+		t.Error("Gantt render missing stage")
+	}
+}
+
+func TestDRFParallelismFacade(t *testing.T) {
+	spec := boedag.PaperCluster()
+	got := boedag.DRFParallelism(spec, []boedag.SchedRequest{
+		{JobID: "a", MemoryMB: 1024, VCores: 1},
+		{JobID: "b", MemoryMB: 1024, VCores: 1},
+	})
+	if got["a"] != 66 || got["b"] != 66 {
+		t.Errorf("DRFParallelism = %v", got)
+	}
+}
+
+func TestSizeConstants(t *testing.T) {
+	if boedag.GB != 1<<30 || boedag.MB != 1<<20 || boedag.KB != 1<<10 || boedag.TB != 1<<40 {
+		t.Error("size constants wrong")
+	}
+	if boedag.MBps != boedag.Rate(boedag.MB) {
+		t.Error("MBps wrong")
+	}
+}

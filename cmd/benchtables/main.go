@@ -1,0 +1,113 @@
+// Command benchtables regenerates the tables and figures of the paper's
+// evaluation section against the simulated cluster, printing each in the
+// paper's layout. See EXPERIMENTS.md for paper-vs-measured commentary.
+//
+// Usage:
+//
+//	benchtables                  # everything (Table I, Figure 6, Tables II & III)
+//	benchtables -table 1         # only Table I
+//	benchtables -figure 6        # only Figure 6
+//	benchtables -table 3 -shrink 10   # Table III at 1/10th data scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"boedag/internal/experiments"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate only this table (1, 2 or 3)")
+		figure = flag.Int("figure", 0, "regenerate only this figure (6)")
+		ext    = flag.Bool("ext", false, "also run the extension studies (skew sweep, scheduler policies)")
+		shrink = flag.Float64("shrink", 1, "divide all data sizes by this factor")
+		seed   = flag.Int64("seed", 1, "skew RNG seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Scaled(*shrink)
+	cfg.Seed = *seed
+
+	all := *table == 0 && *figure == 0 && !*ext
+	start := time.Now()
+
+	if all || *table == 1 {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Table I — workload overview ==")
+		experiments.RenderTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *figure == 6 {
+		series, err := experiments.Figure6(cfg, experiments.Figure6Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Figure 6 — task time vs degree of parallelism ==")
+		experiments.RenderFigure6(os.Stdout, series)
+		fmt.Println()
+	}
+	if all || *table == 2 {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Table II — task-level accuracy for parallel jobs ==")
+		experiments.RenderTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *table == 3 {
+		sum, err := experiments.Table3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Table III — estimation accuracy for 51 DAG workflows ==")
+		experiments.RenderTable3(os.Stdout, sum)
+		fmt.Println()
+	}
+	if all || *ext {
+		rows, err := experiments.SkewSweep(cfg, []float64{0, 0.1, 0.2, 0.4})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Extension — skew sensitivity (accuracy vs task-size CV) ==")
+		experiments.RenderSkewSweep(os.Stdout, rows)
+		fmt.Println()
+
+		prows, err := experiments.PolicyStudy(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Extension — scheduler policy study ==")
+		experiments.RenderPolicyStudy(os.Stdout, prows)
+		fmt.Println()
+
+		frows, err := experiments.FailureStudy(cfg, []float64{0, 0.1, 0.2, 0.4})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Extension — fault tolerance study ==")
+		experiments.RenderFailureStudy(os.Stdout, frows)
+		fmt.Println()
+
+		nrows, err := experiments.NodeAwareStudy(cfg, []string{"wc", "ts", "wc+ts"})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Extension — node-awareness study ==")
+		experiments.RenderNodeAwareStudy(os.Stdout, nrows)
+		fmt.Println()
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+// Command boepredict predicts the execution plan of a named DAG workflow
+// with the state-based BOE estimator, and optionally validates it against
+// a ground-truth simulation — the paper's models as a tool.
+//
+// Usage:
+//
+//	boepredict -workflow wc+ts                  # predict with BOE, validate
+//	boepredict -workflow ts+q21 -mode normal    # Alg2-Normal skew handling
+//	boepredict -workflow wc+q5 -profiles p.json # predict from saved profiles
+//	boepredict -workflow wc -save-profiles p.json  # profile a run for later
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/dag"
+	"boedag/internal/experiments"
+	"boedag/internal/metrics"
+	"boedag/internal/profile"
+	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
+	"boedag/internal/trace"
+	"boedag/internal/units"
+)
+
+func main() {
+	var (
+		name     = flag.String("workflow", "wc+ts", "workflow name (see dagsim -list)")
+		specFile = flag.String("spec", "", "load the workflow from this JSON spec instead of -workflow")
+		scale    = flag.Float64("scale", 80, "TPC-H scale factor (GB)")
+		microGB  = flag.Float64("micro-gb", 100, "Word Count / TeraSort input size in GB")
+		mode     = flag.String("mode", "mean", "skew mode: mean | median | normal")
+		seed     = flag.Int64("seed", 1, "skew RNG seed for the validation run")
+		validate = flag.Bool("validate", true, "also run the simulator and report accuracy")
+		profIn   = flag.String("profiles", "", "predict from this saved profile JSON instead of the BOE model")
+		profOut  = flag.String("save-profiles", "", "write the validation run's profiles to this JSON file")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Seed = *seed
+	cfg.TPCHScale = *scale
+	cfg.MicroInput = units.Bytes(*microGB) * units.GB
+
+	skew, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	var flow *dag.Workflow
+	if *specFile != "" {
+		f, err := os.Open(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		flow, err = dag.LoadWorkflow(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		flow, err = experiments.BuildNamed(*name, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var timer statemodel.TaskTimer
+	switch {
+	case *profIn != "":
+		f, err := os.Open(*profIn)
+		if err != nil {
+			fatal(err)
+		}
+		profs, err := profile.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		timer = &statemodel.ProfileTimer{
+			Profiles: profs,
+			Fallback: &statemodel.BOETimer{Model: boe.New(cfg.Spec), TaskStartOverhead: cfg.TaskStartOverhead},
+		}
+	default:
+		timer = &statemodel.BOETimer{Model: boe.New(cfg.Spec), TaskStartOverhead: cfg.TaskStartOverhead}
+	}
+
+	est := statemodel.New(cfg.Spec, timer, statemodel.Options{
+		Mode:              skew,
+		JobSubmitOverhead: cfg.JobSubmitOverhead,
+	})
+	start := time.Now()
+	plan, err := est.Estimate(flow)
+	if err != nil {
+		fatal(err)
+	}
+	cost := time.Since(start)
+	trace.Plan(os.Stdout, plan)
+	fmt.Printf("estimation cost: %s\n", cost)
+
+	if !*validate && *profOut == "" {
+		return
+	}
+	res, err := simulator.New(cfg.Spec, simulator.Options{Seed: cfg.Seed}).Run(flow)
+	if err != nil {
+		fatal(err)
+	}
+	if *validate {
+		fmt.Println()
+		trace.Gantt(os.Stdout, res)
+		fmt.Printf("\nend-to-end accuracy (%s): %.2f%%\n",
+			skew, 100*metrics.Accuracy(plan.Makespan, res.Makespan))
+	}
+	if *profOut != "" {
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := profile.Capture(res).Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profiles written to %s\n", *profOut)
+	}
+}
+
+func parseMode(s string) (statemodel.SkewMode, error) {
+	switch s {
+	case "mean":
+		return statemodel.MeanMode, nil
+	case "median", "mid":
+		return statemodel.MedianMode, nil
+	case "normal":
+		return statemodel.NormalMode, nil
+	}
+	return 0, fmt.Errorf("unknown skew mode %q (mean | median | normal)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "boepredict:", err)
+	os.Exit(1)
+}

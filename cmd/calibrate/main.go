@@ -1,0 +1,71 @@
+// Command calibrate probes a (simulated) cluster with the calibration
+// suite and prints the recovered resource throughputs — the θ_X constants
+// the BOE model consumes. Against the built-in simulator it demonstrates
+// the closed loop: probing the simulated paper cluster recovers the paper
+// cluster's specification.
+//
+// Usage:
+//
+//	calibrate                     # probe the default paper cluster
+//	calibrate -nodes 20 -cores 8  # probe a custom-sized simulated cluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"boedag/internal/calibrate"
+	"boedag/internal/cluster"
+	"boedag/internal/units"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 11, "cluster node count")
+		cores   = flag.Int("cores", 6, "cores per node")
+		coreMB  = flag.Float64("core-mbps", 50, "true per-core throughput (MB/s) of the simulated cluster")
+		netMB   = flag.Float64("net-mbps", 125, "true NIC rate (MB/s)")
+		diskMB  = flag.Float64("disk-mbps", 100, "true per-disk rate (MB/s)")
+		disks   = flag.Int("disks", 2, "disks per node")
+		slotsPN = flag.Int("slots", 12, "task slots per node")
+	)
+	flag.Parse()
+
+	spec := cluster.Spec{
+		Nodes:        *nodes,
+		SlotsPerNode: *slotsPN,
+		Node: cluster.NodeSpec{
+			Cores:          *cores,
+			CoreThroughput: units.Rate(*coreMB) * units.MBps,
+			Disks:          *disks,
+			DiskReadRate:   units.Rate(*diskMB) * units.MBps,
+			DiskWriteRate:  units.Rate(*diskMB) * units.MBps,
+			NetworkRate:    units.Rate(*netMB) * units.MBps,
+			MemoryMB:       32 * 1024,
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+
+	est, err := calibrate.Cluster(calibrate.SimulatorRunner(spec), spec.TotalSlots(), spec.Nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("probed %d nodes (%d slots):\n", spec.Nodes, spec.TotalSlots())
+	fmt.Printf("  task launch overhead: %v\n", est.TaskOverhead)
+	fmt.Printf("  core throughput:      %v   (true %v)\n",
+		est.CoreThroughput, spec.Node.CoreThroughput)
+	fmt.Printf("  disk read pool:       %v   (true %v)\n",
+		est.DiskReadPool, spec.TotalCapacity(cluster.DiskRead))
+	fmt.Printf("  disk write pool:      %v   (true %v)\n",
+		est.DiskWritePool, spec.TotalCapacity(cluster.DiskWrite))
+	fmt.Printf("  network pool:         %v   (true %v)\n",
+		est.NetworkPool, spec.TotalCapacity(cluster.Network))
+	node := est.NodeSpec(spec.Nodes, spec.Node.Cores, spec.Node.MemoryMB)
+	fmt.Printf("\nrecovered per-node spec: %d cores × %v, disk %v/%v, NIC %v\n",
+		node.Cores, node.CoreThroughput, node.DiskReadRate, node.DiskWriteRate, node.NetworkRate)
+}

@@ -1,0 +1,115 @@
+// Command dagsim executes a named DAG workflow on the simulated cluster
+// and prints the measured task execution plan — the ground-truth side of
+// every experiment in this repository.
+//
+// Usage:
+//
+//	dagsim -workflow wc                 # 100 GB Word Count alone
+//	dagsim -workflow wc+ts              # the paper's parallel micro DAG
+//	dagsim -workflow q21 -scale 80      # TPC-H Q21 (9 jobs)
+//	dagsim -workflow webanalytics       # the paper's Figure 1 DAG
+//	dagsim -workflow wc -pernode 4      # cap parallelism at 4 tasks/node
+//	dagsim -list                        # show every known workflow name
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"boedag/internal/dag"
+	"boedag/internal/experiments"
+	"boedag/internal/simulator"
+	"boedag/internal/trace"
+	"boedag/internal/units"
+)
+
+func main() {
+	var (
+		name      = flag.String("workflow", "wc+ts", "workflow name (see -list)")
+		specFile  = flag.String("spec", "", "load the workflow from this JSON spec instead of -workflow")
+		list      = flag.Bool("list", false, "list available workflow names")
+		scale     = flag.Float64("scale", 80, "TPC-H scale factor (GB)")
+		microGB   = flag.Float64("micro-gb", 100, "Word Count / TeraSort input size in GB")
+		perNode   = flag.Int("pernode", 0, "cap tasks per node (0 = cluster slots)")
+		seed      = flag.Int64("seed", 1, "skew RNG seed")
+		tasks     = flag.Bool("tasks", false, "also print per-task wave timings")
+		tasksCSV  = flag.String("tasks-csv", "", "write per-task records to this CSV file")
+		stagesCSV = flag.String("stages-csv", "", "write per-stage records to this CSV file")
+		jsonOut   = flag.String("json", "", "write the run summary to this JSON file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.WorkflowNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	cfg.Seed = *seed
+	cfg.TPCHScale = *scale
+	cfg.MicroInput = units.Bytes(*microGB) * units.GB
+
+	flow, err := loadFlow(*specFile, *name, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagsim:", err)
+		os.Exit(1)
+	}
+	opt := simulator.Options{Seed: cfg.Seed}
+	if *perNode > 0 {
+		opt.SlotLimit = *perNode * cfg.Spec.Nodes
+	}
+	res, err := simulator.New(cfg.Spec, opt).Run(flow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagsim:", err)
+		os.Exit(1)
+	}
+	trace.Gantt(os.Stdout, res)
+	if *tasks {
+		fmt.Println()
+		for _, s := range res.Stages {
+			trace.TaskWaves(os.Stdout, res, s.Job, s.Stage)
+		}
+	}
+	type export struct {
+		path  string
+		write func(*os.File) error
+	}
+	for _, e := range []export{
+		{*tasksCSV, func(f *os.File) error { return trace.ExportTasksCSV(f, res) }},
+		{*stagesCSV, func(f *os.File) error { return trace.ExportStagesCSV(f, res) }},
+		{*jsonOut, func(f *os.File) error { return trace.ExportResultJSON(f, res) }},
+	} {
+		if e.path == "" {
+			continue
+		}
+		f, err := os.Create(e.path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagsim:", err)
+			os.Exit(1)
+		}
+		if err := e.write(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "dagsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", e.path)
+	}
+}
+
+// loadFlow builds the workflow from a JSON spec file when given, or from
+// the named registry otherwise.
+func loadFlow(specFile, name string, cfg experiments.Config) (*dag.Workflow, error) {
+	if specFile == "" {
+		return experiments.BuildNamed(name, cfg)
+	}
+	f, err := os.Open(specFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dag.LoadWorkflow(f)
+}

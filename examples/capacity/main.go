@@ -1,0 +1,76 @@
+// Capacity demonstrates the cost models as a what-if tool — the
+// "capacity planning on the cloud" application the paper's introduction
+// motivates. Given a deadline for the WC+TS hybrid workload, it sweeps
+// cluster sizes with the state-based BOE estimator (milliseconds per
+// evaluation, no cluster needed) and reports the smallest cluster that
+// meets the deadline, then validates that choice in the simulator.
+//
+// Run it with:
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"boedag"
+)
+
+func main() {
+	deadline := 5 * time.Minute
+	base := boedag.PaperCluster()
+
+	flow := boedag.ParallelFlows("WC+TS",
+		boedag.Single(boedag.WordCount(100*boedag.GB)),
+		boedag.Single(boedag.TeraSort(100*boedag.GB)))
+
+	fmt.Printf("finding the smallest cluster that runs WC+TS (200 GB total) under %v\n\n", deadline)
+	fmt.Println("nodes  predicted makespan")
+
+	chosen := 0
+	var predicted time.Duration
+	for nodes := 4; nodes <= 40; nodes += 2 {
+		spec := base
+		spec.Nodes = nodes
+		timer := &boedag.BOETimer{Model: boedag.NewBOE(spec), TaskStartOverhead: time.Second}
+		est := boedag.NewEstimator(spec, timer, boedag.EstimatorOptions{Mode: boedag.NormalMode})
+		plan, err := est.Estimate(flow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if chosen == 0 && plan.Makespan <= deadline {
+			chosen, predicted = nodes, plan.Makespan
+			marker = "  ← first within deadline"
+		}
+		fmt.Printf("%5d  %8.1fs%s\n", nodes, plan.Makespan.Seconds(), marker)
+		if chosen != 0 && nodes >= chosen+6 {
+			break
+		}
+	}
+	if chosen == 0 {
+		log.Fatal("no cluster size met the deadline in the sweep")
+	}
+
+	// Validate the recommendation against the simulator.
+	spec := base
+	spec.Nodes = chosen
+	res, err := boedag.NewSimulator(spec, boedag.SimOptions{Seed: 1}).Run(flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecommendation: %d nodes (predicted %.1fs)\n", chosen, predicted.Seconds())
+	fmt.Printf("simulated check: %.1fs — %s, prediction accuracy %.1f%%\n",
+		res.Makespan.Seconds(),
+		verdict(res.Makespan <= deadline),
+		100*boedag.Accuracy(predicted, res.Makespan))
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "within the deadline"
+	}
+	return "MISSED the deadline"
+}

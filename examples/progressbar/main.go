@@ -1,0 +1,62 @@
+// Progressbar demonstrates the online progress indicator built on the
+// state-based cost model — the ParaTimer-style application from the
+// paper's introduction. It simulates the WC+TS hybrid workload, then
+// replays it: at each 10% of true completion it takes the snapshot a
+// resource manager would expose (finished and in-flight tasks per job),
+// re-estimates the remaining time with Algorithm 1, and compares against
+// the truth.
+//
+// Run it with:
+//
+//	go run ./examples/progressbar
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"boedag"
+)
+
+func main() {
+	spec := boedag.PaperCluster()
+	flow := boedag.ParallelFlows("WC+TS",
+		boedag.Single(boedag.WordCount(100*boedag.GB)),
+		boedag.Single(boedag.TeraSort(100*boedag.GB)))
+
+	res, err := boedag.NewSimulator(spec, boedag.SimOptions{Seed: 1}).Run(flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s ran for %.1fs — replaying it through the progress indicator\n\n",
+		flow.Name, res.Makespan.Seconds())
+
+	// The indicator predicts from profiles of past runs plus the BOE model
+	// as fallback — the realistic deployment (historical profiles exist,
+	// the model covers the rest).
+	timer := &boedag.ProfileTimer{
+		Profiles: boedag.CaptureProfiles(res),
+		Fallback: &boedag.BOETimer{Model: boedag.NewBOE(spec), TaskStartOverhead: time.Second},
+	}
+	indicator := &boedag.ProgressIndicator{
+		Estimator: boedag.NewEstimator(spec, timer, boedag.EstimatorOptions{Mode: boedag.NormalMode}),
+		Flow:      flow,
+	}
+
+	fractions := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	points, err := boedag.ProgressCurve(indicator, res, fractions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  done   bar                    predicted-left   actual-left   accuracy")
+	for _, p := range points {
+		bar := strings.Repeat("█", int(p.PercentComplete/5)) +
+			strings.Repeat("·", 20-int(p.PercentComplete/5))
+		fmt.Printf("  %5.1f%%  %s  %9.1fs  %11.1fs  %8.1f%%\n",
+			p.PercentComplete, bar,
+			p.PredictedRemaining.Seconds(), p.ActualRemaining.Seconds(),
+			100*p.Accuracy())
+	}
+}

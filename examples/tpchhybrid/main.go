@@ -1,0 +1,71 @@
+// Tpchhybrid reproduces one column of the paper's Table III: a hybrid
+// workload running a 100 GB Word Count in parallel with TPC-H Q5 (the
+// five-way local-supplier-volume join) on the 80 GB database.
+//
+// It simulates the hybrid DAG for ground truth, captures the task-time
+// profiles the paper's §V-C methodology prescribes, then predicts the
+// workflow's makespan with all three skew modes (Alg1-Mean, Alg1-Mid,
+// Alg2-Normal) and reports the paper's accuracy metric for each.
+//
+// Run it with:
+//
+//	go run ./examples/tpchhybrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"boedag"
+)
+
+func main() {
+	spec := boedag.PaperCluster()
+	schema := boedag.PaperTPCHSchema()
+
+	q5, err := boedag.TPCHQuery(5, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TPC-H Q5 compiles to %d MapReduce jobs on the %v database\n",
+		len(q5.Jobs), schema.TotalBytes())
+
+	flow := boedag.ParallelFlows("WC-Q5",
+		boedag.Single(boedag.WordCount(100*boedag.GB)), q5)
+
+	sim := boedag.NewSimulator(spec, boedag.SimOptions{Seed: 1})
+	res, err := sim.Run(flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boedag.RenderGantt(os.Stdout, res)
+
+	// Table III methodology: profiles from the run drive the estimator,
+	// isolating the state-based model's own error.
+	profiles := boedag.CaptureProfiles(res)
+	timer := &boedag.ProfileTimer{Profiles: profiles}
+	fmt.Println("\nstate-based estimation accuracy (paper Table III metric):")
+	for _, mode := range boedag.SkewModes() {
+		est := boedag.NewEstimator(spec, timer, boedag.EstimatorOptions{Mode: mode})
+		plan, err := est.Estimate(flow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s estimated %6.1fs  actual %6.1fs  accuracy %.2f%%\n",
+			mode, plan.Makespan.Seconds(), res.Makespan.Seconds(),
+			100*boedag.Accuracy(plan.Makespan, res.Makespan))
+	}
+
+	// The Starfish/MRTuner-style baseline drives the same estimator but
+	// replays profiled task times blind to contention changes.
+	replay := boedag.NewProfileReplay(profiles)
+	est := boedag.NewEstimator(spec, replay, boedag.EstimatorOptions{Mode: boedag.MedianMode})
+	plan, err := est.Estimate(flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-12s estimated %6.1fs  actual %6.1fs  accuracy %.2f%%\n",
+		"replay", plan.Makespan.Seconds(), res.Makespan.Seconds(),
+		100*boedag.Accuracy(plan.Makespan, res.Makespan))
+}

@@ -1,0 +1,157 @@
+package boedag
+
+import (
+	"time"
+
+	"boedag/internal/calibrate"
+	"boedag/internal/dag"
+	"boedag/internal/progress"
+	"boedag/internal/sched"
+	"boedag/internal/simulator"
+	"boedag/internal/skew"
+	"boedag/internal/spark"
+	"boedag/internal/statemodel"
+	"boedag/internal/tuning"
+)
+
+// This file exports the extensions beyond the paper's evaluation: the
+// skew-aware empirical estimator mode (the paper's first named follow-up),
+// the automatic-tuning application (its second), an online progress
+// indicator, alternative scheduler policies, and the Spark lineage
+// adapter backing the paper's generality claim.
+
+// EmpiricalMode is the skew-aware extension of the three paper modes:
+// stage durations come from list-scheduling the measured task-time sample
+// (distribution-free straggler handling).
+const EmpiricalMode = statemodel.EmpiricalMode
+
+// AllSkewModes lists the paper's three modes plus EmpiricalMode.
+func AllSkewModes() []SkewMode { return statemodel.AllModes() }
+
+// Scheduling policies.
+type SchedPolicy = sched.Policy
+
+// The scheduler disciplines the simulator and estimator can model.
+const (
+	PolicyDRF  = sched.PolicyDRF
+	PolicyFIFO = sched.PolicyFIFO
+	PolicyFair = sched.PolicyFair
+)
+
+// SchedPolicies lists every discipline.
+func SchedPolicies() []SchedPolicy { return sched.Policies() }
+
+// Skew analysis.
+var (
+	// ZipfWeights draws partition weights under a Zipf law (reduce-key
+	// skew).
+	ZipfWeights = skew.Zipf
+	// SkewCV computes the coefficient of variation of partition weights.
+	SkewCV = skew.CV
+	// EmpiricalStageDuration list-schedules measured task times onto
+	// parallel slots.
+	EmpiricalStageDuration = skew.EmpiricalStageDuration
+	// StragglerIndex is the p99/median task-time ratio.
+	StragglerIndex = skew.StragglerIndex
+)
+
+// Automatic tuning (the paper's "automatic tuning for DAG workflows").
+type (
+	// Tuner searches job configurations with the cost models.
+	Tuner = tuning.Tuner
+	// TunerOptions configure the search.
+	TunerOptions = tuning.Options
+	// TuningKnob identifies a tunable parameter.
+	TuningKnob = tuning.Knob
+	// TuningChange is one accepted adjustment.
+	TuningChange = tuning.Change
+	// TuningRecommendation is the tuner's output.
+	TuningRecommendation = tuning.Recommendation
+)
+
+// Tuning knobs.
+const (
+	TuneReduceTasks = tuning.ReduceTasks
+	TuneCompression = tuning.Compression
+	TuneSortBuffer  = tuning.SortBuffer
+)
+
+// NewTuner returns an auto-tuner for the cluster.
+func NewTuner(spec ClusterSpec, opt TunerOptions) *Tuner { return tuning.New(spec, opt) }
+
+// Progress estimation (the ParaTimer-style application).
+type (
+	// ProgressIndicator re-estimates remaining time from snapshots.
+	ProgressIndicator = progress.Indicator
+	// ProgressPoint is one sample of a progress curve.
+	ProgressPoint = progress.Point
+	// WorkflowSnapshot captures a workflow mid-flight.
+	WorkflowSnapshot = statemodel.Snapshot
+	// JobSnapshot is one job's observed progress.
+	JobSnapshot = statemodel.JobSnapshot
+	// JobPhase is a job's phase within a snapshot.
+	JobPhase = statemodel.JobPhase
+)
+
+// Snapshot phases.
+const (
+	JobPending  = statemodel.JobPending
+	JobMapping  = statemodel.JobMapping
+	JobReducing = statemodel.JobReducing
+	JobFinished = statemodel.JobFinished
+)
+
+// SnapshotAt reconstructs the observed workflow state at instant t of a
+// simulation result.
+func SnapshotAt(res *simulator.Result, t time.Duration) WorkflowSnapshot {
+	return progress.SnapshotAt(res, t)
+}
+
+// ProgressCurve evaluates a progress indicator against the simulated
+// truth at the given completion fractions.
+func ProgressCurve(in *ProgressIndicator, res *simulator.Result, fractions []float64) ([]ProgressPoint, error) {
+	return progress.Curve(in, res, fractions)
+}
+
+// Spark lineage adapter.
+type (
+	// SparkLineage is a Spark job as a DAG of shuffle-bounded stages.
+	SparkLineage = spark.Lineage
+	// SparkStage is one fused pipeline between shuffles.
+	SparkStage = spark.Stage
+	// SparkStageID names a stage.
+	SparkStageID = spark.StageID
+)
+
+// TranslateSpark compiles a Spark lineage into a MapReduce workflow that
+// runs on this repository's simulator and cost models.
+func TranslateSpark(l *SparkLineage) (*dag.Workflow, error) { return spark.Translate(l) }
+
+// SparkWordCount and SparkPageRank are canonical example lineages.
+var (
+	SparkWordCount = spark.WordCountLineage
+	SparkPageRank  = spark.PageRankLineage
+)
+
+// Cluster calibration (the profiling step before using the models on new
+// hardware).
+type (
+	// CalibrationEstimate holds recovered cluster throughputs.
+	CalibrationEstimate = calibrate.Estimate
+	// CalibrationRunner executes probe jobs on the cluster under test.
+	CalibrationRunner = calibrate.Runner
+)
+
+// CalibrateCluster probes a cluster and recovers the θ_X throughputs the
+// BOE model consumes.
+func CalibrateCluster(run CalibrationRunner, slots, nodes int) (*CalibrationEstimate, error) {
+	return calibrate.Cluster(run, slots, nodes)
+}
+
+// SimulatorCalibrationRunner backs calibration probes with the simulator.
+func SimulatorCalibrationRunner(spec ClusterSpec) CalibrationRunner {
+	return calibrate.SimulatorRunner(spec)
+}
+
+// OrderRecommendation is the FIFO submission-order optimizer's output.
+type OrderRecommendation = tuning.OrderRecommendation

@@ -1,0 +1,3 @@
+module boedag
+
+go 1.24

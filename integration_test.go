@@ -1,0 +1,160 @@
+package boedag_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"boedag"
+	"boedag/internal/dag"
+	"boedag/internal/metrics"
+	"boedag/internal/profile"
+	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// randomProfile draws a plausible MapReduce job: selectivities, CPU
+// costs, compression and replication across the ranges real workloads
+// cover.
+func randomProfile(rng *rand.Rand, name string) workload.JobProfile {
+	p := workload.JobProfile{
+		Name:              name,
+		InputBytes:        units.Bytes(rng.Intn(28)+3) * units.GB,
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       rng.Intn(66) + 1,
+		MapSelectivity:    0.05 + rng.Float64()*1.2,
+		ReduceSelectivity: 0.05 + rng.Float64()*1.2,
+		MapCPUCost:        0.5 + rng.Float64()*4,
+		ReduceCPUCost:     0.5 + rng.Float64()*2,
+		Replicas:          rng.Intn(3) + 1,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            rng.Float64() * 0.2,
+	}
+	if rng.Intn(2) == 0 {
+		p.Compression = workload.Compression{
+			Enabled: true, Ratio: 0.3 + rng.Float64()*0.5, CPUOverhead: rng.Float64() * 0.5,
+		}
+	}
+	return p
+}
+
+// randomWorkflow builds a 1-4 job DAG with random precedence edges.
+func randomWorkflow(rng *rand.Rand, seed int64) *dag.Workflow {
+	n := rng.Intn(4) + 1
+	w := &dag.Workflow{Name: fmt.Sprintf("rand-%d", seed)}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("r%d", i)
+		j := dag.Job{ID: id, Profile: randomProfile(rng, id)}
+		for k := 0; k < i; k++ {
+			if rng.Intn(3) == 0 {
+				j.Deps = append(j.Deps, fmt.Sprintf("r%d", k))
+			}
+		}
+		w.Jobs = append(w.Jobs, j)
+	}
+	return w
+}
+
+// TestEstimatorTracksSimulatorOnRandomWorkflows is the repository's
+// strongest end-to-end property: for arbitrary random DAGs of plausible
+// jobs, the profile-driven state-based estimator (the Table III
+// methodology) must track the simulator. Individual outliers are
+// tolerated; the average must stay high and nothing may be grossly wrong.
+func TestEstimatorTracksSimulatorOnRandomWorkflows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	spec := boedag.PaperCluster()
+	const trials = 25
+	var accs []float64
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		flow := randomWorkflow(rng, seed)
+		if err := flow.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := simulator.New(spec, simulator.Options{Seed: seed}).Run(flow)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		timer := &statemodel.ProfileTimer{Profiles: profile.Capture(res)}
+		plan, err := statemodel.New(spec, timer,
+			statemodel.Options{Mode: statemodel.NormalMode}).Estimate(flow)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		acc := metrics.Accuracy(plan.Makespan, res.Makespan)
+		if acc < 0.55 {
+			t.Errorf("seed %d (%d jobs): accuracy %.2f — grossly wrong (est %v, actual %v)",
+				seed, len(flow.Jobs), acc, plan.Makespan, res.Makespan)
+		}
+		accs = append(accs, acc)
+	}
+	if mean := metrics.Mean(accs); mean < 0.85 {
+		t.Errorf("mean accuracy over %d random workflows = %.3f, want ≥ 0.85", trials, mean)
+	}
+}
+
+// TestBOETracksSimulatorOnRandomSingleJobs checks the pure-model path
+// (no profiles at all) on random single jobs.
+func TestBOETracksSimulatorOnRandomSingleJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	spec := boedag.PaperCluster()
+	timer := &statemodel.BOETimer{Model: boedag.NewBOE(spec), TaskStartOverhead: 1e9}
+	const trials = 20
+	var accs []float64
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		flow := dag.Single(randomProfile(rng, fmt.Sprintf("solo-%d", seed)))
+		res, err := simulator.New(spec, simulator.Options{Seed: seed}).Run(flow)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		plan, err := statemodel.New(spec, timer,
+			statemodel.Options{Mode: statemodel.NormalMode}).Estimate(flow)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		acc := metrics.Accuracy(plan.Makespan, res.Makespan)
+		if acc < 0.5 {
+			t.Errorf("seed %d: model accuracy %.2f (est %v, actual %v)",
+				seed, acc, plan.Makespan, res.Makespan)
+		}
+		accs = append(accs, acc)
+	}
+	if mean := metrics.Mean(accs); mean < 0.80 {
+		t.Errorf("mean model-only accuracy = %.3f, want ≥ 0.80", mean)
+	}
+}
+
+// TestSimulatorEnergyConservation: across random workloads, every job's
+// stages run exactly its task counts, no matter the DAG shape, skew,
+// failures or policies.
+func TestSimulatorEnergyConservation(t *testing.T) {
+	spec := boedag.PaperCluster()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(3000 + seed))
+		flow := randomWorkflow(rng, seed)
+		opts := simulator.Options{
+			Seed:            seed,
+			TaskFailureProb: rng.Float64() * 0.3,
+			NodeAware:       rng.Intn(2) == 0,
+		}
+		res, err := simulator.New(spec, opts).Run(flow)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, j := range flow.Jobs {
+			if got := len(res.TasksOf(j.ID, workload.Map)); got != j.Profile.MapTasks() {
+				t.Errorf("seed %d job %s: %d map tasks, want %d", seed, j.ID, got, j.Profile.MapTasks())
+			}
+			if got := len(res.TasksOf(j.ID, workload.Reduce)); got != j.Profile.ReduceTasks {
+				t.Errorf("seed %d job %s: %d reduce tasks, want %d", seed, j.ID, got, j.Profile.ReduceTasks)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package baseline implements the comparison cost models of the paper's
+// evaluation (§V-B): profile-replay predictors in the spirit of Starfish
+// [16] and MRTuner [31], plus an Ernest-style [36] regression extension.
+// The paper evaluates the baselines at their documented best case — the
+// ground-truth task time measured at the profiling run's degree of
+// parallelism, replayed unchanged at every other parallelism. Their
+// defining limitation, and the gap BOE closes, is that the replayed time
+// does not respond to the degree of parallelism or to co-running jobs.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/profile"
+	"boedag/internal/statemodel"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// ProfileReplay is the Starfish/MRTuner-style best-case model: it answers
+// every task-time query with the profiled task time of the same job
+// stage, regardless of the requested parallelism or co-running jobs.
+type ProfileReplay struct {
+	// Profiles holds the measurements of the profiling run.
+	Profiles *profile.Set
+	// Name labels the model in experiment tables ("Starfish/MRTuner").
+	Name string
+}
+
+// NewProfileReplay returns a replay model over the given profiles.
+func NewProfileReplay(p *profile.Set) *ProfileReplay {
+	return &ProfileReplay{Profiles: p, Name: "Starfish/MRTuner"}
+}
+
+// TaskTime returns the profiled median task time of (job, stage); the
+// parallelism argument is deliberately ignored — that is the baseline's
+// documented behaviour.
+func (m *ProfileReplay) TaskTime(job string, st workload.Stage, parallelism int) (time.Duration, error) {
+	p, ok := m.Profiles.Stage(job, st)
+	if !ok {
+		return 0, fmt.Errorf("baseline: no profile for %s/%s", job, st)
+	}
+	_ = parallelism
+	return p.Median(), nil
+}
+
+// TaskDist implements statemodel.TaskTimer so the replay model can drive
+// the state-based estimator as an end-to-end baseline.
+func (m *ProfileReplay) TaskDist(jobID string, groups []boe.TaskGroup, self int) statemodel.TaskTimeDist {
+	p, ok := m.Profiles.Stage(jobID, groups[self].Stage)
+	if !ok {
+		return statemodel.TaskTimeDist{}
+	}
+	return statemodel.TaskTimeDist{Mean: p.Mean(), Median: p.Median(), Std: p.StdDev()}
+}
+
+var _ statemodel.TaskTimer = (*ProfileReplay)(nil)
+
+// Ernest is a scaling-law regression in the spirit of Venkataraman et
+// al.'s Ernest: task time is fitted as
+//
+//	t(Δ) = a + b/Δ + c·Δ
+//
+// over a handful of training points (optimal-experiment-design in the
+// original; a small fixed design here). Like the original it models a
+// single job in isolation — it has no term for co-running jobs, which is
+// why it mispredicts parallel-job states.
+type Ernest struct {
+	a, b, c float64
+	trained bool
+}
+
+// TrainingPoint is one (Δ, task time) observation.
+type TrainingPoint struct {
+	Parallelism int
+	TaskTime    time.Duration
+}
+
+// Fit solves the least-squares coefficients from the training points.
+// It needs at least three points with distinct parallelisms.
+func (e *Ernest) Fit(points []TrainingPoint) error {
+	if len(points) < 3 {
+		return fmt.Errorf("baseline: ernest needs >= 3 training points, got %d", len(points))
+	}
+	// Normal equations for the 3-term basis [1, 1/Δ, Δ].
+	var xtx [3][3]float64
+	var xty [3]float64
+	for _, p := range points {
+		if p.Parallelism <= 0 {
+			return fmt.Errorf("baseline: ernest training point with parallelism %d", p.Parallelism)
+		}
+		d := float64(p.Parallelism)
+		x := [3]float64{1, 1 / d, d}
+		y := p.TaskTime.Seconds()
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				xtx[i][j] += x[i] * x[j]
+			}
+			xty[i] += x[i] * y
+		}
+	}
+	coef, ok := solve3(xtx, xty)
+	if !ok {
+		return fmt.Errorf("baseline: ernest design matrix is singular (need distinct parallelisms)")
+	}
+	e.a, e.b, e.c = coef[0], coef[1], coef[2]
+	e.trained = true
+	return nil
+}
+
+// Predict returns the fitted task time at the given parallelism.
+func (e *Ernest) Predict(parallelism int) (time.Duration, error) {
+	if !e.trained {
+		return 0, fmt.Errorf("baseline: ernest model not trained")
+	}
+	if parallelism <= 0 {
+		return 0, fmt.Errorf("baseline: parallelism must be positive")
+	}
+	d := float64(parallelism)
+	t := e.a + e.b/d + e.c*d
+	if t < 0 {
+		t = 0
+	}
+	return units.Seconds(t), nil
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting; ok is false when the matrix is singular.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, bool) {
+	var x [3]float64
+	m := a
+	v := b
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return x, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		v[col], v[pivot] = v[pivot], v[col]
+		for r := col + 1; r < 3; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c < 3; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	for r := 2; r >= 0; r-- {
+		sum := v[r]
+		for c := r + 1; c < 3; c++ {
+			sum -= m[r][c] * x[c]
+		}
+		x[r] = sum / m[r][r]
+	}
+	return x, true
+}

@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/profile"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+func profiledSet() *profile.Set {
+	return &profile.Set{
+		Workflow: "prof",
+		Stages: map[string][]profile.StageProfile{
+			"wc": {
+				{
+					Job: "wc", Stage: workload.Map, Parallelism: 22,
+					TaskTimes: []time.Duration{9 * time.Second, 10 * time.Second, 11 * time.Second},
+				},
+				{
+					Job: "wc", Stage: workload.Reduce, Parallelism: 22,
+					TaskTimes: []time.Duration{20 * time.Second, 30 * time.Second, 40 * time.Second},
+				},
+			},
+		},
+	}
+}
+
+func TestReplayIgnoresParallelism(t *testing.T) {
+	m := NewProfileReplay(profiledSet())
+	var prev time.Duration
+	for i, d := range []int{1, 6, 12, 66, 132} {
+		got, err := m.TaskTime("wc", workload.Map, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 10*time.Second {
+			t.Errorf("replay at Δ=%d = %v, want the profiled 10s median", d, got)
+		}
+		if i > 0 && got != prev {
+			t.Errorf("replay changed with parallelism: %v vs %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestReplayMissingProfile(t *testing.T) {
+	m := NewProfileReplay(profiledSet())
+	if _, err := m.TaskTime("nope", workload.Map, 4); err == nil {
+		t.Fatal("missing profile accepted")
+	}
+}
+
+func TestReplayTaskDist(t *testing.T) {
+	m := NewProfileReplay(profiledSet())
+	groups := []boe.TaskGroup{{
+		Profile: workload.WordCount(units.GB), Stage: workload.Reduce, Parallelism: 4,
+	}}
+	d := m.TaskDist("wc", groups, 0)
+	if d.Mean != 30*time.Second || d.Median != 30*time.Second {
+		t.Errorf("dist = %+v", d)
+	}
+	if d.Std != 10*time.Second {
+		t.Errorf("std = %v, want 10s", d.Std)
+	}
+	if d2 := m.TaskDist("unknown", groups, 0); d2.Mean != 0 {
+		t.Errorf("unknown job dist = %+v, want zero", d2)
+	}
+}
+
+func TestErnestRecoversSyntheticLaw(t *testing.T) {
+	// t(Δ) = 3 + 120/Δ + 0.25·Δ, sampled at 4 parallelisms.
+	law := func(d int) time.Duration {
+		return time.Duration((3 + 120/float64(d) + 0.25*float64(d)) * float64(time.Second))
+	}
+	var e Ernest
+	var pts []TrainingPoint
+	for _, d := range []int{1, 2, 8, 32} {
+		pts = append(pts, TrainingPoint{Parallelism: d, TaskTime: law(d)})
+	}
+	if err := e.Fit(pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int{4, 16, 64} {
+		got, err := e.Predict(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := law(d)
+		if math.Abs(got.Seconds()-want.Seconds()) > 0.01*want.Seconds()+0.01 {
+			t.Errorf("Predict(%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestErnestNeedsThreePoints(t *testing.T) {
+	var e Ernest
+	err := e.Fit([]TrainingPoint{
+		{Parallelism: 1, TaskTime: time.Second},
+		{Parallelism: 2, TaskTime: time.Second},
+	})
+	if err == nil {
+		t.Fatal("two points accepted")
+	}
+}
+
+func TestErnestRejectsSingularDesign(t *testing.T) {
+	var e Ernest
+	pts := []TrainingPoint{
+		{Parallelism: 4, TaskTime: time.Second},
+		{Parallelism: 4, TaskTime: 2 * time.Second},
+		{Parallelism: 4, TaskTime: 3 * time.Second},
+	}
+	if err := e.Fit(pts); err == nil {
+		t.Fatal("identical parallelisms accepted")
+	}
+}
+
+func TestErnestRejectsBadInputs(t *testing.T) {
+	var e Ernest
+	if _, err := e.Predict(4); err == nil {
+		t.Fatal("untrained predict accepted")
+	}
+	err := e.Fit([]TrainingPoint{
+		{Parallelism: 0, TaskTime: time.Second},
+		{Parallelism: 2, TaskTime: time.Second},
+		{Parallelism: 3, TaskTime: time.Second},
+	})
+	if err == nil {
+		t.Fatal("zero parallelism accepted")
+	}
+	pts := []TrainingPoint{
+		{Parallelism: 1, TaskTime: time.Second},
+		{Parallelism: 2, TaskTime: time.Second},
+		{Parallelism: 3, TaskTime: time.Second},
+	}
+	if err := e.Fit(pts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(0); err == nil {
+		t.Fatal("Predict(0) accepted")
+	}
+}
+
+func TestErnestClampsNegativePredictions(t *testing.T) {
+	var e Ernest
+	// A steeply falling line can extrapolate negative; Predict must clamp.
+	pts := []TrainingPoint{
+		{Parallelism: 1, TaskTime: 10 * time.Second},
+		{Parallelism: 2, TaskTime: 4 * time.Second},
+		{Parallelism: 3, TaskTime: 1 * time.Second},
+	}
+	if err := e.Fit(pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Predict(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 {
+		t.Errorf("Predict extrapolated negative: %v", got)
+	}
+}
+
+// Property: fitting exact samples of any well-conditioned law recovers
+// the in-sample points.
+func TestErnestInterpolatesTrainingPoints(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		law := func(d int) float64 {
+			return 1 + float64(a%50) + float64(b)/float64(d) + float64(c%10)/10*float64(d)
+		}
+		var e Ernest
+		var pts []TrainingPoint
+		for _, d := range []int{1, 3, 9, 27} {
+			pts = append(pts, TrainingPoint{d, time.Duration(law(d) * float64(time.Second))})
+		}
+		if err := e.Fit(pts); err != nil {
+			return false
+		}
+		for _, p := range pts {
+			got, err := e.Predict(p.Parallelism)
+			if err != nil {
+				return false
+			}
+			if math.Abs(got.Seconds()-p.TaskTime.Seconds()) > 0.01+0.01*p.TaskTime.Seconds() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolve3(t *testing.T) {
+	// x + y + z = 6; 2y + 5z = -4; 2x + 5y - z = 27 → x=5, y=3, z=-2.
+	a := [3][3]float64{{1, 1, 1}, {0, 2, 5}, {2, 5, -1}}
+	b := [3]float64{6, -4, 27}
+	x, ok := solve3(a, b)
+	if !ok {
+		t.Fatal("singular?")
+	}
+	want := [3]float64{5, 3, -2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	if _, ok := solve3([3][3]float64{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}, b); ok {
+		t.Error("singular matrix solved")
+	}
+}

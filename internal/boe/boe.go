@@ -1,0 +1,304 @@
+// Package boe implements the Bottleneck Oriented Estimation model of the
+// paper (§III): task-level execution time estimation for data-parallel
+// jobs. A task is a sequence of pipelined sub-stages; the sub-stage time
+// is the time of its bottleneck operation,
+//
+//	t_σ = max_X  D_X / (μ_X(Δ)·θ_X)
+//
+// where D_X is the bytes operation X moves, θ_X the aggregate resource
+// throughput and μ_X(Δ) the per-task share at degree of parallelism Δ.
+// The share is computed by progressive-filling max-min fairness (package
+// fairshare), which also yields the actual usage p_X < 1 of non-bottleneck
+// resources. For parallel jobs the model takes every concurrently running
+// task group into account, so a job's task time changes when a neighbour
+// job's bottleneck moves — the Figure 1 phenomenon (27 s → 24 s → 20 s).
+package boe
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"boedag/internal/cluster"
+	"boedag/internal/fairshare"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// Model estimates task execution times on a given cluster.
+type Model struct {
+	// Spec is the cluster the jobs run on.
+	Spec cluster.Spec
+	// EqualSplit switches the μ(Δ) allocation from progressive-filling
+	// max-min fairness to the naive 1/Δ split (ablation; see DESIGN.md §5).
+	EqualSplit bool
+}
+
+// New returns a Model for the cluster.
+func New(spec cluster.Spec) *Model { return &Model{Spec: spec} }
+
+// AggregateSubStage selects the steady-state view of a task group: its
+// tasks are spread across sub-stages in proportion to sub-stage length,
+// so the group's aggregate demand is the sum over sub-stages. This is the
+// right environment model for a neighbouring job mid-stage, where waves of
+// tasks pipeline through sub-stages continuously.
+const AggregateSubStage = -1
+
+// TaskGroup describes Δ identical tasks of one job stage running
+// concurrently, currently executing the sub-stage with index SubStage
+// (or AggregateSubStage for the steady-state mixture).
+type TaskGroup struct {
+	Profile     workload.JobProfile
+	Stage       workload.Stage
+	SubStage    int
+	Parallelism int
+}
+
+// OpEstimate is the model's view of one pipelined operation: the bytes it
+// moves, the per-task rate the allocation grants it, and the resulting
+// non-overlapped time. The operation with the largest time is the
+// sub-stage bottleneck.
+type OpEstimate struct {
+	Resource cluster.Resource
+	Bytes    units.Bytes
+	Rate     units.Rate
+	Time     time.Duration
+}
+
+// SubStageEstimate is the model's output for one sub-stage of one group.
+type SubStageEstimate struct {
+	Name       string
+	Duration   time.Duration
+	Bottleneck cluster.Resource
+	Ops        []OpEstimate
+	// Utilization[r] is the estimated cluster-wide utilization of resource
+	// r during this sub-stage (shared across all concurrent groups).
+	Utilization [cluster.NumResources]float64
+}
+
+// TaskEstimate is the model's output for a complete task: the sequence of
+// its sub-stage estimates and the total duration.
+type TaskEstimate struct {
+	Stage     workload.Stage
+	SubStages []SubStageEstimate
+	Duration  time.Duration
+}
+
+// Bottlenecks returns the distinct bottleneck resources across the task's
+// sub-stages, in execution order.
+func (t TaskEstimate) Bottlenecks() []cluster.Resource {
+	var out []cluster.Resource
+	seen := make(map[cluster.Resource]bool)
+	for _, ss := range t.SubStages {
+		if !seen[ss.Bottleneck] {
+			seen[ss.Bottleneck] = true
+			out = append(out, ss.Bottleneck)
+		}
+	}
+	return out
+}
+
+// String renders a compact summary, e.g. "map 27.3s [cpu]".
+func (t TaskEstimate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %.1fs [", t.Stage, t.Duration.Seconds())
+	for i, r := range t.Bottlenecks() {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// capacities returns the cluster-aggregate throughput θ_X per resource.
+func (m *Model) capacities() [cluster.NumResources]units.Rate {
+	var caps [cluster.NumResources]units.Rate
+	for _, r := range cluster.Resources() {
+		caps[r] = m.Spec.TotalCapacity(r)
+	}
+	return caps
+}
+
+// consumerFor converts one task group's current sub-stage into a
+// fairshare consumer: the demand vector is the sub-stage's op bytes
+// (progress is measured in "sub-stage completions", so a rate of x means
+// the task finishes the sub-stage in 1/x seconds), and the per-task cap
+// encodes that a task is a single thread limited to one core's
+// throughput.
+func (m *Model) consumerFor(g TaskGroup, ss workload.SubStage) fairshare.Consumer {
+	c := fairshare.Consumer{Count: g.Parallelism, CapResource: cluster.CPU}
+	maxRate := 0.0
+	for _, op := range ss.Ops {
+		if op.Bytes <= 0 {
+			continue
+		}
+		c.Demand[op.Resource] = float64(op.Bytes)
+		// A single task cannot drive a resource past one node's device
+		// rate (one core's compute, one NIC's line rate, one node's
+		// disks), no matter how idle the cluster-wide pool is.
+		r := float64(m.Spec.Node.PerTaskCap(op.Resource)) / float64(op.Bytes)
+		if maxRate == 0 || r < maxRate {
+			maxRate = r
+			c.CapResource = op.Resource
+		}
+	}
+	c.MaxRate = maxRate
+	return c
+}
+
+// EstimateState estimates, for every group, the duration of its *current*
+// sub-stage under contention from all the other groups. This is the
+// primitive the state-based workflow model calls once per workflow state.
+func (m *Model) EstimateState(groups []TaskGroup) []SubStageEstimate {
+	subs := make([]workload.SubStage, len(groups))
+	consumers := make([]fairshare.Consumer, len(groups))
+	for i, g := range groups {
+		all := g.Profile.SubStages(g.Stage, m.Spec)
+		switch {
+		case g.SubStage == AggregateSubStage:
+			subs[i] = aggregate(all)
+		case g.SubStage < 0 || g.SubStage >= len(all):
+			subs[i] = workload.SubStage{Name: "done"}
+		default:
+			subs[i] = all[g.SubStage]
+		}
+		consumers[i] = m.consumerFor(groups[i], subs[i])
+	}
+	alloc := m.allocate(consumers)
+
+	// Tasks demanding each resource, for the equal-share μ_X(Δ) = 1/Δ_X
+	// view the paper's per-operation times use.
+	var users [cluster.NumResources]int
+	for i, c := range consumers {
+		for r := 0; r < cluster.NumResources; r++ {
+			if c.Demand[r] > 0 {
+				users[r] += groups[i].Parallelism
+			}
+		}
+	}
+
+	out := make([]SubStageEstimate, len(groups))
+	for i := range groups {
+		est := SubStageEstimate{
+			Name:        subs[i].Name,
+			Bottleneck:  alloc.Bottleneck[i],
+			Utilization: alloc.Utilization,
+		}
+		rate := alloc.Rate[i]
+		if rate > 0 && len(subs[i].Ops) > 0 {
+			est.Duration = units.Seconds(1 / rate)
+			for _, op := range subs[i].Ops {
+				// The paper's t_X = D_X/(μ_X(Δ)·θ_X): the op's time at its
+				// equal share of resource X among the Δ_X tasks demanding
+				// it, capped by what a single task can drive. For a lone
+				// group the largest of these equals the sub-stage duration;
+				// their ratios are the Headroom report.
+				share := m.Spec.TotalCapacity(op.Resource).PerTask(users[op.Resource])
+				share = share.Min(m.Spec.Node.PerTaskCap(op.Resource))
+				est.Ops = append(est.Ops, OpEstimate{
+					Resource: op.Resource,
+					Bytes:    op.Bytes,
+					Rate:     share,
+					Time:     units.Div(op.Bytes, share),
+				})
+			}
+		}
+		out[i] = est
+	}
+	return out
+}
+
+func (m *Model) allocate(consumers []fairshare.Consumer) fairshare.Result {
+	if m.EqualSplit {
+		return fairshare.EqualSplit(m.capacities(), consumers)
+	}
+	return fairshare.Allocate(m.capacities(), consumers)
+}
+
+// TaskTime estimates the full execution time of one task of (profile,
+// stage) when Δ = parallelism sibling tasks run concurrently and no other
+// job contends — the single-job setting of the paper's Figure 6. The task
+// time is the sum of its sub-stage times, each estimated at parallelism Δ.
+func (m *Model) TaskTime(p workload.JobProfile, s workload.Stage, parallelism int) TaskEstimate {
+	return m.TaskTimeWith(p, s, parallelism, nil)
+}
+
+// TaskTimeWith estimates the task time of (p, s) at the given parallelism
+// while the environment groups run alongside — the parallel-job setting of
+// Table II. Each sub-stage of the target task is estimated against the
+// environment held at its own current sub-stage.
+func (m *Model) TaskTimeWith(p workload.JobProfile, s workload.Stage, parallelism int, env []TaskGroup) TaskEstimate {
+	all := p.SubStages(s, m.Spec)
+	est := TaskEstimate{Stage: s}
+	for k := range all {
+		groups := make([]TaskGroup, 0, len(env)+1)
+		groups = append(groups, TaskGroup{Profile: p, Stage: s, SubStage: k, Parallelism: parallelism})
+		groups = append(groups, env...)
+		ssEst := m.EstimateState(groups)[0]
+		est.SubStages = append(est.SubStages, ssEst)
+		est.Duration += ssEst.Duration
+	}
+	return est
+}
+
+// aggregate folds a task's sub-stages into one demand vector summed per
+// resource (see AggregateSubStage).
+func aggregate(subs []workload.SubStage) workload.SubStage {
+	var total [cluster.NumResources]units.Bytes
+	for _, ss := range subs {
+		for _, op := range ss.Ops {
+			total[op.Resource] += op.Bytes
+		}
+	}
+	out := workload.SubStage{Name: "aggregate"}
+	for _, r := range cluster.Resources() {
+		if total[r] > 0 {
+			out.Ops = append(out.Ops, workload.OpDemand{Resource: r, Bytes: total[r]})
+		}
+	}
+	return out
+}
+
+// StageTime estimates the wall-clock duration of an entire job stage run
+// alone at the given parallelism: the tasks execute in ⌈N/Δ⌉ waves of
+// TaskTime each (the discrete wave model; see DESIGN.md §5 for the fluid
+// ablation).
+func (m *Model) StageTime(p workload.JobProfile, s workload.Stage, parallelism int) time.Duration {
+	n := p.Tasks(s)
+	if n == 0 || parallelism <= 0 {
+		return 0
+	}
+	task := m.TaskTime(p, s, min(parallelism, n))
+	waves := (n + parallelism - 1) / parallelism
+	return time.Duration(waves) * task.Duration
+}
+
+// Headroom reports how decisively the sub-stage's bottleneck wins: the
+// ratio of the bottleneck operation's time to the runner-up's. A headroom
+// of 1.6 means speeding the bottleneck resource up by more than 1.6×
+// (hardware upgrade, compression, fewer replicas) moves the bottleneck
+// elsewhere and further spending stops paying — the what-if question
+// capacity planners ask. Sub-stages with fewer than two operations return
+// +Inf (nothing to shift to).
+func (ss SubStageEstimate) Headroom() float64 {
+	if len(ss.Ops) < 2 {
+		return math.Inf(1)
+	}
+	var first, second time.Duration
+	for _, op := range ss.Ops {
+		switch {
+		case op.Time > first:
+			second = first
+			first = op.Time
+		case op.Time > second:
+			second = op.Time
+		}
+	}
+	if second <= 0 {
+		return math.Inf(1)
+	}
+	return first.Seconds() / second.Seconds()
+}

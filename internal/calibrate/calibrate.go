@@ -1,0 +1,212 @@
+// Package calibrate recovers a cluster's resource throughputs — the θ_X
+// constants the BOE model consumes — by running a small set of probe jobs
+// with known, isolated bottlenecks and inverting the model. It is the
+// cluster-profiling step a deployment performs once before using the cost
+// models on new hardware, analogous to Starfish's profiler or MRTuner's
+// system catalogs.
+//
+// The Runner abstraction accepts any execution backend with the
+// simulator's result shape; in this repository the simulator plays the
+// cluster, which closes the loop: calibrating against the simulated
+// PaperCluster recovers the PaperCluster's specification.
+package calibrate
+
+import (
+	"fmt"
+	"time"
+
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/simulator"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// Runner executes one job alone on the cluster under calibration, with
+// at most slotLimit simultaneous tasks, and returns the measurements.
+type Runner func(p workload.JobProfile, slotLimit int) (*simulator.Result, error)
+
+// SimulatorRunner adapts a cluster spec into a Runner backed by the
+// discrete-event simulator (skew disabled: probes want clean medians).
+func SimulatorRunner(spec cluster.Spec) Runner {
+	return func(p workload.JobProfile, slotLimit int) (*simulator.Result, error) {
+		sim := simulator.New(spec, simulator.Options{
+			Seed:        1,
+			DisableSkew: true,
+			SlotLimit:   slotLimit,
+		})
+		return sim.Run(dag.Single(p))
+	}
+}
+
+// Estimate is the calibrator's output: cluster-wide pool throughputs and
+// the per-task launch overhead, ready to populate a cluster.Spec.
+type Estimate struct {
+	// TaskOverhead is the fixed per-task container launch latency.
+	TaskOverhead time.Duration
+	// CoreThroughput is one core's unit-cost compute bandwidth.
+	CoreThroughput units.Rate
+	// DiskReadPool, DiskWritePool and NetworkPool are cluster-wide
+	// aggregate bandwidths. DiskWritePool is an effective value: when the
+	// write path is faster than the read path the write probe cannot see
+	// past the read bottleneck, and the estimate is a lower bound.
+	DiskReadPool, DiskWritePool, NetworkPool units.Rate
+}
+
+// NodeSpec converts the estimate into a per-node specification for a
+// homogeneous cluster (single logical disk per node; memory and cores
+// must be supplied by the operator, who knows the hardware).
+func (e Estimate) NodeSpec(nodes, cores, memoryMB int) cluster.NodeSpec {
+	n := units.Rate(nodes)
+	return cluster.NodeSpec{
+		Cores:          cores,
+		CoreThroughput: e.CoreThroughput,
+		Disks:          1,
+		DiskReadRate:   e.DiskReadPool / n,
+		DiskWriteRate:  e.DiskWritePool / n,
+		NetworkRate:    e.NetworkPool / n,
+		MemoryMB:       memoryMB,
+	}
+}
+
+// probe sizes: large enough that device time dominates measurement noise,
+// small enough to stay quick.
+const (
+	probeSplit = 256 * units.MB
+	tinyCPU    = 0.01
+	heavyCPU   = 4.0
+)
+
+// Cluster runs the probe suite and inverts the BOE relations. slots is
+// the cluster's total simultaneous task capacity (used to saturate shared
+// pools); nodes is the node count (for the shuffle's remote fraction).
+func Cluster(run Runner, slots, nodes int) (*Estimate, error) {
+	if slots <= 0 || nodes <= 0 {
+		return nil, fmt.Errorf("calibrate: need positive slots and nodes, got %d/%d", slots, nodes)
+	}
+	est := &Estimate{}
+
+	// Probe 0 — overhead: a near-empty task is all container launch.
+	overheadProbe := workload.JobProfile{
+		Name: "cal-overhead", InputBytes: units.MB, SplitBytes: units.MB,
+		MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
+	}
+	t0, err := medianMapTime(run, overheadProbe, 1)
+	if err != nil {
+		return nil, err
+	}
+	est.TaskOverhead = t0
+
+	// Probe 1 — CPU: one heavy-compute task; everything else is noise.
+	cpuProbe := workload.JobProfile{
+		Name: "cal-cpu", InputBytes: probeSplit, SplitBytes: probeSplit,
+		MapSelectivity: 0, MapCPUCost: heavyCPU, Replicas: 1,
+	}
+	t1, err := medianMapTime(run, cpuProbe, 1)
+	if err != nil {
+		return nil, err
+	}
+	work := float64(probeSplit) * heavyCPU
+	est.CoreThroughput = units.Rate(work / effective(t1, t0))
+
+	// Probe 2 — disk read: slots parallel scan tasks saturate the pool.
+	readProbe := workload.JobProfile{
+		Name: "cal-read", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
+		MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
+	}
+	t2, err := medianMapTime(run, readProbe, slots)
+	if err != nil {
+		return nil, err
+	}
+	est.DiskReadPool = units.Rate(float64(slots) * float64(probeSplit) / effective(t2, t0))
+
+	// Probe 3 — disk write: scan + local identity write; with the read
+	// pool known we attribute the slowdown to the write path.
+	writeProbe := workload.JobProfile{
+		Name: "cal-write", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
+		MapSelectivity: 1, MapCPUCost: tinyCPU, ReduceTasks: 0, Replicas: 1,
+	}
+	t3, err := medianMapTime(run, writeProbe, slots)
+	if err != nil {
+		return nil, err
+	}
+	est.DiskWritePool = units.Rate(float64(slots) * float64(probeSplit) / effective(t3, t0))
+
+	// Probe 4 — network: an identity shuffle; the copy sub-stage's median
+	// isolates the transfer (map output is served from page cache).
+	netProbe := workload.JobProfile{
+		Name: "cal-net", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
+		MapSelectivity: 1, ReduceSelectivity: 1, MapCPUCost: tinyCPU, ReduceCPUCost: tinyCPU,
+		ReduceTasks: slots, Replicas: 1,
+	}
+	res, err := run(netProbe, slots)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: network probe: %w", err)
+	}
+	shuffle, err := medianShuffleTime(res, netProbe.Name)
+	if err != nil {
+		return nil, err
+	}
+	remote := 1 - 1/float64(nodes)
+	perTask := float64(probeSplit) * remote
+	if shuffle <= 0 || remote == 0 {
+		return nil, fmt.Errorf("calibrate: degenerate network probe (single node?)")
+	}
+	// The shuffle also writes its input to disk; when the write path sets
+	// the measured time the network estimate below is a lower bound. On
+	// typical clusters (this one included) the NIC is the slower device
+	// and the estimate is exact.
+	est.NetworkPool = units.Rate(float64(slots) * perTask / shuffle.Seconds())
+	return est, nil
+}
+
+// medianMapTime runs the probe and returns its median map-task duration.
+func medianMapTime(run Runner, p workload.JobProfile, slots int) (time.Duration, error) {
+	res, err := run(p, slots)
+	if err != nil {
+		return 0, fmt.Errorf("calibrate: probe %s: %w", p.Name, err)
+	}
+	s := res.StageOf(p.Name, workload.Map)
+	if s == nil || len(s.TaskTimes) == 0 {
+		return 0, fmt.Errorf("calibrate: probe %s measured nothing", p.Name)
+	}
+	return s.MedianTaskTime(), nil
+}
+
+// medianShuffleTime extracts the median first-sub-stage (copy) time of
+// the job's reduce tasks.
+func medianShuffleTime(res *simulator.Result, job string) (time.Duration, error) {
+	tasks := res.TasksOf(job, workload.Reduce)
+	if len(tasks) == 0 {
+		return 0, fmt.Errorf("calibrate: no reduce tasks for %s", job)
+	}
+	times := make([]time.Duration, 0, len(tasks))
+	for _, t := range tasks {
+		if len(t.SubStages) > 0 {
+			times = append(times, t.SubStages[0])
+		}
+	}
+	if len(times) == 0 {
+		return 0, fmt.Errorf("calibrate: no shuffle sub-stages for %s", job)
+	}
+	sortDurations(times)
+	return times[len(times)/2], nil
+}
+
+func sortDurations(ts []time.Duration) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// effective subtracts the launch overhead from a measured task time,
+// flooring at a millisecond to avoid dividing by ~zero.
+func effective(t, overhead time.Duration) float64 {
+	e := (t - overhead).Seconds()
+	if e < 1e-3 {
+		e = 1e-3
+	}
+	return e
+}

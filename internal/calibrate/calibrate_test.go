@@ -1,0 +1,129 @@
+package calibrate
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"boedag/internal/cluster"
+	"boedag/internal/simulator"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// TestRecoversPaperCluster is the closed loop: probing the simulated
+// PaperCluster must recover its own specification.
+func TestRecoversPaperCluster(t *testing.T) {
+	spec := cluster.PaperCluster()
+	est, err := Cluster(SimulatorRunner(spec), spec.TotalSlots(), spec.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	within := func(name string, got, want float64, tol float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s = %.1f, want %.1f (±%.0f%%)", name, got, want, 100*tol)
+		}
+	}
+	mbps := float64(units.MBps)
+	within("core throughput", float64(est.CoreThroughput)/mbps,
+		float64(spec.Node.CoreThroughput)/mbps, 0.05)
+	within("disk read pool", float64(est.DiskReadPool)/mbps,
+		float64(spec.TotalCapacity(cluster.DiskRead))/mbps, 0.10)
+	within("network pool", float64(est.NetworkPool)/mbps,
+		float64(spec.TotalCapacity(cluster.Network))/mbps, 0.15)
+	// The write probe's read and write legs are pipelined, so on this
+	// symmetric cluster the estimate recovers the full write pool.
+	within("disk write pool", float64(est.DiskWritePool)/mbps,
+		float64(spec.TotalCapacity(cluster.DiskWrite))/mbps, 0.10)
+	// Overhead is the simulator's 1 s container launch.
+	if d := est.TaskOverhead - time.Second; d < -100*time.Millisecond || d > 100*time.Millisecond {
+		t.Errorf("task overhead = %v, want ≈ 1s", est.TaskOverhead)
+	}
+}
+
+func TestCalibrationTransfersAcrossClusters(t *testing.T) {
+	// A faster cluster must calibrate to proportionally larger pools. The
+	// disks are boosted even more so the network probe's shuffle stays
+	// NIC-bound (otherwise the network estimate is only a lower bound).
+	fast := cluster.PaperCluster()
+	fast.Node.CoreThroughput *= 2
+	fast.Node.NetworkRate *= 2
+	fast.Node.DiskReadRate *= 4
+	fast.Node.DiskWriteRate *= 4
+
+	base, err := Cluster(SimulatorRunner(cluster.PaperCluster()),
+		cluster.PaperCluster().TotalSlots(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := Cluster(SimulatorRunner(fast), fast.TotalSlots(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(boosted.CoreThroughput) / float64(base.CoreThroughput); ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("core throughput ratio = %.2f, want ≈ 2", ratio)
+	}
+	if ratio := float64(boosted.NetworkPool) / float64(base.NetworkPool); ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("network ratio = %.2f, want ≈ 2", ratio)
+	}
+}
+
+func TestNodeSpecConversion(t *testing.T) {
+	est := Estimate{
+		TaskOverhead:   time.Second,
+		CoreThroughput: 50 * units.MBps,
+		DiskReadPool:   2200 * units.MBps,
+		DiskWritePool:  1100 * units.MBps,
+		NetworkPool:    1375 * units.MBps,
+	}
+	node := est.NodeSpec(11, 6, 32*1024)
+	if err := node.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if node.DiskReadRate != 200*units.MBps {
+		t.Errorf("per-node read = %v, want 200MB/s", node.DiskReadRate)
+	}
+	if node.NetworkRate != 125*units.MBps {
+		t.Errorf("per-node network = %v, want 125MB/s", node.NetworkRate)
+	}
+}
+
+func TestClusterRejectsBadArgs(t *testing.T) {
+	r := SimulatorRunner(cluster.PaperCluster())
+	if _, err := Cluster(r, 0, 11); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := Cluster(r, 132, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestClusterPropagatesRunnerErrors(t *testing.T) {
+	boom := errors.New("cluster on fire")
+	r := func(p workload.JobProfile, slots int) (*simulator.Result, error) {
+		return nil, boom
+	}
+	if _, err := Cluster(r, 132, 11); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped runner error", err)
+	}
+}
+
+func TestEffectiveFloors(t *testing.T) {
+	if got := effective(time.Second, 2*time.Second); got != 1e-3 {
+		t.Errorf("effective floored = %v", got)
+	}
+	if got := effective(3*time.Second, time.Second); got != 2 {
+		t.Errorf("effective = %v, want 2", got)
+	}
+}
+
+func TestSortDurations(t *testing.T) {
+	ts := []time.Duration{3, 1, 2}
+	sortDurations(ts)
+	if ts[0] != 1 || ts[2] != 3 {
+		t.Errorf("sorted = %v", ts)
+	}
+}

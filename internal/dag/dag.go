@@ -1,0 +1,236 @@
+// Package dag defines DAG workflows of MapReduce jobs (Definition 1 of
+// the paper): a set of jobs connected by precedence edges, where a job
+// starts if and only if all its parents have finished, and independent
+// jobs run in parallel. It provides validation, topological ordering,
+// and composition helpers for building the hybrid workloads of the
+// evaluation.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// Job is one vertex of a workflow: a MapReduce job plus the IDs of the
+// jobs whose completion it waits for.
+type Job struct {
+	// ID is unique within the workflow, e.g. "j1" or "q5-join2".
+	ID string
+	// Profile describes the job's data volumes and costs.
+	Profile workload.JobProfile
+	// Deps lists parent job IDs; the job starts only when all have
+	// completed.
+	Deps []string
+}
+
+// Workflow is a named DAG of jobs.
+type Workflow struct {
+	Name string
+	Jobs []Job
+}
+
+// Validate checks ID uniqueness, dependency resolution, per-job profile
+// validity, and acyclicity. It returns the first problem found.
+func (w *Workflow) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("dag: workflow needs a name")
+	}
+	if len(w.Jobs) == 0 {
+		return fmt.Errorf("dag: workflow %q has no jobs", w.Name)
+	}
+	seen := make(map[string]bool, len(w.Jobs))
+	for _, j := range w.Jobs {
+		if j.ID == "" {
+			return fmt.Errorf("dag: workflow %q: job with empty ID", w.Name)
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("dag: workflow %q: duplicate job ID %q", w.Name, j.ID)
+		}
+		seen[j.ID] = true
+		if err := j.Profile.Validate(); err != nil {
+			return fmt.Errorf("dag: workflow %q: job %q: %w", w.Name, j.ID, err)
+		}
+	}
+	for _, j := range w.Jobs {
+		for _, d := range j.Deps {
+			if !seen[d] {
+				return fmt.Errorf("dag: workflow %q: job %q depends on unknown job %q",
+					w.Name, j.ID, d)
+			}
+			if d == j.ID {
+				return fmt.Errorf("dag: workflow %q: job %q depends on itself", w.Name, j.ID)
+			}
+		}
+	}
+	if _, err := w.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Job returns the job with the given ID, or nil.
+func (w *Workflow) Job(id string) *Job {
+	for i := range w.Jobs {
+		if w.Jobs[i].ID == id {
+			return &w.Jobs[i]
+		}
+	}
+	return nil
+}
+
+// Children returns a map from job ID to the IDs of jobs that depend on it.
+func (w *Workflow) Children() map[string][]string {
+	ch := make(map[string][]string, len(w.Jobs))
+	for _, j := range w.Jobs {
+		for _, d := range j.Deps {
+			ch[d] = append(ch[d], j.ID)
+		}
+	}
+	return ch
+}
+
+// Roots returns the IDs of jobs with no dependencies, in declaration
+// order.
+func (w *Workflow) Roots() []string {
+	var roots []string
+	for _, j := range w.Jobs {
+		if len(j.Deps) == 0 {
+			roots = append(roots, j.ID)
+		}
+	}
+	return roots
+}
+
+// TopoOrder returns job IDs in a dependency-respecting order, or an error
+// naming a job on a cycle. Ties break by declaration order, so the result
+// is deterministic.
+func (w *Workflow) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(w.Jobs))
+	pos := make(map[string]int, len(w.Jobs))
+	for i, j := range w.Jobs {
+		indeg[j.ID] = len(j.Deps)
+		pos[j.ID] = i
+	}
+	children := w.Children()
+
+	ready := make([]string, 0, len(w.Jobs))
+	for _, j := range w.Jobs {
+		if indeg[j.ID] == 0 {
+			ready = append(ready, j.ID)
+		}
+	}
+	order := make([]string, 0, len(w.Jobs))
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool { return pos[ready[a]] < pos[ready[b]] })
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, c := range children[id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	if len(order) != len(w.Jobs) {
+		for _, j := range w.Jobs {
+			if indeg[j.ID] > 0 {
+				return nil, fmt.Errorf("dag: workflow %q: cycle involving job %q", w.Name, j.ID)
+			}
+		}
+	}
+	return order, nil
+}
+
+// TotalInput sums the input bytes of all jobs (a rough size indicator for
+// reports; intermediate jobs read other jobs' output, also counted here).
+func (w *Workflow) TotalInput() units.Bytes {
+	var sum units.Bytes
+	for _, j := range w.Jobs {
+		sum += j.Profile.InputBytes
+	}
+	return sum
+}
+
+// Single wraps one job profile into a one-job workflow named after it.
+func Single(p workload.JobProfile) *Workflow {
+	return &Workflow{Name: p.Name, Jobs: []Job{{ID: p.Name, Profile: p}}}
+}
+
+// Chain builds a linear workflow j1 → j2 → … from the given profiles,
+// assigning IDs "j1", "j2", …
+func Chain(name string, profiles ...workload.JobProfile) *Workflow {
+	w := &Workflow{Name: name}
+	for i, p := range profiles {
+		j := Job{ID: fmt.Sprintf("j%d", i+1), Profile: p}
+		if i > 0 {
+			j.Deps = []string{fmt.Sprintf("j%d", i)}
+		}
+		w.Jobs = append(w.Jobs, j)
+	}
+	return w
+}
+
+// Parallel merges workflows into one that runs them side by side — the
+// paper's "hybrid" workloads (e.g. WC + TPC-H Q5). Job IDs are prefixed
+// with the source workflow's name to stay unique.
+func Parallel(name string, flows ...*Workflow) *Workflow {
+	out := &Workflow{Name: name}
+	for _, f := range flows {
+		prefix := f.Name + "/"
+		for _, j := range f.Jobs {
+			nj := Job{ID: prefix + j.ID, Profile: j.Profile}
+			for _, d := range j.Deps {
+				nj.Deps = append(nj.Deps, prefix+d)
+			}
+			out.Jobs = append(out.Jobs, nj)
+		}
+	}
+	return out
+}
+
+// CriticalPath returns the job IDs on the longest root-to-leaf path,
+// weighting each job by weight(job), along with the path's total weight.
+// It assumes a valid (acyclic) workflow.
+func (w *Workflow) CriticalPath(weight func(Job) float64) ([]string, float64) {
+	order, err := w.TopoOrder()
+	if err != nil || len(order) == 0 {
+		return nil, 0
+	}
+	best := make(map[string]float64, len(order))
+	prev := make(map[string]string, len(order))
+	for _, id := range order {
+		j := w.Job(id)
+		w0 := weight(*j)
+		bestDep, bestDepID := 0.0, ""
+		for _, d := range j.Deps {
+			if best[d] > bestDep || bestDepID == "" {
+				bestDep, bestDepID = best[d], d
+			}
+		}
+		best[id] = w0 + bestDep
+		if bestDepID != "" {
+			prev[id] = bestDepID
+		}
+	}
+	endID, endW := "", -1.0
+	for id, v := range best {
+		if v > endW {
+			endID, endW = id, v
+		}
+	}
+	var path []string
+	for id := endID; id != ""; id = prev[id] {
+		path = append(path, id)
+		if _, ok := prev[id]; !ok {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, endW
+}

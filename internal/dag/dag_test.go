@@ -1,0 +1,244 @@
+package dag
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+func prof(name string) workload.JobProfile {
+	return workload.JobProfile{
+		Name:       name,
+		InputBytes: units.GB,
+		SplitBytes: 128 * units.MB,
+	}
+}
+
+func diamond() *Workflow {
+	return &Workflow{
+		Name: "diamond",
+		Jobs: []Job{
+			{ID: "a", Profile: prof("a")},
+			{ID: "b", Profile: prof("b"), Deps: []string{"a"}},
+			{ID: "c", Profile: prof("c"), Deps: []string{"a"}},
+			{ID: "d", Profile: prof("d"), Deps: []string{"b", "c"}},
+		},
+	}
+}
+
+func TestValidateAcceptsDiamond(t *testing.T) {
+	if err := diamond().Validate(); err != nil {
+		t.Fatalf("diamond rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		flow *Workflow
+		want string
+	}{
+		{"no name", &Workflow{Jobs: []Job{{ID: "a", Profile: prof("a")}}}, "name"},
+		{"no jobs", &Workflow{Name: "x"}, "no jobs"},
+		{"empty job ID", &Workflow{Name: "x", Jobs: []Job{{Profile: prof("a")}}}, "empty ID"},
+		{"duplicate ID", &Workflow{Name: "x", Jobs: []Job{
+			{ID: "a", Profile: prof("a")}, {ID: "a", Profile: prof("a")},
+		}}, "duplicate"},
+		{"unknown dep", &Workflow{Name: "x", Jobs: []Job{
+			{ID: "a", Profile: prof("a"), Deps: []string{"zzz"}},
+		}}, "unknown"},
+		{"self dep", &Workflow{Name: "x", Jobs: []Job{
+			{ID: "a", Profile: prof("a"), Deps: []string{"a"}},
+		}}, "itself"},
+		{"bad profile", &Workflow{Name: "x", Jobs: []Job{
+			{ID: "a", Profile: workload.JobProfile{Name: "a"}},
+		}}, "input"},
+		{"cycle", &Workflow{Name: "x", Jobs: []Job{
+			{ID: "a", Profile: prof("a"), Deps: []string{"b"}},
+			{ID: "b", Profile: prof("b"), Deps: []string{"a"}},
+		}}, "cycle"},
+	}
+	for _, c := range cases {
+		err := c.flow.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTopoOrderRespectsDeps(t *testing.T) {
+	order, err := diamond().TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	w := diamond()
+	for _, j := range w.Jobs {
+		for _, d := range j.Deps {
+			if pos[d] >= pos[j.ID] {
+				t.Errorf("dep %s not before %s in %v", d, j.ID, order)
+			}
+		}
+	}
+	// Deterministic: ties break by declaration order.
+	if order[1] != "b" || order[2] != "c" {
+		t.Errorf("tie-break order = %v, want b before c", order)
+	}
+}
+
+func TestRootsAndChildren(t *testing.T) {
+	w := diamond()
+	if got := w.Roots(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("Roots = %v, want [a]", got)
+	}
+	ch := w.Children()
+	if !reflect.DeepEqual(ch["a"], []string{"b", "c"}) {
+		t.Errorf("Children(a) = %v", ch["a"])
+	}
+	if !reflect.DeepEqual(ch["b"], []string{"d"}) {
+		t.Errorf("Children(b) = %v", ch["b"])
+	}
+	if len(ch["d"]) != 0 {
+		t.Errorf("Children(d) = %v, want none", ch["d"])
+	}
+}
+
+func TestJobLookup(t *testing.T) {
+	w := diamond()
+	if j := w.Job("c"); j == nil || j.ID != "c" {
+		t.Errorf("Job(c) = %v", j)
+	}
+	if j := w.Job("nope"); j != nil {
+		t.Errorf("Job(nope) = %v, want nil", j)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	w := Single(prof("solo"))
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 1 || w.Jobs[0].ID != "solo" || w.Name != "solo" {
+		t.Errorf("Single = %+v", w)
+	}
+}
+
+func TestChain(t *testing.T) {
+	w := Chain("pipe", prof("x"), prof("y"), prof("z"))
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 3 {
+		t.Fatalf("Chain has %d jobs", len(w.Jobs))
+	}
+	if len(w.Jobs[0].Deps) != 0 {
+		t.Errorf("first job has deps %v", w.Jobs[0].Deps)
+	}
+	if !reflect.DeepEqual(w.Jobs[2].Deps, []string{"j2"}) {
+		t.Errorf("third job deps = %v, want [j2]", w.Jobs[2].Deps)
+	}
+}
+
+func TestParallelPrefixesIDs(t *testing.T) {
+	a := Chain("A", prof("x"), prof("y"))
+	b := Single(prof("z"))
+	w := Parallel("AB", a, b)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 3 {
+		t.Fatalf("Parallel has %d jobs, want 3", len(w.Jobs))
+	}
+	if w.Jobs[0].ID != "A/j1" {
+		t.Errorf("first job ID = %q, want A/j1", w.Jobs[0].ID)
+	}
+	if !reflect.DeepEqual(w.Jobs[1].Deps, []string{"A/j1"}) {
+		t.Errorf("second job deps = %v, want [A/j1]", w.Jobs[1].Deps)
+	}
+	if got := len(w.Roots()); got != 2 {
+		t.Errorf("Parallel roots = %d, want 2", got)
+	}
+}
+
+func TestTotalInput(t *testing.T) {
+	w := diamond()
+	if got := w.TotalInput(); got != 4*units.GB {
+		t.Errorf("TotalInput = %v, want 4GB", got)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	w := diamond()
+	weights := map[string]float64{"a": 1, "b": 10, "c": 2, "d": 3}
+	path, total := w.CriticalPath(func(j Job) float64 { return weights[j.ID] })
+	if !reflect.DeepEqual(path, []string{"a", "b", "d"}) {
+		t.Errorf("critical path = %v, want [a b d]", path)
+	}
+	if total != 14 {
+		t.Errorf("critical weight = %v, want 14", total)
+	}
+}
+
+func TestCriticalPathSingle(t *testing.T) {
+	w := Single(prof("solo"))
+	path, total := w.CriticalPath(func(Job) float64 { return 5 })
+	if !reflect.DeepEqual(path, []string{"solo"}) || total != 5 {
+		t.Errorf("path = %v (%v)", path, total)
+	}
+}
+
+// Property: for random layered DAGs, TopoOrder is a permutation of all
+// jobs that respects every edge.
+func TestTopoOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		w := &Workflow{Name: "rand"}
+		for i := 0; i < n; i++ {
+			id := string(rune('a' + i))
+			j := Job{ID: id, Profile: prof(id)}
+			// Depend on a random subset of earlier jobs: acyclic by
+			// construction.
+			for k := 0; k < i; k++ {
+				if rng.Intn(3) == 0 {
+					j.Deps = append(j.Deps, string(rune('a'+k)))
+				}
+			}
+			w.Jobs = append(w.Jobs, j)
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		order, err := w.TopoOrder()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := map[string]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, j := range w.Jobs {
+			for _, d := range j.Deps {
+				if pos[d] >= pos[j.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package dag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+const sampleSpec = `{
+  "name": "etl",
+  "jobs": [
+    {"id": "extract", "input_mb": 51200, "map_selectivity": 0.4,
+     "map_cpu_cost": 1.5, "reduce_tasks": 33, "reduce_selectivity": 0.8,
+     "compress": true, "skew_cv": 0.1},
+    {"id": "load", "deps": ["extract"], "input_mb": 16384, "reduce_tasks": 8}
+  ]
+}`
+
+func TestLoadWorkflow(t *testing.T) {
+	w, err := LoadWorkflow(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "etl" || len(w.Jobs) != 2 {
+		t.Fatalf("loaded %+v", w)
+	}
+	ex := w.Job("extract")
+	if ex.Profile.InputBytes != 50*units.GB {
+		t.Errorf("input = %v, want 50GB", ex.Profile.InputBytes)
+	}
+	if ex.Profile.MapSelectivity != 0.4 || ex.Profile.MapCPUCost != 1.5 {
+		t.Errorf("selectivity/cost = %v/%v", ex.Profile.MapSelectivity, ex.Profile.MapCPUCost)
+	}
+	if !ex.Profile.Compression.Enabled || ex.Profile.Compression.Ratio != 0.4 {
+		t.Errorf("compression default = %+v", ex.Profile.Compression)
+	}
+	// Defaults fill in.
+	ld := w.Job("load")
+	if ld.Profile.SplitBytes != 128*units.MB {
+		t.Errorf("default split = %v", ld.Profile.SplitBytes)
+	}
+	if ld.Profile.MapSelectivity != 1 || ld.Profile.ReduceSelectivity != 1 {
+		t.Error("default selectivities wrong")
+	}
+	if len(ld.Deps) != 1 || ld.Deps[0] != "extract" {
+		t.Errorf("deps = %v", ld.Deps)
+	}
+}
+
+func TestLoadWorkflowRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "{nope"},
+		{"unknown field", `{"name":"x","jobs":[{"id":"a","input_mb":1,"bogus":2}]}`},
+		{"missing input", `{"name":"x","jobs":[{"id":"a"}]}`},
+		{"unknown dep", `{"name":"x","jobs":[{"id":"a","input_mb":1,"deps":["z"]}]}`},
+		{"cycle", `{"name":"x","jobs":[
+			{"id":"a","input_mb":1,"deps":["b"]},
+			{"id":"b","input_mb":1,"deps":["a"]}]}`},
+		{"no name", `{"jobs":[{"id":"a","input_mb":1}]}`},
+	}
+	for _, c := range cases {
+		if _, err := LoadWorkflow(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := LoadWorkflow(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveWorkflow(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWorkflow(&buf)
+	if err != nil {
+		t.Fatalf("reload: %v\nspec:\n%s", err, buf.String())
+	}
+	if back.Name != orig.Name || len(back.Jobs) != len(orig.Jobs) {
+		t.Fatal("shape changed in round trip")
+	}
+	for i := range orig.Jobs {
+		a, b := orig.Jobs[i].Profile, back.Jobs[i].Profile
+		if a.InputBytes != b.InputBytes || a.MapSelectivity != b.MapSelectivity ||
+			a.ReduceTasks != b.ReduceTasks || a.Compression.Enabled != b.Compression.Enabled {
+			t.Errorf("job %s changed: %+v vs %+v", orig.Jobs[i].ID, a, b)
+		}
+	}
+}
+
+func TestSaveWorkflowRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveWorkflow(&buf, &Workflow{Name: "empty"}); err == nil {
+		t.Fatal("invalid workflow saved")
+	}
+}
+
+func TestSaveGeneratedWorkflow(t *testing.T) {
+	// A programmatically built workflow with real profiles survives the
+	// spec format.
+	flow := Parallel("mix",
+		Single(workload.WordCount(10*units.GB)),
+		Single(workload.TeraSort(10*units.GB)))
+	var buf bytes.Buffer
+	if err := SaveWorkflow(&buf, flow); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWorkflow(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(back.Jobs))
+	}
+}

@@ -1,0 +1,69 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) against the simulated cluster: the Table I workload
+// overview, the Figure 6 single-job sweeps, the Table II parallel-job
+// task-level accuracy, the Table III 51-workflow end-to-end accuracy, and
+// the estimation-overhead measurement. Each experiment returns plain data
+// structs; Render* helpers print them in the paper's layout.
+package experiments
+
+import (
+	"time"
+
+	"boedag/internal/cluster"
+	"boedag/internal/simulator"
+	"boedag/internal/units"
+)
+
+// Config fixes the environment an experiment runs in.
+type Config struct {
+	// Spec is the cluster; defaults to the paper's eleven nodes.
+	Spec cluster.Spec
+	// Seed drives the deterministic skew in the simulator.
+	Seed int64
+	// MicroInput is the Word Count / TeraSort input size (paper: 100 GB).
+	MicroInput units.Bytes
+	// TPCHScale is the TPC-H scale factor (paper: 80).
+	TPCHScale float64
+	// TaskStartOverhead and JobSubmitOverhead mirror the simulator's
+	// latencies in the estimators.
+	TaskStartOverhead time.Duration
+	JobSubmitOverhead time.Duration
+}
+
+// Default returns the paper's configuration.
+func Default() Config {
+	return Config{
+		Spec:              cluster.PaperCluster(),
+		Seed:              1,
+		MicroInput:        100 * units.GB,
+		TPCHScale:         80,
+		TaskStartOverhead: time.Second,
+		JobSubmitOverhead: 2 * time.Second,
+	}
+}
+
+// Scaled returns a configuration shrunk by factor (for fast tests):
+// inputs divide by factor, the cluster stays the paper's.
+func Scaled(factor float64) Config {
+	cfg := Default()
+	if factor > 1 {
+		cfg.MicroInput = cfg.MicroInput.Scale(1 / factor)
+		cfg.TPCHScale /= factor
+	}
+	return cfg
+}
+
+func (c Config) simOptions() simulator.Options {
+	return c.SimOptions(c.Seed)
+}
+
+// SimOptions returns simulator options matching the configuration's
+// overheads, with an explicit seed (benchmarks vary the seed per
+// iteration to defeat caching without changing the workload).
+func (c Config) SimOptions(seed int64) simulator.Options {
+	return simulator.Options{
+		Seed:              seed,
+		TaskStartOverhead: c.TaskStartOverhead,
+		JobSubmitOverhead: c.JobSubmitOverhead,
+	}
+}

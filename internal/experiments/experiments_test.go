@@ -1,0 +1,487 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"boedag/internal/sched"
+	"boedag/internal/statemodel"
+	"boedag/internal/tpch"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// testConfig shrinks the paper's data sizes 10x so the whole experiment
+// suite runs in well under a second per call.
+func testConfig() Config {
+	return Scaled(10)
+}
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	cfg := Default()
+	if cfg.MicroInput != 100*units.GB {
+		t.Errorf("micro input = %v, want 100 GB", cfg.MicroInput)
+	}
+	if cfg.TPCHScale != 80 {
+		t.Errorf("TPC-H scale = %v, want 80", cfg.TPCHScale)
+	}
+	if cfg.Spec.Nodes != 11 {
+		t.Errorf("nodes = %d, want 11", cfg.Spec.Nodes)
+	}
+}
+
+func TestScaledDividesSizes(t *testing.T) {
+	cfg := Scaled(10)
+	if cfg.MicroInput != 10*units.GB {
+		t.Errorf("scaled micro input = %v, want 10 GB", cfg.MicroInput)
+	}
+	if cfg.TPCHScale != 8 {
+		t.Errorf("scaled TPC-H = %v, want 8", cfg.TPCHScale)
+	}
+	same := Scaled(1)
+	if same.MicroInput != Default().MicroInput {
+		t.Error("Scaled(1) changed sizes")
+	}
+}
+
+func TestWebAnalyticsShape(t *testing.T) {
+	w := WebAnalytics(10 * units.GB)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 4 {
+		t.Fatalf("web analytics has %d jobs, want 4 (Figure 1)", len(w.Jobs))
+	}
+	// j2 and j3 both depend on j1 only — they run in parallel.
+	for _, id := range []string{"j2", "j3"} {
+		j := w.Job(id)
+		if j == nil || len(j.Deps) != 1 || j.Deps[0] != "j1" {
+			t.Errorf("%s deps wrong: %+v", id, j)
+		}
+	}
+	j4 := w.Job("j4")
+	if len(j4.Deps) != 2 {
+		t.Errorf("j4 deps = %v, want both j2 and j3", j4.Deps)
+	}
+	// Zero bytes falls back to a sane default.
+	if WebAnalytics(0).Jobs[0].Profile.InputBytes <= 0 {
+		t.Error("default log size missing")
+	}
+}
+
+func TestTableIIIWorkflowsCount(t *testing.T) {
+	flows, err := TableIIIWorkflows(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 51 {
+		t.Fatalf("Table III has %d workflows, want 51 (paper §V-C)", len(flows))
+	}
+	seen := map[string]bool{}
+	for _, f := range flows {
+		if seen[f.Label] {
+			t.Errorf("duplicate label %s", f.Label)
+		}
+		seen[f.Label] = true
+		if err := f.Flow.Validate(); err != nil {
+			t.Errorf("%s: %v", f.Label, err)
+		}
+	}
+	for _, want := range []string{"TS-Q1", "TS-Q22", "WC-Q1", "WC-Q22", "WC-TS",
+		"WC-TS2R", "WC-TS3R", "WC-KM", "WC-PR", "TS-KM", "TS-PR"} {
+		if !seen[want] {
+			t.Errorf("missing workflow %s", want)
+		}
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows, err := Table1(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Table I has %d rows, want 6", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+		if r.BottleneckString() == "" {
+			t.Errorf("%s: no bottleneck measured", r.Workload)
+		}
+	}
+	if !byName["WC"].Compression || byName["WC"].Replicas != "3" {
+		t.Errorf("WC row = %+v", byName["WC"])
+	}
+	if !strings.Contains(byName["WC"].BottleneckString(), "cpu") {
+		t.Errorf("WC bottleneck %q should include cpu", byName["WC"].BottleneckString())
+	}
+	if !strings.Contains(byName["TS3R"].BottleneckString(), "network") {
+		t.Errorf("TS3R bottleneck %q should include network (3-replica writes)",
+			byName["TS3R"].BottleneckString())
+	}
+}
+
+func TestFigure6ShapesHold(t *testing.T) {
+	series, err := Figure6(testConfig(), Figure6Options{MaxPerNode: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("Figure 6 has %d panels, want 6", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 12 {
+			t.Errorf("%s %s: %d points, want 12", s.Workload, s.Stage, len(s.Points))
+		}
+		// The headline: BOE at least matches the baseline on average, and
+		// clearly beats it at the top of the sweep for the map panels.
+		if s.AvgAccuracyBOE() < s.AvgAccuracyBaseline()-0.02 {
+			t.Errorf("%s %s: BOE avg %.2f < baseline %.2f",
+				s.Workload, s.Stage, s.AvgAccuracyBOE(), s.AvgAccuracyBaseline())
+		}
+	}
+	// WC map: actual time flat to 6/node then rising (CPU saturation) —
+	// the baseline must degrade at Δ=12 while BOE tracks.
+	wcMap := series[0]
+	if wcMap.Workload != "WC" || wcMap.Stage != Fig6Map {
+		t.Fatalf("series[0] = %s %s", wcMap.Workload, wcMap.Stage)
+	}
+	if f := wcMap.ImprovementAt(12); f < 2 {
+		t.Errorf("WC map improvement at Δ/node=12 = %.1fx, want ≥ 2x", f)
+	}
+	lowΔ := wcMap.Points[0].Actual
+	highΔ := wcMap.Points[11].Actual
+	if highΔ <= lowΔ {
+		t.Errorf("WC map task time did not rise with oversubscription: %v → %v", lowΔ, highΔ)
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	rows, err := Table2(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table II has %d rows, want 4 (2 DAGs × 2 jobs)", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Cells) == 0 {
+			t.Errorf("%s/%s: no cells", r.DAG, r.Job)
+			continue
+		}
+		first := r.Cells[0]
+		if first.Accuracy() < 0.7 {
+			t.Errorf("%s/%s state %d accuracy %.2f, want ≥ 0.7 in the first state",
+				r.DAG, r.Job, first.State, first.Accuracy())
+		}
+		for _, c := range r.Cells {
+			if c.Actual <= 0 || c.Estimated <= 0 {
+				t.Errorf("%s/%s s%d: degenerate cell %+v", r.DAG, r.Job, c.State, c)
+			}
+			if c.Parallelism <= 0 {
+				t.Errorf("%s/%s s%d: no parallelism", r.DAG, r.Job, c.State)
+			}
+		}
+	}
+}
+
+func TestTable3SmallSubset(t *testing.T) {
+	cfg := testConfig()
+	flows, err := TableIIIWorkflows(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A representative slice: one TS hybrid, one WC hybrid, one micro pair.
+	subset := []NamedWorkflow{}
+	for _, f := range flows {
+		switch f.Label {
+		case "TS-Q6", "WC-Q1", "WC-TS":
+			subset = append(subset, f)
+		}
+	}
+	sum, err := Table3For(cfg, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != 3 {
+		t.Fatalf("summary rows = %d", len(sum.Rows))
+	}
+	for _, row := range sum.Rows {
+		for _, mode := range statemodel.Modes() {
+			if row.Accuracy[mode] < 0.5 {
+				t.Errorf("%s %s accuracy %.2f — suspiciously low even at small scale",
+					row.Label, mode, row.Accuracy[mode])
+			}
+			if row.Estimate[mode] <= 0 {
+				t.Errorf("%s %s: no estimate", row.Label, mode)
+			}
+			if row.StageAccuracy[mode] <= 0 {
+				t.Errorf("%s %s: no stage breakdown", row.Label, mode)
+			}
+		}
+		if row.EstimationTime > time.Second {
+			t.Errorf("%s estimation took %v, paper requires < 1s", row.Label, row.EstimationTime)
+		}
+		if row.Jobs <= 1 {
+			t.Errorf("%s: job count %d", row.Label, row.Jobs)
+		}
+	}
+	for _, mode := range statemodel.Modes() {
+		if sum.AvgAccuracy[mode] <= 0 || sum.MinAccuracy[mode] <= 0 {
+			t.Errorf("%s: summary stats missing", mode)
+		}
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	cfg := testConfig()
+	var sb strings.Builder
+
+	rows1, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable1(&sb, rows1)
+	if !strings.Contains(sb.String(), "Bottleneck") {
+		t.Error("Table I render missing header")
+	}
+
+	sb.Reset()
+	series, err := Figure6(cfg, Figure6Options{MaxPerNode: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderFigure6(&sb, series[:1])
+	if !strings.Contains(sb.String(), "Δ/node") {
+		t.Error("Figure 6 render missing axis")
+	}
+
+	sb.Reset()
+	rows2, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable2(&sb, rows2)
+	if !strings.Contains(sb.String(), "s1") {
+		t.Error("Table II render missing state columns")
+	}
+
+	sb.Reset()
+	flows, _ := TableIIIWorkflows(cfg)
+	sum, err := Table3For(cfg, flows[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable3(&sb, sum)
+	out := sb.String()
+	for _, want := range []string{"Alg1-Mean", "Alg1-Mid", "Alg2-Normal", "avg accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III render missing %q", want)
+		}
+	}
+}
+
+func TestBuildNamedRegistry(t *testing.T) {
+	cfg := testConfig()
+	for _, name := range WorkflowNames() {
+		flow, err := BuildNamed(name, cfg)
+		if err != nil {
+			t.Errorf("BuildNamed(%q): %v", name, err)
+			continue
+		}
+		if err := flow.Validate(); err != nil {
+			t.Errorf("BuildNamed(%q) invalid: %v", name, err)
+		}
+	}
+	if _, err := BuildNamed("definitely-not-a-workflow", cfg); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := BuildNamed("q99", cfg); err == nil {
+		t.Error("q99 accepted")
+	}
+	// Hybrid name composes arbitrary pairs.
+	flow, err := BuildNamed("ts3r+q6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flow.Roots()) != 2 {
+		t.Errorf("hybrid has %d roots, want 2", len(flow.Roots()))
+	}
+}
+
+func TestQueryJobCountMatchesPaper(t *testing.T) {
+	// Cross-check from the experiments side: Q21 in a hybrid still has 9
+	// jobs plus the micro job.
+	cfg := testConfig()
+	flow, err := BuildNamed("wc+q21", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flow.Jobs) != 10 {
+		t.Errorf("WC+Q21 has %d jobs, want 10", len(flow.Jobs))
+	}
+	n, err := tpch.JobCount(21, tpch.Schema{ScaleFactor: cfg.TPCHScale})
+	if err != nil || n != 9 {
+		t.Errorf("Q21 job count = %d (%v), want 9", n, err)
+	}
+}
+
+func TestFig6StageString(t *testing.T) {
+	if Fig6Map.String() != "map" || Fig6Shuffle.String() != "shuffle" || Fig6Reduce.String() != "reduce" {
+		t.Error("Fig6Stage strings wrong")
+	}
+}
+
+func TestMeasurePhasesUsesSubStages(t *testing.T) {
+	cfg := testConfig()
+	phases, err := measurePhases(cfg, workload.TeraSort(cfg.MicroInput), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phases[Fig6Map] <= 0 || phases[Fig6Shuffle] <= 0 || phases[Fig6Reduce] <= 0 {
+		t.Errorf("phases = %v, want all positive for TeraSort", phases)
+	}
+}
+
+func TestSkewSweep(t *testing.T) {
+	cfg := testConfig()
+	rows, err := SkewSweep(cfg, []float64{0, 0.2, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, mode := range statemodel.AllModes() {
+			if r.Accuracy[mode] <= 0 {
+				t.Errorf("cv=%.1f %s: no accuracy", r.CV, mode)
+			}
+		}
+	}
+	// With no skew the paper's modes should be excellent; the empirical
+	// extension pays a small price for mixing contention regimes in its
+	// sample.
+	for _, mode := range statemodel.Modes() {
+		if acc := rows[0].Accuracy[mode]; acc < 0.85 {
+			t.Errorf("cv=0 %s accuracy %.2f, want ≥ 0.85", mode, acc)
+		}
+	}
+	if acc := rows[0].Accuracy[statemodel.EmpiricalMode]; acc < 0.75 {
+		t.Errorf("cv=0 empirical accuracy %.2f, want ≥ 0.75", acc)
+	}
+	if _, err := SkewSweep(cfg, []float64{-1}); err == nil {
+		t.Error("negative CV accepted")
+	}
+}
+
+func TestPolicyStudy(t *testing.T) {
+	cfg := testConfig()
+	rows, err := PolicyStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Makespan <= 0 {
+			t.Errorf("%s: no makespan", r.Policy)
+		}
+		if r.Accuracy < 0.6 {
+			t.Errorf("%s: matched-policy accuracy %.2f", r.Policy, r.Accuracy)
+		}
+	}
+	// Matched-policy modelling should stay in the DRF assumption's
+	// neighbourhood. FIFO is the hardest case: the estimator re-grants
+	// from scratch each state (no held-container memory), which makes its
+	// FIFO stricter than the simulator's, so a ~10-point gap is the
+	// documented limitation (EXPERIMENTS.md), not a regression.
+	for _, r := range rows {
+		if r.Policy == sched.PolicyDRF {
+			continue
+		}
+		if r.Accuracy+0.12 < r.CrossAccuracy {
+			t.Errorf("%s: matched %.2f far below DRF-assumed %.2f",
+				r.Policy, r.Accuracy, r.CrossAccuracy)
+		}
+	}
+}
+
+func TestRenderExtensions(t *testing.T) {
+	cfg := testConfig()
+	var sb strings.Builder
+	rows, err := SkewSweep(cfg, []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSkewSweep(&sb, rows)
+	if !strings.Contains(sb.String(), "Ext-Empirical") {
+		t.Error("skew sweep render missing empirical column")
+	}
+	sb.Reset()
+	prows, err := PolicyStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderPolicyStudy(&sb, prows)
+	if !strings.Contains(sb.String(), "fifo") {
+		t.Error("policy study render missing fifo row")
+	}
+}
+
+func TestFailureStudy(t *testing.T) {
+	cfg := testConfig()
+	rows, err := FailureStudy(cfg, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Retries != 0 {
+		t.Errorf("p=0 produced %d retries", rows[0].Retries)
+	}
+	if rows[1].Retries == 0 {
+		t.Error("p=0.3 produced no retries")
+	}
+	if rows[1].Makespan <= rows[0].Makespan {
+		t.Error("failures did not slow the workload")
+	}
+	// The retry correction must help (or at least not hurt) under failures.
+	if rows[1].Corrected+0.03 < rows[1].Uncorrected {
+		t.Errorf("correction hurt: %.2f vs %.2f", rows[1].Corrected, rows[1].Uncorrected)
+	}
+	if _, err := FailureStudy(cfg, []float64{1.5}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestNodeAwareStudy(t *testing.T) {
+	cfg := testConfig()
+	rows, err := NodeAwareStudy(cfg, []string{"wc", "wc+ts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Aggregate <= 0 || r.PerNode <= 0 {
+			t.Errorf("%s: missing makespans %+v", r.Label, r)
+		}
+		// Per-node placement can only add imbalance, never remove work.
+		if r.PerNode < r.Aggregate-r.Aggregate/10 {
+			t.Errorf("%s: per-node (%v) much faster than aggregate (%v)?",
+				r.Label, r.PerNode, r.Aggregate)
+		}
+		if r.AccAggregate < 0.6 || r.AccPerNode < 0.6 {
+			t.Errorf("%s: accuracies %.2f / %.2f", r.Label, r.AccAggregate, r.AccPerNode)
+		}
+	}
+	if _, err := NodeAwareStudy(cfg, []string{"no-such"}); err == nil {
+		t.Error("unknown workflow accepted")
+	}
+}

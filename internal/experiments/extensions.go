@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/dag"
+	"boedag/internal/metrics"
+	"boedag/internal/profile"
+	"boedag/internal/sched"
+	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
+	"boedag/internal/workload"
+)
+
+// SkewRow is one point of the skew-sensitivity study (the paper's
+// follow-up work): estimation accuracy per skew mode as the task-size
+// coefficient of variation grows.
+type SkewRow struct {
+	CV       float64
+	Makespan time.Duration
+	// Accuracy per skew mode, including the Ext-Empirical extension.
+	Accuracy map[statemodel.SkewMode]float64
+}
+
+// SkewSweep runs WC+TS with the given task-size CVs forced onto every
+// job and measures each estimator mode's end-to-end accuracy against the
+// simulated truth, profiles captured per run (the Table III
+// methodology).
+func SkewSweep(cfg Config, cvs []float64) ([]SkewRow, error) {
+	var out []SkewRow
+	for _, cv := range cvs {
+		if cv < 0 {
+			return nil, fmt.Errorf("experiments: negative skew CV %v", cv)
+		}
+		wc := workload.WordCount(cfg.MicroInput)
+		ts := workload.TeraSort(cfg.MicroInput)
+		wc.SkewCV, ts.SkewCV = cv, cv
+		flow := dag.Parallel(fmt.Sprintf("WC+TS cv=%.2f", cv),
+			dag.Single(wc), dag.Single(ts))
+
+		res, err := simulator.New(cfg.Spec, cfg.simOptions()).Run(flow)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: skew sweep cv=%v: %w", cv, err)
+		}
+		timer := &statemodel.ProfileTimer{Profiles: profile.Capture(res)}
+		row := SkewRow{
+			CV:       cv,
+			Makespan: res.Makespan,
+			Accuracy: make(map[statemodel.SkewMode]float64, 4),
+		}
+		for _, mode := range statemodel.AllModes() {
+			est := statemodel.New(cfg.Spec, timer, statemodel.Options{
+				Mode:              mode,
+				JobSubmitOverhead: cfg.JobSubmitOverhead,
+			})
+			plan, err := est.Estimate(flow)
+			if err != nil {
+				return nil, err
+			}
+			row.Accuracy[mode] = metrics.Accuracy(plan.Makespan, res.Makespan)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderSkewSweep prints the sensitivity table.
+func RenderSkewSweep(w io.Writer, rows []SkewRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "task-size CV\tmakespan")
+	for _, m := range statemodel.AllModes() {
+		fmt.Fprintf(tw, "\t%s", m)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.1fs", r.CV, r.Makespan.Seconds())
+		for _, m := range statemodel.AllModes() {
+			fmt.Fprintf(tw, "\t%.2f%%", 100*r.Accuracy[m])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// FailureRow is one point of the fault-tolerance study: estimation
+// accuracy as the task-attempt failure rate grows, with and without the
+// estimator's retry correction.
+type FailureRow struct {
+	FailureProb float64
+	Makespan    time.Duration
+	Retries     int
+	// Corrected and Uncorrected are the end-to-end accuracies of the
+	// estimator with and without the (1 + p/2) retry inflation.
+	Corrected, Uncorrected float64
+}
+
+// FailureStudy injects task-attempt failures into the WC+TS run and
+// measures how much the estimator's analytic retry correction recovers.
+func FailureStudy(cfg Config, probs []float64) ([]FailureRow, error) {
+	flow := dag.Parallel("WC+TS",
+		dag.Single(workload.WordCount(cfg.MicroInput)),
+		dag.Single(workload.TeraSort(cfg.MicroInput)))
+	var out []FailureRow
+	for _, p := range probs {
+		if p < 0 || p >= 1 {
+			return nil, fmt.Errorf("experiments: failure probability %v outside [0,1)", p)
+		}
+		opts := cfg.simOptions()
+		opts.TaskFailureProb = p
+		res, err := simulator.New(cfg.Spec, opts).Run(flow)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: failure study p=%v: %w", p, err)
+		}
+		// Profiles come from a clean (p=0) run: historical profiles do not
+		// know about today's failures, which is the realistic setting.
+		clean, err := simulator.New(cfg.Spec, cfg.simOptions()).Run(flow)
+		if err != nil {
+			return nil, err
+		}
+		timer := &statemodel.ProfileTimer{Profiles: profile.Capture(clean)}
+		row := FailureRow{FailureProb: p, Makespan: res.Makespan, Retries: res.TotalRetries()}
+		for _, correct := range []bool{true, false} {
+			o := statemodel.Options{
+				Mode:              statemodel.NormalMode,
+				JobSubmitOverhead: cfg.JobSubmitOverhead,
+			}
+			if correct {
+				o.TaskFailureProb = p
+			}
+			plan, err := statemodel.New(cfg.Spec, timer, o).Estimate(flow)
+			if err != nil {
+				return nil, err
+			}
+			acc := metrics.Accuracy(plan.Makespan, res.Makespan)
+			if correct {
+				row.Corrected = acc
+			} else {
+				row.Uncorrected = acc
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFailureStudy prints the fault-tolerance table.
+func RenderFailureStudy(w io.Writer, rows []FailureRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "failure prob\tmakespan\tretries\taccuracy (corrected)\taccuracy (uncorrected)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.1fs\t%d\t%.2f%%\t%.2f%%\n",
+			r.FailureProb, r.Makespan.Seconds(), r.Retries,
+			100*r.Corrected, 100*r.Uncorrected)
+	}
+	tw.Flush()
+}
+
+// PolicyRow is one scheduler discipline's outcome in the policy study.
+type PolicyRow struct {
+	Policy sched.Policy
+	// Makespan is the simulated WC+TS makespan under the policy.
+	Makespan time.Duration
+	// Accuracy is the estimator's end-to-end accuracy when it models the
+	// same policy.
+	Accuracy float64
+	// CrossAccuracy is the accuracy when the estimator wrongly assumes
+	// DRF — the penalty for mismodelling the scheduler.
+	CrossAccuracy float64
+}
+
+// PolicyStudy runs WC+TS under every scheduler discipline and measures
+// (a) how the discipline changes the workload's makespan and (b) how
+// much estimation accuracy depends on modelling the right discipline.
+func PolicyStudy(cfg Config) ([]PolicyRow, error) {
+	flow := dag.Parallel("WC+TS",
+		dag.Single(workload.WordCount(cfg.MicroInput)),
+		dag.Single(workload.TeraSort(cfg.MicroInput)))
+	var out []PolicyRow
+	for _, pol := range sched.Policies() {
+		opts := cfg.simOptions()
+		opts.Policy = pol
+		res, err := simulator.New(cfg.Spec, opts).Run(flow)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy %s: %w", pol, err)
+		}
+		timer := &statemodel.ProfileTimer{Profiles: profile.Capture(res)}
+		row := PolicyRow{Policy: pol, Makespan: res.Makespan}
+		for _, assume := range []sched.Policy{pol, sched.PolicyDRF} {
+			est := statemodel.New(cfg.Spec, timer, statemodel.Options{
+				Mode:              statemodel.NormalMode,
+				JobSubmitOverhead: cfg.JobSubmitOverhead,
+				Policy:            assume,
+			})
+			plan, err := est.Estimate(flow)
+			if err != nil {
+				return nil, err
+			}
+			acc := metrics.Accuracy(plan.Makespan, res.Makespan)
+			if assume == pol {
+				row.Accuracy = acc
+			}
+			if assume == sched.PolicyDRF {
+				row.CrossAccuracy = acc
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderPolicyStudy prints the scheduler study.
+func RenderPolicyStudy(w io.Writer, rows []PolicyRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tmakespan\taccuracy (matched)\taccuracy (assuming DRF)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1fs\t%.2f%%\t%.2f%%\n",
+			r.Policy, r.Makespan.Seconds(), 100*r.Accuracy, 100*r.CrossAccuracy)
+	}
+	tw.Flush()
+}
+
+// NodeAwareRow compares cluster-aggregate against per-node simulation
+// for one workflow, and the purely model-driven estimator against both.
+type NodeAwareRow struct {
+	Label string
+	// Aggregate and PerNode are the two simulators' makespans.
+	Aggregate, PerNode time.Duration
+	// AccAggregate and AccPerNode are the BOE estimator's accuracies
+	// against each truth (the estimator always assumes aggregate pools).
+	AccAggregate, AccPerNode float64
+}
+
+// NodeAwareStudy quantifies the aggregate-pool assumption: the BOE model
+// (like the paper's) treats the cluster as one pool per resource class;
+// the node-aware simulator gives every node private CPU/disk/NIC pools
+// and places tasks least-loaded. The residual between the two columns is
+// the modelling error attributable to placement imbalance.
+func NodeAwareStudy(cfg Config, names []string) ([]NodeAwareRow, error) {
+	var out []NodeAwareRow
+	for _, name := range names {
+		flow, err := BuildNamed(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := simulator.New(cfg.Spec, cfg.simOptions()).Run(flow)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: node study %s: %w", name, err)
+		}
+		opts := cfg.simOptions()
+		opts.NodeAware = true
+		node, err := simulator.New(cfg.Spec, opts).Run(flow)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: node study %s (per-node): %w", name, err)
+		}
+		timer := &statemodel.BOETimer{
+			Model:             boe.New(cfg.Spec),
+			TaskStartOverhead: cfg.TaskStartOverhead,
+		}
+		plan, err := statemodel.New(cfg.Spec, timer, statemodel.Options{
+			Mode:              statemodel.NormalMode,
+			JobSubmitOverhead: cfg.JobSubmitOverhead,
+		}).Estimate(flow)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NodeAwareRow{
+			Label:        flow.Name,
+			Aggregate:    agg.Makespan,
+			PerNode:      node.Makespan,
+			AccAggregate: metrics.Accuracy(plan.Makespan, agg.Makespan),
+			AccPerNode:   metrics.Accuracy(plan.Makespan, node.Makespan),
+		})
+	}
+	return out, nil
+}
+
+// RenderNodeAwareStudy prints the node-awareness comparison.
+func RenderNodeAwareStudy(w io.Writer, rows []NodeAwareRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workflow\taggregate sim\tper-node sim\tBOE acc (aggregate)\tBOE acc (per-node)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1fs\t%.1fs\t%.2f%%\t%.2f%%\n",
+			r.Label, r.Aggregate.Seconds(), r.PerNode.Seconds(),
+			100*r.AccAggregate, 100*r.AccPerNode)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/dag"
+	"boedag/internal/metrics"
+	"boedag/internal/simulator"
+	"boedag/internal/workload"
+)
+
+// Fig6Stage identifies the three per-task phases the paper plots
+// separately in Figure 6: the map task, the shuffle sub-stage of the
+// reduce task, and the remaining reduce sub-stages.
+type Fig6Stage int
+
+const (
+	// Fig6Map is the whole map task.
+	Fig6Map Fig6Stage = iota
+	// Fig6Shuffle is the copy/merge sub-stage of the reduce task.
+	Fig6Shuffle
+	// Fig6Reduce is the user-reduce + output sub-stage of the reduce task.
+	Fig6Reduce
+)
+
+// String names the phase as in the figure captions.
+func (s Fig6Stage) String() string {
+	switch s {
+	case Fig6Map:
+		return "map"
+	case Fig6Shuffle:
+		return "shuffle"
+	default:
+		return "reduce"
+	}
+}
+
+// Fig6Point is one x-position of a Figure 6 panel: the per-node degree of
+// parallelism, the measured task time, and the two predictions.
+type Fig6Point struct {
+	PerNode  int
+	Actual   time.Duration
+	BOE      time.Duration
+	Baseline time.Duration
+}
+
+// AccuracyBOE is the paper's accuracy of the BOE prediction at this point.
+func (p Fig6Point) AccuracyBOE() float64 { return metrics.Accuracy(p.BOE, p.Actual) }
+
+// AccuracyBaseline is the accuracy of the profile-replay baseline.
+func (p Fig6Point) AccuracyBaseline() float64 { return metrics.Accuracy(p.Baseline, p.Actual) }
+
+// Fig6Series is one panel of Figure 6 (a workload × a phase).
+type Fig6Series struct {
+	Workload string
+	Stage    Fig6Stage
+	Points   []Fig6Point
+}
+
+// AvgAccuracyBOE averages the BOE accuracy over the sweep.
+func (s Fig6Series) AvgAccuracyBOE() float64 {
+	var accs []float64
+	for _, p := range s.Points {
+		accs = append(accs, p.AccuracyBOE())
+	}
+	return metrics.Mean(accs)
+}
+
+// AvgAccuracyBaseline averages the baseline accuracy over the sweep.
+func (s Fig6Series) AvgAccuracyBaseline() float64 {
+	var accs []float64
+	for _, p := range s.Points {
+		accs = append(accs, p.AccuracyBaseline())
+	}
+	return metrics.Mean(accs)
+}
+
+// ImprovementAt reports baseline error / BOE error at the given per-node
+// parallelism (the paper quotes the factor at 12).
+func (s Fig6Series) ImprovementAt(perNode int) float64 {
+	for _, p := range s.Points {
+		if p.PerNode == perNode {
+			return metrics.ImprovementFactor(
+				metrics.Error(p.Baseline, p.Actual),
+				metrics.Error(p.BOE, p.Actual))
+		}
+	}
+	return 0
+}
+
+// Figure6Options tune the sweep.
+type Figure6Options struct {
+	// MaxPerNode is the top of the degree-of-parallelism sweep (paper: 12).
+	MaxPerNode int
+	// ProfilePerNode is the parallelism of the baseline's profiling run
+	// (the baselines replay this measurement at every other parallelism).
+	ProfilePerNode int
+}
+
+func (o Figure6Options) withDefaults() Figure6Options {
+	if o.MaxPerNode == 0 {
+		o.MaxPerNode = 12
+	}
+	if o.ProfilePerNode == 0 {
+		o.ProfilePerNode = 2
+	}
+	return o
+}
+
+// Figure6 reproduces the paper's Figure 6: for Word Count and TeraSort
+// run alone, sweep the per-node degree of parallelism and compare the
+// measured task time of each phase against the BOE prediction and the
+// Starfish/MRTuner-style best-case baseline (the measurement at the
+// profiling parallelism, replayed unchanged).
+func Figure6(cfg Config, opt Figure6Options) ([]Fig6Series, error) {
+	opt = opt.withDefaults()
+	jobs := []workload.JobProfile{
+		workload.WordCount(cfg.MicroInput),
+		workload.TeraSort(cfg.MicroInput),
+	}
+	var out []Fig6Series
+	for _, p := range jobs {
+		series := map[Fig6Stage]*Fig6Series{}
+		for _, st := range []Fig6Stage{Fig6Map, Fig6Shuffle, Fig6Reduce} {
+			series[st] = &Fig6Series{Workload: p.Name, Stage: st}
+		}
+		base, err := measurePhases(cfg, p, opt.ProfilePerNode)
+		if err != nil {
+			return nil, err
+		}
+		model := boe.New(cfg.Spec)
+		for perNode := 1; perNode <= opt.MaxPerNode; perNode++ {
+			actual, err := measurePhases(cfg, p, perNode)
+			if err != nil {
+				return nil, err
+			}
+			est := predictPhases(cfg, model, p, perNode)
+			for _, st := range []Fig6Stage{Fig6Map, Fig6Shuffle, Fig6Reduce} {
+				series[st].Points = append(series[st].Points, Fig6Point{
+					PerNode:  perNode,
+					Actual:   actual[st],
+					BOE:      est[st],
+					Baseline: base[st],
+				})
+			}
+		}
+		for _, st := range []Fig6Stage{Fig6Map, Fig6Shuffle, Fig6Reduce} {
+			out = append(out, *series[st])
+		}
+	}
+	return out, nil
+}
+
+// measurePhases runs the job alone at the given per-node parallelism and
+// returns the median task time per phase.
+func measurePhases(cfg Config, p workload.JobProfile, perNode int) (map[Fig6Stage]time.Duration, error) {
+	opts := cfg.simOptions()
+	opts.SlotLimit = perNode * cfg.Spec.Nodes
+	sim := simulator.New(cfg.Spec, opts)
+	res, err := sim.Run(dag.Single(p))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure6 %s Δ/node=%d: %w", p.Name, perNode, err)
+	}
+	out := make(map[Fig6Stage]time.Duration, 3)
+	if s := res.StageOf(p.Name, workload.Map); s != nil {
+		out[Fig6Map] = s.MedianTaskTime()
+	}
+	// Shuffle and reduce come from the reduce tasks' sub-stage splits.
+	var shuffles, reduces []float64
+	for _, t := range res.TasksOf(p.Name, workload.Reduce) {
+		if len(t.SubStages) >= 1 {
+			shuffles = append(shuffles, t.SubStages[0].Seconds())
+		}
+		var rest time.Duration
+		for _, d := range t.SubStages[1:] {
+			rest += d
+		}
+		reduces = append(reduces, rest.Seconds())
+	}
+	out[Fig6Shuffle] = secondsMedian(shuffles)
+	out[Fig6Reduce] = secondsMedian(reduces)
+	return out, nil
+}
+
+// predictPhases evaluates the BOE model for the same three phases.
+func predictPhases(cfg Config, model *boe.Model, p workload.JobProfile, perNode int) map[Fig6Stage]time.Duration {
+	total := perNode * cfg.Spec.Nodes
+	mapPar := min(total, p.MapTasks())
+	redPar := min(total, p.ReduceTasks)
+
+	out := make(map[Fig6Stage]time.Duration, 3)
+	mapEst := model.TaskTime(p, workload.Map, mapPar)
+	out[Fig6Map] = mapEst.Duration + cfg.TaskStartOverhead
+
+	if p.ReduceTasks > 0 {
+		redEst := model.TaskTime(p, workload.Reduce, redPar)
+		if len(redEst.SubStages) >= 1 {
+			out[Fig6Shuffle] = redEst.SubStages[0].Duration
+		}
+		var rest time.Duration
+		for _, ss := range redEst.SubStages[1:] {
+			rest += ss.Duration
+		}
+		out[Fig6Reduce] = rest
+	}
+	return out
+}
+
+func secondsMedian(xs []float64) time.Duration {
+	return time.Duration(metrics.Median(xs) * float64(time.Second))
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"boedag/internal/dag"
+	"boedag/internal/hibench"
+	"boedag/internal/spark"
+	"boedag/internal/tpch"
+	"boedag/internal/workload"
+)
+
+// WorkflowNames lists every name BuildNamed accepts, sorted.
+func WorkflowNames() []string {
+	names := []string{
+		"wc", "ts", "tsc", "ts2r", "ts3r",
+		"wc+ts", "wc+ts2r", "wc+ts3r", "webanalytics", "kmeans", "pagerank",
+		"wc+kmeans", "wc+pagerank", "ts+kmeans", "ts+pagerank",
+		"hbsort", "hbagg", "hbjoin", "bayes", "sparkwc", "sparkpr",
+	}
+	for q := 1; q <= tpch.NumQueries; q++ {
+		names = append(names,
+			fmt.Sprintf("q%d", q),
+			fmt.Sprintf("wc+q%d", q),
+			fmt.Sprintf("ts+q%d", q))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildNamed constructs the workflow behind one of the registry names:
+// micro benchmarks ("wc", "ts3r", …), TPC-H queries ("q21"), HiBench
+// DAGs ("kmeans"), the Figure 1 DAG ("webanalytics"), and the hybrid
+// parallel combinations ("wc+q5", "ts+pagerank", "wc+ts3r", …).
+func BuildNamed(name string, cfg Config) (*dag.Workflow, error) {
+	schema := tpch.Schema{ScaleFactor: cfg.TPCHScale}
+	micro := cfg.MicroInput
+	lower := strings.ToLower(strings.TrimSpace(name))
+
+	single := map[string]func() *dag.Workflow{
+		"wc":           func() *dag.Workflow { return dag.Single(workload.WordCount(micro)) },
+		"ts":           func() *dag.Workflow { return dag.Single(workload.TeraSort(micro)) },
+		"tsc":          func() *dag.Workflow { return dag.Single(workload.TeraSortCompressed(micro)) },
+		"ts2r":         func() *dag.Workflow { return dag.Single(workload.TeraSort2R(micro)) },
+		"ts3r":         func() *dag.Workflow { return dag.Single(workload.TeraSort3R(micro)) },
+		"webanalytics": func() *dag.Workflow { return WebAnalytics(micro / 2) },
+		"kmeans":       func() *dag.Workflow { return hibench.KMeans(hibench.DefaultKMeans()) },
+		"pagerank":     func() *dag.Workflow { return hibench.PageRank(hibench.DefaultPageRank()) },
+		"hbsort":       func() *dag.Workflow { return dag.Single(hibench.Sort(0)) },
+		"hbagg":        func() *dag.Workflow { return dag.Single(hibench.Aggregation(0)) },
+		"hbjoin":       func() *dag.Workflow { return hibench.Join(0, 0) },
+		"bayes":        func() *dag.Workflow { return hibench.Bayes(hibench.BayesConfig{}) },
+	}
+	sparkFlows := map[string]func() (*dag.Workflow, error){
+		"sparkwc": func() (*dag.Workflow, error) { return spark.Translate(spark.WordCountLineage(micro)) },
+		"sparkpr": func() (*dag.Workflow, error) {
+			return spark.Translate(spark.PageRankLineage(micro/10, 3))
+		},
+	}
+	if build, ok := sparkFlows[lower]; ok {
+		return build()
+	}
+	if build, ok := single[lower]; ok {
+		return build(), nil
+	}
+	if q, ok := parseQueryName(lower); ok {
+		return tpch.Query(q, schema)
+	}
+
+	left, right, ok := strings.Cut(lower, "+")
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workflow %q", name)
+	}
+	lflow, err := BuildNamed(left, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: workflow %q: %w", name, err)
+	}
+	rflow, err := BuildNamed(right, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: workflow %q: %w", name, err)
+	}
+	label := strings.ToUpper(left) + "-" + strings.ToUpper(right)
+	return dag.Parallel(label, lflow, rflow), nil
+}
+
+func parseQueryName(s string) (int, bool) {
+	if !strings.HasPrefix(s, "q") {
+		return 0, false
+	}
+	var q int
+	if _, err := fmt.Sscanf(s, "q%d", &q); err != nil || q < 1 || q > tpch.NumQueries {
+		return 0, false
+	}
+	return q, true
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"boedag/internal/statemodel"
+)
+
+// RenderTable1 prints the workload overview in the paper's Table I
+// layout.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Group\tWorkload\tC\tR\tBottleneck (measured)")
+	for _, r := range rows {
+		c := "N"
+		if r.Compression {
+			c = "Y"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", r.Group, r.Workload, c, r.Replicas, r.BottleneckString())
+	}
+	tw.Flush()
+}
+
+// RenderFigure6 prints each panel of Figure 6 as a small table of task
+// times per degree of parallelism, with the summary accuracies the paper
+// quotes in §V-B1.
+func RenderFigure6(w io.Writer, series []Fig6Series) {
+	for _, s := range series {
+		fmt.Fprintf(w, "Figure 6 — %s %s (avg accuracy BOE %.1f%%, baseline %.1f%%",
+			s.Workload, s.Stage, 100*s.AvgAccuracyBOE(), 100*s.AvgAccuracyBaseline())
+		if len(s.Points) > 0 {
+			last := s.Points[len(s.Points)-1].PerNode
+			switch f := s.ImprovementAt(last); {
+			case f > 99:
+				fmt.Fprintf(w, "; >99x better at Δ/node=%d", last)
+			case f > 0:
+				fmt.Fprintf(w, "; %.1fx better at Δ/node=%d", f, last)
+			}
+		}
+		fmt.Fprintln(w, ")")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  Δ/node\tactual\tBOE\tbaseline\tacc(BOE)\tacc(base)")
+		for _, p := range s.Points {
+			fmt.Fprintf(tw, "  %d\t%.1fs\t%.1fs\t%.1fs\t%.1f%%\t%.1f%%\n",
+				p.PerNode, p.Actual.Seconds(), p.BOE.Seconds(), p.Baseline.Seconds(),
+				100*p.AccuracyBOE(), 100*p.AccuracyBaseline())
+		}
+		tw.Flush()
+	}
+}
+
+// RenderTable2 prints the parallel-job task-level accuracy in the
+// paper's Table II layout (jobs × states).
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	maxState := 0
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			if c.State > maxState {
+				maxState = c.State
+			}
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "DAG\tJob")
+	for s := 1; s <= maxState; s++ {
+		fmt.Fprintf(tw, "\ts%d", s)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s", r.DAG, r.Job)
+		for s := 1; s <= maxState; s++ {
+			if c := r.Cell(s); c != nil {
+				fmt.Fprintf(tw, "\t%.1f%%", 100*c.Accuracy())
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// RenderTable3 prints the 51-workflow accuracy table in the paper's
+// Table III layout (three mode rows per workflow group), followed by the
+// summary lines the paper quotes.
+func RenderTable3(w io.Writer, sum *Table3Summary) {
+	const perLine = 9
+	for start := 0; start < len(sum.Rows); start += perLine {
+		end := start + perLine
+		if end > len(sum.Rows) {
+			end = len(sum.Rows)
+		}
+		chunk := sum.Rows[start:end]
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "")
+		for _, r := range chunk {
+			fmt.Fprintf(tw, "\t%s", r.Label)
+		}
+		fmt.Fprintln(tw)
+		for _, mode := range statemodel.Modes() {
+			fmt.Fprint(tw, mode.String())
+			for _, r := range chunk {
+				fmt.Fprintf(tw, "\t%.4f", r.Accuracy[mode])
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+	modes := statemodel.Modes()
+	sort.Slice(modes, func(i, j int) bool { return modes[i] < modes[j] })
+	for _, mode := range modes {
+		fmt.Fprintf(w, "%-12s avg accuracy %.2f%%  min %.2f%%\n",
+			mode, 100*sum.AvgAccuracy[mode], 100*sum.MinAccuracy[mode])
+	}
+	fmt.Fprintf(w, "max estimation overhead: %s\n", sum.MaxEstimationTime)
+}

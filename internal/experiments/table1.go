@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/simulator"
+	"boedag/internal/workload"
+)
+
+// Table1Row is one row of the paper's Table I workload overview: the
+// workload's compression and replication settings and the bottleneck
+// resources its stages exhibit — measured in the simulator and identified
+// independently by the BOE model.
+type Table1Row struct {
+	Group       string
+	Workload    string
+	Compression bool
+	Replicas    string
+	// MeasuredBottlenecks are the distinct per-stage bottlenecks the
+	// simulator observed, in stage order.
+	MeasuredBottlenecks []cluster.Resource
+}
+
+// BottleneckString formats the measured bottlenecks like the paper's
+// "CPU, Network" column.
+func (r Table1Row) BottleneckString() string {
+	var parts []string
+	seen := map[cluster.Resource]bool{}
+	for _, b := range r.MeasuredBottlenecks {
+		if !seen[b] {
+			seen[b] = true
+			parts = append(parts, b.String())
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Table1 reproduces Table I for the micro and multi-job workloads: it
+// runs each alone on the simulated cluster and records the bottleneck
+// resources of its stages.
+func Table1(cfg Config) ([]Table1Row, error) {
+	micro := []workload.JobProfile{
+		workload.WordCount(cfg.MicroInput),
+		workload.TeraSortCompressed(cfg.MicroInput),
+		workload.TeraSort(cfg.MicroInput),
+		workload.TeraSort3R(cfg.MicroInput),
+	}
+	var rows []Table1Row
+	for _, p := range micro {
+		row, err := measureTable1Row("Micro Single-Job", p.Name, dag.Single(p), cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Compression = p.Compression.Enabled
+		row.Replicas = fmt.Sprint(effectiveReplicas(p))
+		rows = append(rows, *row)
+	}
+
+	multi := []struct {
+		label string
+		a, b  workload.JobProfile
+	}{
+		{"WC+TS", workload.WordCount(cfg.MicroInput), workload.TeraSort(cfg.MicroInput)},
+		{"WC+TS3R", workload.WordCount(cfg.MicroInput), workload.TeraSort3R(cfg.MicroInput)},
+	}
+	for _, m := range multi {
+		flow := dag.Parallel(m.label, dag.Single(m.a), dag.Single(m.b))
+		row, err := measureTable1Row("Micro Multi-Jobs", m.label, flow, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Compression = m.a.Compression.Enabled && m.b.Compression.Enabled
+		row.Replicas = fmt.Sprintf("%d, %d", effectiveReplicas(m.a), effectiveReplicas(m.b))
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func measureTable1Row(group, label string, flow *dag.Workflow, cfg Config) (*Table1Row, error) {
+	sim := simulator.New(cfg.Spec, cfg.simOptions())
+	res, err := sim.Run(flow)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table1 %s: %w", label, err)
+	}
+	row := &Table1Row{Group: group, Workload: label}
+	for _, s := range res.Stages {
+		row.MeasuredBottlenecks = append(row.MeasuredBottlenecks, s.Bottleneck)
+	}
+	return row, nil
+}
+
+func effectiveReplicas(p workload.JobProfile) int {
+	if p.Replicas == 0 {
+		return 3
+	}
+	return p.Replicas
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/dag"
+	"boedag/internal/metrics"
+	"boedag/internal/simulator"
+	"boedag/internal/workload"
+)
+
+// Table2Cell is the task-level accuracy of the BOE model for one job in
+// one workflow state.
+type Table2Cell struct {
+	State       int
+	Job         string
+	Stage       workload.Stage
+	Parallelism int
+	Actual      time.Duration
+	Estimated   time.Duration
+}
+
+// Accuracy is the paper's 1 − |est−act|/act for this cell.
+func (c Table2Cell) Accuracy() float64 { return metrics.Accuracy(c.Estimated, c.Actual) }
+
+// Table2Row groups a job's per-state cells within one DAG.
+type Table2Row struct {
+	DAG   string
+	Job   string
+	Cells []Table2Cell
+}
+
+// Cell returns the cell for the given state, or nil.
+func (r Table2Row) Cell(state int) *Table2Cell {
+	for i := range r.Cells {
+		if r.Cells[i].State == state {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Table2 reproduces the paper's Table II: the two-job DAGs WC+TS and
+// WC+TS3R run in the simulator; in every workflow state, the BOE model —
+// given only the state's observed degrees of parallelism — predicts each
+// running job's task time, compared against the median measured duration
+// of the tasks that completed in that state.
+func Table2(cfg Config) ([]Table2Row, error) {
+	dags := []struct {
+		label string
+		a, b  workload.JobProfile
+	}{
+		{"WC+TS", workload.WordCount(cfg.MicroInput), workload.TeraSort(cfg.MicroInput)},
+		{"WC+TS3R", workload.WordCount(cfg.MicroInput), workload.TeraSort3R(cfg.MicroInput)},
+	}
+	var rows []Table2Row
+	for _, d := range dags {
+		flow := dag.Parallel(d.label, dag.Single(d.a), dag.Single(d.b))
+		got, err := table2ForDAG(cfg, d.label, flow)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, got...)
+	}
+	return rows, nil
+}
+
+func table2ForDAG(cfg Config, label string, flow *dag.Workflow) ([]Table2Row, error) {
+	sim := simulator.New(cfg.Spec, cfg.simOptions())
+	res, err := sim.Run(flow)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2 %s: %w", label, err)
+	}
+	model := boe.New(cfg.Spec)
+
+	profiles := make(map[string]workload.JobProfile, len(flow.Jobs))
+	for _, j := range flow.Jobs {
+		profiles[j.ID] = j.Profile
+	}
+
+	byJob := make(map[string]*Table2Row)
+	for _, state := range res.States {
+		occ := stateOccupancy(res, state)
+		if len(occ) == 0 {
+			continue
+		}
+		// Environment groups: every running (job, stage) at its observed Δ.
+		keys := make([]string, 0, len(occ))
+		for k := range occ {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		groups := make([]boe.TaskGroup, 0, len(keys))
+		for _, k := range keys {
+			job, stage := splitKey(k)
+			groups = append(groups, boe.TaskGroup{
+				Profile:     profiles[job],
+				Stage:       stage,
+				SubStage:    boe.AggregateSubStage,
+				Parallelism: occ[k],
+			})
+		}
+		for i, k := range keys {
+			job, stage := splitKey(k)
+			actual := stateMedianTaskTime(res, state, job, stage)
+			if actual == 0 {
+				continue // no task finished inside this state
+			}
+			env := make([]boe.TaskGroup, 0, len(groups)-1)
+			for gi, g := range groups {
+				if gi != i {
+					env = append(env, g)
+				}
+			}
+			est := model.TaskTimeWith(profiles[job], stage, occ[k], env)
+			cell := Table2Cell{
+				State:       state.Seq,
+				Job:         job,
+				Stage:       stage,
+				Parallelism: occ[k],
+				Actual:      actual,
+				Estimated:   est.Duration + cfg.TaskStartOverhead,
+			}
+			row, ok := byJob[job]
+			if !ok {
+				row = &Table2Row{DAG: label, Job: job}
+				byJob[job] = row
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+	}
+	jobs := make([]string, 0, len(byJob))
+	for j := range byJob {
+		jobs = append(jobs, j)
+	}
+	sort.Strings(jobs)
+	var rows []Table2Row
+	for _, j := range jobs {
+		rows = append(rows, *byJob[j])
+	}
+	return rows, nil
+}
+
+// stateOccupancy returns the average concurrency of each running
+// (job, stage) during the state, rounded to at least 1.
+func stateOccupancy(res *simulator.Result, st simulator.StateRecord) map[string]int {
+	dur := st.Duration().Seconds()
+	if dur <= 0 {
+		return nil
+	}
+	taskSecs := make(map[string]float64)
+	for _, t := range res.Tasks {
+		ov := overlap(t.Start, t.End, st.Start, st.End)
+		if ov > 0 {
+			taskSecs[t.Job+"\x00"+t.Stage.String()] += ov
+		}
+	}
+	out := make(map[string]int, len(taskSecs))
+	for k, secs := range taskSecs {
+		n := int(math.Round(secs / dur))
+		if n < 1 {
+			n = 1
+		}
+		out[k] = n
+	}
+	return out
+}
+
+// stateMedianTaskTime is the median duration of (job, stage) tasks that
+// finished within the state.
+func stateMedianTaskTime(res *simulator.Result, st simulator.StateRecord, job string, stage workload.Stage) time.Duration {
+	var xs []float64
+	for _, t := range res.Tasks {
+		if t.Job == job && t.Stage == stage && t.End > st.Start && t.End <= st.End {
+			xs = append(xs, t.Duration().Seconds())
+		}
+	}
+	return secondsMedian(xs)
+}
+
+func overlap(aStart, aEnd, bStart, bEnd time.Duration) float64 {
+	start := aStart
+	if bStart > start {
+		start = bStart
+	}
+	end := aEnd
+	if bEnd < end {
+		end = bEnd
+	}
+	if end <= start {
+		return 0
+	}
+	return (end - start).Seconds()
+}
+
+func splitKey(k string) (string, workload.Stage) {
+	i := strings.IndexByte(k, 0)
+	job, stageName := k[:i], k[i+1:]
+	if stageName == workload.Map.String() {
+		return job, workload.Map
+	}
+	return job, workload.Reduce
+}

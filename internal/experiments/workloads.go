@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"boedag/internal/dag"
+	"boedag/internal/hibench"
+	"boedag/internal/tpch"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// WebAnalytics builds the paper's Figure 1 motivating DAG: four jobs over
+// a page-view event log. Job 1 pre-aggregates visit durations; job 2
+// counts views per page (Word Count-like, CPU-bound); job 3 sorts pages
+// by visit duration (Sort-like, shuffle-heavy); job 4 joins both into the
+// min/median/max report. Jobs 2 and 3 run in parallel — the source of the
+// task-time variation the paper opens with.
+func WebAnalytics(logBytes units.Bytes) *dag.Workflow {
+	if logBytes <= 0 {
+		logBytes = 50 * units.GB
+	}
+	preagg := workload.JobProfile{
+		Name:              "j1-preagg",
+		InputBytes:        logBytes,
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       33,
+		MapSelectivity:    0.6, // page, IP, duration triples
+		ReduceSelectivity: 0.5, // one record per visit
+		MapCPUCost:        1.8,
+		ReduceCPUCost:     1.4,
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.1,
+	}
+	agg := preagg.OutputBytes()
+	count := workload.JobProfile{ // Word Count-like: views per page
+		Name:              "j2-count",
+		InputBytes:        agg,
+		SplitBytes:        64 * units.MB, // fine splits: maps span job 3's states
+		ReduceTasks:       17,
+		MapSelectivity:    0.3,
+		ReduceSelectivity: 0.5,
+		MapCPUCost:        6.0, // tokenise + sessionise: heavily CPU-bound
+		ReduceCPUCost:     1.3,
+		Compression:       workload.Compression{Enabled: true, Ratio: 0.35, CPUOverhead: 0.4},
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.1,
+	}
+	sortJob := workload.JobProfile{ // Sort-like: pages by duration
+		Name:              "j3-sort",
+		InputBytes:        agg,
+		SplitBytes:        256 * units.MB, // coarse splits: one fast map wave,
+		ReduceTasks:       17,             // then a long shuffle over j2's maps
+		MapSelectivity:    1.0,
+		ReduceSelectivity: 1.0,
+		MapCPUCost:        0.5,
+		ReduceCPUCost:     1.0,
+		Replicas:          1,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.08,
+	}
+	report := workload.JobProfile{ // join both outputs into the report
+		Name:              "j4-report",
+		InputBytes:        count.OutputBytes() + sortJob.OutputBytes(),
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       8,
+		MapSelectivity:    1.0,
+		ReduceSelectivity: 0.2,
+		MapCPUCost:        1.5,
+		ReduceCPUCost:     1.8,
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.1,
+	}
+	return &dag.Workflow{
+		Name: "web-analytics",
+		Jobs: []dag.Job{
+			{ID: "j1", Profile: preagg},
+			{ID: "j2", Profile: count, Deps: []string{"j1"}},
+			{ID: "j3", Profile: sortJob, Deps: []string{"j1"}},
+			{ID: "j4", Profile: report, Deps: []string{"j2", "j3"}},
+		},
+	}
+}
+
+// NamedWorkflow pairs a Table III column label with its DAG.
+type NamedWorkflow struct {
+	Label string
+	Flow  *dag.Workflow
+}
+
+// TableIIIWorkflows builds the paper's 51 evaluation workflows:
+// TS-Q1..Q22 and WC-Q1..Q22 (a 100 GB micro job in parallel with each
+// TPC-H query), WC-TS, WC-TS2R, WC-TS3R, and the four HiBench hybrids
+// WC-KM, WC-PR, TS-KM, TS-PR.
+func TableIIIWorkflows(cfg Config) ([]NamedWorkflow, error) {
+	schema := tpch.Schema{ScaleFactor: cfg.TPCHScale}
+	var out []NamedWorkflow
+
+	micro := map[string]func(units.Bytes) workload.JobProfile{
+		"TS": workload.TeraSort,
+		"WC": workload.WordCount,
+	}
+	for _, name := range []string{"TS", "WC"} {
+		gen := micro[name]
+		for q := 1; q <= tpch.NumQueries; q++ {
+			query, err := tpch.Query(q, schema)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s-Q%d: %w", name, q, err)
+			}
+			label := fmt.Sprintf("%s-Q%d", name, q)
+			flow := dag.Parallel(label, dag.Single(gen(cfg.MicroInput)), query)
+			out = append(out, NamedWorkflow{Label: label, Flow: flow})
+		}
+	}
+
+	scaleHB := func(b units.Bytes) units.Bytes {
+		// HiBench inputs scale with the micro input so Scaled configs keep
+		// the workloads balanced.
+		return b.Scale(float64(cfg.MicroInput) / float64(100*units.GB))
+	}
+	km := func() *dag.Workflow {
+		c := hibench.DefaultKMeans()
+		c.InputBytes = scaleHB(c.InputBytes)
+		return hibench.KMeans(c)
+	}
+	pr := func() *dag.Workflow {
+		c := hibench.DefaultPageRank()
+		c.EdgeBytes = scaleHB(c.EdgeBytes)
+		return hibench.PageRank(c)
+	}
+
+	out = append(out,
+		NamedWorkflow{"WC-TS", dag.Parallel("WC-TS",
+			dag.Single(workload.WordCount(cfg.MicroInput)),
+			dag.Single(workload.TeraSort(cfg.MicroInput)))},
+		NamedWorkflow{"WC-TS2R", dag.Parallel("WC-TS2R",
+			dag.Single(workload.WordCount(cfg.MicroInput)),
+			dag.Single(workload.TeraSort2R(cfg.MicroInput)))},
+		NamedWorkflow{"WC-TS3R", dag.Parallel("WC-TS3R",
+			dag.Single(workload.WordCount(cfg.MicroInput)),
+			dag.Single(workload.TeraSort3R(cfg.MicroInput)))},
+		NamedWorkflow{"WC-KM", dag.Parallel("WC-KM",
+			dag.Single(workload.WordCount(cfg.MicroInput)), km())},
+		NamedWorkflow{"WC-PR", dag.Parallel("WC-PR",
+			dag.Single(workload.WordCount(cfg.MicroInput)), pr())},
+		NamedWorkflow{"TS-KM", dag.Parallel("TS-KM",
+			dag.Single(workload.TeraSort(cfg.MicroInput)), km())},
+		NamedWorkflow{"TS-PR", dag.Parallel("TS-PR",
+			dag.Single(workload.TeraSort(cfg.MicroInput)), pr())},
+	)
+	return out, nil
+}

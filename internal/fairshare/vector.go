@@ -1,0 +1,183 @@
+package fairshare
+
+import (
+	"math"
+	"sort"
+)
+
+// VecConsumer is the variable-width counterpart of Consumer: demands are
+// indexed by an arbitrary resource space (the node-aware simulator uses
+// nodes × resource-classes). A nil/short Demand slice means zero demand
+// on the missing indices.
+type VecConsumer struct {
+	Count   int
+	Demand  []float64
+	MaxRate float64
+}
+
+// VecResult reports a vector allocation.
+type VecResult struct {
+	// Rate[i] is the per-task progress rate of consumer i.
+	Rate []float64
+	// Bottleneck[i] is the index of the resource that binds consumer i,
+	// or -1 when its own MaxRate does.
+	Bottleneck []int
+	// Utilization[r] is the fraction of resource r in use.
+	Utilization []float64
+}
+
+// AllocateVec computes the same fair-queueing equilibrium as Allocate
+// over an arbitrary number of resources: Gauss-Seidel iteration of
+// per-resource usage water-fills with elsewhere-ceilings. Zero-capacity
+// resources pin their demanders to rate zero.
+func AllocateVec(capacity []float64, consumers []VecConsumer) VecResult {
+	nRes := len(capacity)
+	n := len(consumers)
+	res := VecResult{
+		Rate:        make([]float64, n),
+		Bottleneck:  make([]int, n),
+		Utilization: make([]float64, nRes),
+	}
+
+	demand := func(c VecConsumer, r int) float64 {
+		if r < len(c.Demand) {
+			return c.Demand[r]
+		}
+		return 0
+	}
+
+	bound := make([][]float64, n)
+	dead := make([]bool, n)
+	for i, c := range consumers {
+		res.Bottleneck[i] = -1
+		bound[i] = make([]float64, nRes)
+		for r := range bound[i] {
+			bound[i][r] = math.Inf(1)
+		}
+		if c.Count <= 0 {
+			dead[i] = true
+			continue
+		}
+		for r := 0; r < nRes; r++ {
+			if demand(c, r) > 0 && capacity[r] <= 0 {
+				dead[i] = true
+				res.Bottleneck[i] = r
+				break
+			}
+		}
+	}
+
+	ceiling := func(i, excl int) float64 {
+		c := consumers[i]
+		lim := math.Inf(1)
+		if c.MaxRate > 0 {
+			lim = c.MaxRate
+		}
+		for r := 0; r < nRes; r++ {
+			if r == excl || demand(c, r) <= 0 {
+				continue
+			}
+			if b := bound[i][r]; b < lim {
+				lim = b
+			}
+		}
+		return lim
+	}
+
+	// Precompute each resource's demander list once: the structure does
+	// not change across iterations.
+	demanders := make([][]int, nRes)
+	for i, c := range consumers {
+		if dead[i] {
+			continue
+		}
+		for r := 0; r < nRes; r++ {
+			if demand(c, r) > 0 && capacity[r] > 0 {
+				demanders[r] = append(demanders[r], i)
+			}
+		}
+	}
+
+	type item struct {
+		idx     int
+		desired float64
+	}
+	const maxIters = 200
+	items := make([]item, 0, n)
+	for iter := 0; iter < maxIters; iter++ {
+		change := 0.0
+		for r := 0; r < nRes; r++ {
+			if len(demanders[r]) == 0 {
+				continue
+			}
+			items = items[:0]
+			tasks := 0
+			for _, i := range demanders[r] {
+				items = append(items, item{i, demand(consumers[i], r) * ceiling(i, r)})
+				tasks += consumers[i].Count
+			}
+			sort.Slice(items, func(a, b int) bool { return items[a].desired < items[b].desired })
+			// Water-fill usage.
+			remaining := capacity[r]
+			level := math.Inf(1)
+			for _, it := range items {
+				lvl := remaining / float64(tasks)
+				if math.IsInf(it.desired, 1) || it.desired > lvl {
+					level = lvl
+					break
+				}
+				remaining -= float64(consumers[it.idx].Count) * it.desired
+				tasks -= consumers[it.idx].Count
+				if tasks == 0 {
+					break
+				}
+			}
+			for _, i := range demanders[r] {
+				nb := level / demand(consumers[i], r)
+				if diff := relDiff(nb, bound[i][r]); diff > change {
+					change = diff
+				}
+				bound[i][r] = nb
+			}
+		}
+		if change < 1e-10 {
+			break
+		}
+	}
+
+	for i, c := range consumers {
+		if dead[i] {
+			res.Rate[i] = 0
+			continue
+		}
+		rate := math.Inf(1)
+		bn := -1
+		if c.MaxRate > 0 {
+			rate = c.MaxRate
+		}
+		for r := 0; r < nRes; r++ {
+			if demand(c, r) <= 0 {
+				continue
+			}
+			if b := bound[i][r]; b < rate {
+				rate, bn = b, r
+			}
+		}
+		res.Rate[i] = rate
+		res.Bottleneck[i] = bn
+	}
+
+	for r := 0; r < nRes; r++ {
+		if capacity[r] <= 0 {
+			continue
+		}
+		var use float64
+		for i, c := range consumers {
+			if res.Rate[i] > 0 && !math.IsInf(res.Rate[i], 1) {
+				use += float64(c.Count) * demand(c, r) * res.Rate[i]
+			}
+		}
+		res.Utilization[r] = use / capacity[r]
+	}
+	return res
+}

@@ -1,0 +1,170 @@
+// Package hibench builds the HiBench-style analytics DAG workflows of the
+// paper's evaluation: KMeans (machine learning) and PageRank (graph
+// analysis), both sized after HiBench's "huge" data sets. Each is a chain
+// of MapReduce jobs — one per iteration — matching how HiBench's Mahout
+// KMeans and Pegasus-style PageRank compile onto MapReduce.
+package hibench
+
+import (
+	"fmt"
+
+	"boedag/internal/dag"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// KMeansConfig sizes a KMeans workflow.
+type KMeansConfig struct {
+	// InputBytes is the sample data volume (HiBench huge ≈ 20 GB).
+	InputBytes units.Bytes
+	// Iterations is the number of Lloyd iterations before the final
+	// classification pass.
+	Iterations int
+}
+
+// DefaultKMeans matches HiBench's huge profile: 20 GB of samples, five
+// iterations.
+func DefaultKMeans() KMeansConfig {
+	return KMeansConfig{InputBytes: 20 * units.GB, Iterations: 5}
+}
+
+// KMeans builds the workflow: Iterations chained jobs that each scan the
+// full sample set, compute distances to every centroid (CPU-heavy map),
+// and emit per-cluster partial sums (tiny shuffle; combiner-collapsed),
+// followed by a classification job that writes the labelled samples.
+func KMeans(cfg KMeansConfig) *dag.Workflow {
+	if cfg.InputBytes <= 0 {
+		cfg.InputBytes = DefaultKMeans().InputBytes
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = DefaultKMeans().Iterations
+	}
+	w := &dag.Workflow{Name: "KM"}
+	prev := ""
+	for i := 1; i <= cfg.Iterations; i++ {
+		id := fmt.Sprintf("iter%d", i)
+		j := dag.Job{ID: id, Profile: kmeansIteration(cfg.InputBytes, i)}
+		if prev != "" {
+			j.Deps = []string{prev}
+		}
+		w.Jobs = append(w.Jobs, j)
+		prev = id
+	}
+	w.Jobs = append(w.Jobs, dag.Job{
+		ID:      "classify",
+		Deps:    []string{prev},
+		Profile: kmeansClassify(cfg.InputBytes),
+	})
+	return w
+}
+
+// kmeansIteration: distance computation dominates; the combiner collapses
+// the map output to per-cluster sums, so the shuffle is negligible.
+func kmeansIteration(input units.Bytes, iter int) workload.JobProfile {
+	return workload.JobProfile{
+		Name:              fmt.Sprintf("KM-iter%d", iter),
+		InputBytes:        input,
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       8,
+		MapSelectivity:    0.001, // per-cluster partial sums only
+		ReduceSelectivity: 1.0,
+		MapCPUCost:        6.0, // k distance computations per sample
+		ReduceCPUCost:     2.0,
+		Compression:       workload.Compression{Enabled: true, Ratio: 0.5, CPUOverhead: 0.2},
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.05,
+	}
+}
+
+// kmeansClassify: one more scan that labels each sample; map-only with
+// output about the input's size.
+func kmeansClassify(input units.Bytes) workload.JobProfile {
+	return workload.JobProfile{
+		Name:            "KM-classify",
+		InputBytes:      input,
+		SplitBytes:      128 * units.MB,
+		ReduceTasks:     0,
+		MapSelectivity:  1.02, // sample + label
+		MapCPUCost:      3.0,
+		Replicas:        3,
+		SortBufferBytes: 100 * units.MB,
+		SkewCV:          0.05,
+	}
+}
+
+// PageRankConfig sizes a PageRank workflow.
+type PageRankConfig struct {
+	// EdgeBytes is the edge-list volume (HiBench huge ≈ 5 GB).
+	EdgeBytes units.Bytes
+	// Iterations is the number of rank-propagation rounds.
+	Iterations int
+}
+
+// DefaultPageRank matches HiBench's huge profile: 5 GB of edges, three
+// iterations.
+func DefaultPageRank() PageRankConfig {
+	return PageRankConfig{EdgeBytes: 5 * units.GB, Iterations: 3}
+}
+
+// PageRank builds the workflow: a rank-initialization job followed by
+// Iterations chained propagate-and-aggregate jobs. Each iteration joins
+// ranks with the adjacency list and shuffles a full copy of the edge
+// contributions — shuffle-heavy with near-unit selectivity, the opposite
+// profile of KMeans.
+func PageRank(cfg PageRankConfig) *dag.Workflow {
+	if cfg.EdgeBytes <= 0 {
+		cfg.EdgeBytes = DefaultPageRank().EdgeBytes
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = DefaultPageRank().Iterations
+	}
+	w := &dag.Workflow{Name: "PR"}
+	w.Jobs = append(w.Jobs, dag.Job{ID: "init", Profile: pageRankInit(cfg.EdgeBytes)})
+	prev := "init"
+	for i := 1; i <= cfg.Iterations; i++ {
+		id := fmt.Sprintf("iter%d", i)
+		w.Jobs = append(w.Jobs, dag.Job{
+			ID:      id,
+			Deps:    []string{prev},
+			Profile: pageRankIteration(cfg.EdgeBytes, i),
+		})
+		prev = id
+	}
+	return w
+}
+
+// pageRankInit parses the raw edge list into (node, ranks+adjacency)
+// records.
+func pageRankInit(edges units.Bytes) workload.JobProfile {
+	return workload.JobProfile{
+		Name:              "PR-init",
+		InputBytes:        edges,
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       33,
+		MapSelectivity:    1.0,
+		ReduceSelectivity: 1.1, // adjacency + initial rank
+		MapCPUCost:        1.5,
+		ReduceCPUCost:     1.2,
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.25, // power-law vertex degrees
+	}
+}
+
+// pageRankIteration propagates contributions along every edge.
+func pageRankIteration(edges units.Bytes, iter int) workload.JobProfile {
+	return workload.JobProfile{
+		Name:              fmt.Sprintf("PR-iter%d", iter),
+		InputBytes:        edges.Scale(1.1),
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       33,
+		MapSelectivity:    1.0, // one contribution per edge
+		ReduceSelectivity: 1.0,
+		MapCPUCost:        1.3,
+		ReduceCPUCost:     1.5,
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.25,
+	}
+}

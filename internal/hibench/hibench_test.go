@@ -1,0 +1,198 @@
+package hibench
+
+import (
+	"strings"
+	"testing"
+
+	"boedag/internal/units"
+)
+
+func TestKMeansStructure(t *testing.T) {
+	w := KMeans(KMeansConfig{InputBytes: 10 * units.GB, Iterations: 4})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 5 {
+		t.Fatalf("KMeans(4 iters) has %d jobs, want 5 (4 iters + classify)", len(w.Jobs))
+	}
+	// Iterations chain: each depends on the previous one.
+	for i := 1; i < 4; i++ {
+		j := w.Jobs[i]
+		if len(j.Deps) != 1 || j.Deps[0] != w.Jobs[i-1].ID {
+			t.Errorf("iteration %d deps = %v", i+1, j.Deps)
+		}
+	}
+	last := w.Jobs[len(w.Jobs)-1]
+	if last.ID != "classify" {
+		t.Errorf("last job = %q, want classify", last.ID)
+	}
+	if last.Profile.ReduceTasks != 0 {
+		t.Error("classify should be map-only")
+	}
+	// Every iteration scans the full input with a heavy map.
+	for _, j := range w.Jobs[:4] {
+		if j.Profile.InputBytes != 10*units.GB {
+			t.Errorf("%s input = %v, want full 10 GB scan", j.ID, j.Profile.InputBytes)
+		}
+		if j.Profile.MapCPUCost < 3 {
+			t.Errorf("%s map CPU cost %v — KMeans iterations are CPU-bound", j.ID, j.Profile.MapCPUCost)
+		}
+		if j.Profile.MapSelectivity > 0.01 {
+			t.Errorf("%s selectivity %v — combiner should collapse output", j.ID, j.Profile.MapSelectivity)
+		}
+	}
+}
+
+func TestKMeansDefaults(t *testing.T) {
+	cfg := DefaultKMeans()
+	if cfg.InputBytes != 20*units.GB || cfg.Iterations != 5 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// Zero config falls back to the defaults.
+	w := KMeans(KMeansConfig{})
+	if len(w.Jobs) != 6 {
+		t.Errorf("KMeans(zero cfg) has %d jobs, want 6", len(w.Jobs))
+	}
+	if w.Name != "KM" {
+		t.Errorf("name = %q", w.Name)
+	}
+}
+
+func TestPageRankStructure(t *testing.T) {
+	w := PageRank(PageRankConfig{EdgeBytes: 4 * units.GB, Iterations: 3})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 4 {
+		t.Fatalf("PageRank(3 iters) has %d jobs, want 4 (init + 3)", len(w.Jobs))
+	}
+	if w.Jobs[0].ID != "init" || len(w.Jobs[0].Deps) != 0 {
+		t.Errorf("first job = %+v, want dependency-free init", w.Jobs[0])
+	}
+	for i := 1; i < len(w.Jobs); i++ {
+		if len(w.Jobs[i].Deps) != 1 {
+			t.Errorf("job %s deps = %v, want exactly one", w.Jobs[i].ID, w.Jobs[i].Deps)
+		}
+	}
+	// PageRank iterations shuffle the full edge volume (selectivity ≈ 1)
+	// with heavy key skew.
+	for _, j := range w.Jobs[1:] {
+		if j.Profile.MapSelectivity < 0.9 {
+			t.Errorf("%s selectivity %v — PageRank shuffles everything", j.ID, j.Profile.MapSelectivity)
+		}
+		if j.Profile.SkewCV < 0.2 {
+			t.Errorf("%s skew %v — power-law degrees should skew partitions", j.ID, j.Profile.SkewCV)
+		}
+		if !strings.HasPrefix(j.Profile.Name, "PR-") {
+			t.Errorf("%s profile name = %q", j.ID, j.Profile.Name)
+		}
+	}
+}
+
+func TestPageRankDefaults(t *testing.T) {
+	cfg := DefaultPageRank()
+	if cfg.EdgeBytes != 5*units.GB || cfg.Iterations != 3 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	w := PageRank(PageRankConfig{})
+	if len(w.Jobs) != 4 {
+		t.Errorf("PageRank(zero cfg) has %d jobs, want 4", len(w.Jobs))
+	}
+}
+
+func TestWorkloadContrast(t *testing.T) {
+	// The two HiBench workloads must sit on opposite ends of the
+	// CPU-vs-shuffle spectrum — that is why the paper pairs both with the
+	// micro jobs.
+	km := KMeans(DefaultKMeans())
+	pr := PageRank(DefaultPageRank())
+	kmIter := km.Jobs[0].Profile
+	prIter := pr.Jobs[1].Profile
+	if kmIter.MapCPUCost <= prIter.MapCPUCost {
+		t.Error("KMeans iterations should be more CPU-intensive than PageRank's")
+	}
+	if kmIter.MapOutputBytes() >= prIter.MapOutputBytes() {
+		t.Error("PageRank iterations should shuffle far more than KMeans'")
+	}
+}
+
+func TestSortProfile(t *testing.T) {
+	p := Sort(0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.InputBytes != 30*units.GB {
+		t.Errorf("default Sort input = %v", p.InputBytes)
+	}
+	if p.MapSelectivity != 1.0 || p.ReduceSelectivity != 1.0 {
+		t.Error("Sort should be an identity shuffle")
+	}
+	if !p.Compression.Enabled {
+		t.Error("HiBench Sort compresses by default")
+	}
+	custom := Sort(5 * units.GB)
+	if custom.InputBytes != 5*units.GB {
+		t.Errorf("explicit input ignored: %v", custom.InputBytes)
+	}
+}
+
+func TestAggregationProfile(t *testing.T) {
+	p := Aggregation(0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MapSelectivity > 0.1 {
+		t.Error("Aggregation's combiner should collapse the map output")
+	}
+	if p.MapCPUCost <= 1.5 {
+		t.Error("Aggregation maps are scan+parse heavy")
+	}
+}
+
+func TestJoinWorkflow(t *testing.T) {
+	w := Join(0, 0)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 2 {
+		t.Fatalf("Join has %d jobs, want 2 (join + agg)", len(w.Jobs))
+	}
+	if w.Jobs[1].Deps[0] != "join" {
+		t.Errorf("agg deps = %v", w.Jobs[1].Deps)
+	}
+	// The aggregation consumes the join's output.
+	if w.Jobs[1].Profile.InputBytes != w.Jobs[0].Profile.OutputBytes() {
+		t.Error("join output does not feed the aggregation")
+	}
+	if w.Jobs[0].Profile.SkewCV < 0.15 {
+		t.Error("join keys should be skewed")
+	}
+}
+
+func TestBayesWorkflow(t *testing.T) {
+	w := Bayes(BayesConfig{})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 3 {
+		t.Fatalf("Bayes has %d jobs, want 3", len(w.Jobs))
+	}
+	order, err := w.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "terms" || order[2] != "normalize" {
+		t.Errorf("order = %v", order)
+	}
+	// The chain shrinks: each job's input is smaller than the previous.
+	for i := 1; i < 3; i++ {
+		if w.Jobs[i].Profile.InputBytes >= w.Jobs[i-1].Profile.InputBytes {
+			t.Errorf("job %d input did not shrink", i)
+		}
+	}
+	// Class count bounds the weight reducers.
+	small := Bayes(BayesConfig{InputBytes: units.GB, Classes: 5})
+	if got := small.Jobs[1].Profile.ReduceTasks; got != 5 {
+		t.Errorf("weights reducers = %d, want 5 (class-bound)", got)
+	}
+}

@@ -1,0 +1,181 @@
+package hibench
+
+import (
+	"boedag/internal/dag"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// This file adds the remaining HiBench suites beyond the paper's KMeans
+// and PageRank: the micro Sort, the SQL analytics Aggregation and Join
+// (Hive-backed in HiBench), and the Bayes classification workload. They
+// extend the workload registry so the models can be exercised across the
+// full CPU-vs-IO spectrum HiBench was designed to cover.
+
+// Sort returns the HiBench Sort micro-benchmark: an identity
+// shuffle-everything job like TeraSort but over text records with
+// compression on (HiBench's default), making it CPU/network mixed.
+func Sort(input units.Bytes) workload.JobProfile {
+	if input <= 0 {
+		input = 30 * units.GB // HiBench huge
+	}
+	return workload.JobProfile{
+		Name:              "HB-Sort",
+		InputBytes:        input,
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       66,
+		MapSelectivity:    1.0,
+		ReduceSelectivity: 1.0,
+		MapCPUCost:        1.2,
+		ReduceCPUCost:     1.0,
+		Compression:       workload.Compression{Enabled: true, Ratio: 0.45, CPUOverhead: 0.5},
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.07,
+	}
+}
+
+// Aggregation returns the HiBench SQL Aggregation scan: group uservisits
+// by key with a combiner — scan-heavy map, tiny shuffle.
+func Aggregation(input units.Bytes) workload.JobProfile {
+	if input <= 0 {
+		input = 30 * units.GB
+	}
+	return workload.JobProfile{
+		Name:              "HB-Aggregation",
+		InputBytes:        input,
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       33,
+		MapSelectivity:    0.05,
+		ReduceSelectivity: 0.6,
+		MapCPUCost:        2.2,
+		ReduceCPUCost:     1.4,
+		Compression:       workload.Compression{Enabled: true, Ratio: 0.4, CPUOverhead: 0.3},
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.15,
+	}
+}
+
+// Join returns the HiBench SQL Join as a two-job workflow: the rankings ⋈
+// uservisits repartition join followed by the grouped aggregation over
+// the join output — the same two-shuffle plan Hive produces for it.
+func Join(rankings, uservisits units.Bytes) *dag.Workflow {
+	if rankings <= 0 {
+		rankings = 2 * units.GB
+	}
+	if uservisits <= 0 {
+		uservisits = 30 * units.GB
+	}
+	join := workload.JobProfile{
+		Name:              "HB-Join-j1",
+		InputBytes:        rankings + uservisits,
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       66,
+		MapSelectivity:    0.8, // project join columns
+		ReduceSelectivity: 0.3, // matching tuples
+		MapCPUCost:        1.7,
+		ReduceCPUCost:     2.0,
+		Compression:       workload.Compression{Enabled: true, Ratio: 0.4, CPUOverhead: 0.3},
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.2,
+	}
+	agg := workload.JobProfile{
+		Name:              "HB-Join-j2",
+		InputBytes:        join.OutputBytes(),
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       17,
+		MapSelectivity:    1.0,
+		ReduceSelectivity: 0.01,
+		MapCPUCost:        1.4,
+		ReduceCPUCost:     1.6,
+		Compression:       workload.Compression{Enabled: true, Ratio: 0.4, CPUOverhead: 0.3},
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.15,
+	}
+	return &dag.Workflow{
+		Name: "HB-Join",
+		Jobs: []dag.Job{
+			{ID: "join", Profile: join},
+			{ID: "agg", Profile: agg, Deps: []string{"join"}},
+		},
+	}
+}
+
+// BayesConfig sizes the Bayes classification workflow.
+type BayesConfig struct {
+	// InputBytes is the document corpus size (HiBench huge ≈ 15 GB).
+	InputBytes units.Bytes
+	// Classes is the label count; it shapes the model-sizing jobs.
+	Classes int
+}
+
+// DefaultBayes matches HiBench's huge profile.
+func DefaultBayes() BayesConfig {
+	return BayesConfig{InputBytes: 15 * units.GB, Classes: 100}
+}
+
+// Bayes builds the naive-Bayes training workflow the way Mahout compiles
+// it onto MapReduce: term counting over the corpus, per-class weight
+// summation, and the model-normalization pass — a three-job chain that
+// starts CPU-heavy and ends tiny.
+func Bayes(cfg BayesConfig) *dag.Workflow {
+	if cfg.InputBytes <= 0 {
+		cfg.InputBytes = DefaultBayes().InputBytes
+	}
+	if cfg.Classes <= 0 {
+		cfg.Classes = DefaultBayes().Classes
+	}
+	termCount := workload.JobProfile{
+		Name:              "Bayes-terms",
+		InputBytes:        cfg.InputBytes,
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       33,
+		MapSelectivity:    0.3, // tokenized (term, class) pairs after combiner
+		ReduceSelectivity: 0.4,
+		MapCPUCost:        3.5, // tokenization dominates
+		ReduceCPUCost:     1.3,
+		Compression:       workload.Compression{Enabled: true, Ratio: 0.35, CPUOverhead: 0.4},
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.18, // term frequencies are Zipfian
+	}
+	weightsJob := workload.JobProfile{
+		Name:              "Bayes-weights",
+		InputBytes:        termCount.OutputBytes(),
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       min(cfg.Classes, 33),
+		MapSelectivity:    1.0,
+		ReduceSelectivity: 0.5,
+		MapCPUCost:        1.6,
+		ReduceCPUCost:     1.8,
+		Compression:       workload.Compression{Enabled: true, Ratio: 0.4, CPUOverhead: 0.3},
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.12,
+	}
+	normalize := workload.JobProfile{
+		Name:              "Bayes-normalize",
+		InputBytes:        weightsJob.OutputBytes(),
+		SplitBytes:        128 * units.MB,
+		ReduceTasks:       4,
+		MapSelectivity:    1.0,
+		ReduceSelectivity: 0.9,
+		MapCPUCost:        1.3,
+		ReduceCPUCost:     1.4,
+		Compression:       workload.Compression{Enabled: true, Ratio: 0.4, CPUOverhead: 0.3},
+		Replicas:          3,
+		SortBufferBytes:   100 * units.MB,
+		SkewCV:            0.1,
+	}
+	return &dag.Workflow{
+		Name: "Bayes",
+		Jobs: []dag.Job{
+			{ID: "terms", Profile: termCount},
+			{ID: "weights", Profile: weightsJob, Deps: []string{"terms"}},
+			{ID: "normalize", Profile: normalize, Deps: []string{"weights"}},
+		},
+	}
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAccuracy(t *testing.T) {
+	cases := []struct {
+		est, act time.Duration
+		want     float64
+	}{
+		{100 * time.Second, 100 * time.Second, 1.0},
+		{90 * time.Second, 100 * time.Second, 0.9},
+		{110 * time.Second, 100 * time.Second, 0.9},
+		{200 * time.Second, 100 * time.Second, 0.0}, // 100% off
+		{300 * time.Second, 100 * time.Second, 0.0}, // clamped
+		{0, 0, 1.0},           // both zero: perfect
+		{time.Second, 0, 0.0}, // actual zero, est not
+	}
+	for _, c := range cases {
+		if got := Accuracy(c.est, c.act); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Accuracy(%v, %v) = %v, want %v", c.est, c.act, got, c.want)
+		}
+	}
+}
+
+func TestError(t *testing.T) {
+	if got := Error(90*time.Second, 100*time.Second); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("Error = %v, want 0.1", got)
+	}
+	if got := Error(300*time.Second, 100*time.Second); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("Error unclamped = %v, want 2.0", got)
+	}
+	if got := Error(0, 0); got != 0 {
+		t.Errorf("Error(0,0) = %v, want 0", got)
+	}
+	if got := Error(time.Second, 0); !math.IsInf(got, 1) {
+		t.Errorf("Error(x,0) = %v, want +Inf", got)
+	}
+}
+
+func TestImprovementFactor(t *testing.T) {
+	if got := ImprovementFactor(0.5, 0.1); math.Abs(got-5) > 1e-9 {
+		t.Errorf("factor = %v, want 5", got)
+	}
+	if got := ImprovementFactor(0.5, 0); !math.IsInf(got, 1) {
+		t.Errorf("factor with zero candidate error = %v, want +Inf", got)
+	}
+	if got := ImprovementFactor(0, 0); got != 1 {
+		t.Errorf("factor 0/0 = %v, want 1", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 4 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd Median = %v", got)
+	}
+	// Sample std of {1,2,3,4} = sqrt(5/3).
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(5.0/3)) > 1e-9 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestAggregatesEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty aggregates not all zero")
+	}
+	if StdDev([]float64{7}) != 0 {
+		t.Error("single-value std not zero")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+// Property: accuracy is in [0,1] and symmetric in over/under estimation
+// of the same magnitude.
+func TestAccuracyProperties(t *testing.T) {
+	f := func(actSec uint16, errPct uint8) bool {
+		act := time.Duration(actSec+1) * time.Second
+		frac := float64(errPct%100) / 100
+		over := act + time.Duration(frac*float64(act))
+		under := act - time.Duration(frac*float64(act))
+		a, b := Accuracy(over, act), Accuracy(under, act)
+		if a < 0 || a > 1 || b < 0 || b > 1 {
+			return false
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mean lies within [Min, Max] for magnitudes that do not
+// overflow the running sum.
+func TestMeanBounded(t *testing.T) {
+	f := func(raw []int32) bool {
+		var xs []float64
+		for _, x := range raw {
+			xs = append(xs, float64(x))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9*math.Abs(Min(xs))-1e-9 &&
+			m <= Max(xs)+1e-9*math.Abs(Max(xs))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

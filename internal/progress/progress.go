@@ -1,0 +1,159 @@
+// Package progress builds an online progress indicator on top of the
+// state-based cost model — the ParaTimer-style application the paper's
+// introduction lists ("progress estimation") and its related-work section
+// contrasts against. Given a running workflow's observed state (which
+// tasks finished, which are in flight), it re-estimates the remaining
+// execution time with Algorithm 1 starting from that state.
+//
+// Against the simulator it also provides the evaluation harness: snapshot
+// a simulated run at chosen instants and compare the predicted remaining
+// time with the true remaining time.
+package progress
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"boedag/internal/dag"
+	"boedag/internal/metrics"
+	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
+	"boedag/internal/workload"
+)
+
+// SnapshotAt reconstructs the workflow's observed state at instant t of a
+// simulation run: finished / in-flight task counts per job and each job's
+// phase. It is what a progress indicator would read from the resource
+// manager's counters on a live cluster.
+func SnapshotAt(res *simulator.Result, t time.Duration) statemodel.Snapshot {
+	snap := statemodel.Snapshot{
+		Elapsed: t,
+		Jobs:    make(map[string]statemodel.JobSnapshot),
+	}
+	// First pass: which jobs have entered their reduce stage by t.
+	perJob := make(map[string]*statemodel.JobSnapshot)
+	redSeen := make(map[string]bool)
+	for _, task := range res.Tasks {
+		if perJob[task.Job] == nil {
+			perJob[task.Job] = &statemodel.JobSnapshot{}
+		}
+		if task.Stage == workload.Reduce && task.Start <= t {
+			redSeen[task.Job] = true
+		}
+	}
+
+	// Second pass with the phase known: count done/running of the current
+	// stage.
+	for job := range perJob {
+		stage := workload.Map
+		if redSeen[job] {
+			stage = workload.Reduce
+		}
+		done, running, future := 0, 0, 0
+		var runProg float64
+		for _, task := range res.Tasks {
+			if task.Job != job || task.Stage != stage {
+				continue
+			}
+			switch {
+			case task.End <= t:
+				done++
+			case task.Start <= t:
+				running++
+				// The per-task progress counters a resource manager exposes.
+				runProg += float64(t-task.Start) / float64(task.End-task.Start)
+			default:
+				future++
+			}
+		}
+		js := perJob[job]
+		js.TasksDone = done
+		js.TasksRunning = running
+		if running > 0 {
+			js.RunningProgress = runProg / float64(running)
+		}
+		switch {
+		case stage == workload.Reduce && future == 0 && running == 0:
+			js.Phase = statemodel.JobFinished
+		case stage == workload.Reduce:
+			js.Phase = statemodel.JobReducing
+		case done == 0 && running == 0:
+			js.Phase = statemodel.JobPending
+		default:
+			js.Phase = statemodel.JobMapping
+		}
+		// A map-only job is finished when its maps are.
+		if stage == workload.Map && future == 0 && running == 0 && done > 0 {
+			if red := res.StageOf(job, workload.Reduce); red == nil {
+				js.Phase = statemodel.JobFinished
+			}
+		}
+		snap.Jobs[job] = *js
+	}
+	return snap
+}
+
+// Indicator estimates remaining time for a workflow from snapshots.
+type Indicator struct {
+	Estimator *statemodel.Estimator
+	Flow      *dag.Workflow
+}
+
+// Remaining predicts the time left from the snapshot.
+func (in *Indicator) Remaining(snap statemodel.Snapshot) (time.Duration, error) {
+	left, _, err := in.Estimator.EstimateRemaining(in.Flow, snap)
+	return left, err
+}
+
+// Point is one sample of a progress curve.
+type Point struct {
+	// At is the snapshot instant.
+	At time.Duration
+	// PercentComplete is measured task-completion progress at the instant.
+	PercentComplete float64
+	// PredictedRemaining and ActualRemaining compare the indicator against
+	// the simulated truth.
+	PredictedRemaining time.Duration
+	ActualRemaining    time.Duration
+}
+
+// Accuracy is the paper's metric applied to the remaining time.
+func (p Point) Accuracy() float64 {
+	return metrics.Accuracy(p.PredictedRemaining, p.ActualRemaining)
+}
+
+// Curve snapshots the simulated run at the given fractions of its
+// makespan and evaluates the indicator at each.
+func Curve(in *Indicator, res *simulator.Result, fractions []float64) ([]Point, error) {
+	var out []Point
+	total := len(res.Tasks)
+	if total == 0 {
+		return nil, fmt.Errorf("progress: result has no tasks")
+	}
+	sort.Float64s(append([]float64(nil), fractions...))
+	for _, f := range fractions {
+		if f < 0 || f >= 1 {
+			return nil, fmt.Errorf("progress: fraction %v outside [0,1)", f)
+		}
+		at := time.Duration(f * float64(res.Makespan))
+		snap := SnapshotAt(res, at)
+		pred, err := in.Remaining(snap)
+		if err != nil {
+			return nil, err
+		}
+		done := 0
+		for _, task := range res.Tasks {
+			if task.End <= at {
+				done++
+			}
+		}
+		out = append(out, Point{
+			At:                 at,
+			PercentComplete:    100 * float64(done) / float64(total),
+			PredictedRemaining: pred,
+			ActualRemaining:    res.Makespan - at,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package progress
+
+import (
+	"testing"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/profile"
+	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+func setup(t *testing.T) (*dag.Workflow, *simulator.Result, *Indicator) {
+	t.Helper()
+	spec := cluster.PaperCluster()
+	flow := dag.Parallel("WC+TS",
+		dag.Single(workload.WordCount(20*units.GB)),
+		dag.Single(workload.TeraSort(20*units.GB)))
+	res, err := simulator.New(spec, simulator.Options{Seed: 1}).Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer := &statemodel.ProfileTimer{
+		Profiles: profile.Capture(res),
+		Fallback: &statemodel.BOETimer{Model: boe.New(spec), TaskStartOverhead: time.Second},
+	}
+	est := statemodel.New(spec, timer, statemodel.Options{Mode: statemodel.MeanMode})
+	return flow, res, &Indicator{Estimator: est, Flow: flow}
+}
+
+func TestSnapshotPhases(t *testing.T) {
+	_, res, _ := setup(t)
+	early := SnapshotAt(res, res.Makespan/10)
+	late := SnapshotAt(res, res.Makespan*9/10)
+
+	if len(early.Jobs) != 2 {
+		t.Fatalf("early snapshot has %d jobs", len(early.Jobs))
+	}
+	for job, js := range early.Jobs {
+		if js.Phase != statemodel.JobMapping {
+			t.Errorf("early: %s phase = %s, want mapping", job, js.Phase)
+		}
+		if js.TasksRunning == 0 {
+			t.Errorf("early: %s has no running tasks", job)
+		}
+	}
+	anyLate := false
+	for _, js := range late.Jobs {
+		if js.Phase == statemodel.JobReducing || js.Phase == statemodel.JobFinished {
+			anyLate = true
+		}
+	}
+	if !anyLate {
+		t.Error("late snapshot: nobody reducing or finished")
+	}
+}
+
+func TestSnapshotAtEndAllFinished(t *testing.T) {
+	_, res, _ := setup(t)
+	snap := SnapshotAt(res, res.Makespan+time.Second)
+	for job, js := range snap.Jobs {
+		if js.Phase != statemodel.JobFinished {
+			t.Errorf("%s phase = %s at the end, want finished", job, js.Phase)
+		}
+	}
+}
+
+func TestRemainingShrinksOverTime(t *testing.T) {
+	_, res, in := setup(t)
+	var prev time.Duration
+	first := true
+	for _, f := range []float64{0.1, 0.4, 0.7, 0.9} {
+		at := time.Duration(f * float64(res.Makespan))
+		left, err := in.Remaining(SnapshotAt(res, at))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if left <= 0 {
+			t.Fatalf("remaining at %.0f%% = %v", f*100, left)
+		}
+		if !first && left > prev+5*time.Second {
+			t.Errorf("remaining grew over time: %v then %v", prev, left)
+		}
+		prev, first = left, false
+	}
+}
+
+func TestRemainingZeroWhenDone(t *testing.T) {
+	_, res, in := setup(t)
+	left, err := in.Remaining(SnapshotAt(res, res.Makespan+time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Errorf("remaining after completion = %v, want 0", left)
+	}
+}
+
+func TestCurveAccuracy(t *testing.T) {
+	_, res, in := setup(t)
+	points, err := Curve(in, res, []float64{0.2, 0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.PercentComplete < 0 || p.PercentComplete > 100 {
+			t.Errorf("percent complete %v", p.PercentComplete)
+		}
+		if p.Accuracy() < 0.5 {
+			t.Errorf("progress accuracy at %.0f%% complete: %.2f (pred %v, actual %v)",
+				p.PercentComplete, p.Accuracy(), p.PredictedRemaining, p.ActualRemaining)
+		}
+	}
+	// Later points cover more observed work, so the midpoint onwards
+	// should be decently accurate.
+	if points[1].Accuracy() < 0.6 {
+		t.Errorf("mid-run accuracy %.2f", points[1].Accuracy())
+	}
+}
+
+func TestCurveRejectsBadFractions(t *testing.T) {
+	_, res, in := setup(t)
+	if _, err := Curve(in, res, []float64{1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := Curve(in, res, []float64{-0.1}); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := Curve(in, &simulator.Result{}, []float64{0.5}); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestSnapshotRejectsOverDone(t *testing.T) {
+	flow, _, in := setup(t)
+	bad := statemodel.Snapshot{Jobs: map[string]statemodel.JobSnapshot{
+		flow.Jobs[0].ID: {Phase: statemodel.JobMapping, TasksDone: 1 << 20},
+	}}
+	if _, err := in.Remaining(bad); err == nil {
+		t.Error("snapshot with impossible task counts accepted")
+	}
+}
+
+func TestJobPhaseStrings(t *testing.T) {
+	want := map[statemodel.JobPhase]string{
+		statemodel.JobPending:  "pending",
+		statemodel.JobMapping:  "mapping",
+		statemodel.JobReducing: "reducing",
+		statemodel.JobFinished: "finished",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}

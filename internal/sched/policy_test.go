@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func policyReqs() []Request {
+	return []Request{
+		{JobID: "early", MemoryMB: 1024, VCores: 1, Pending: 200, Order: 0},
+		{JobID: "late", MemoryMB: 1024, VCores: 1, Pending: 200, Order: 1},
+	}
+}
+
+func TestFIFOStarvesLaterJobs(t *testing.T) {
+	got := Grant(PolicyFIFO, pool(), policyReqs(), nil)
+	if got["early"] != 132 {
+		t.Errorf("early job granted %d, want the whole pool (132)", got["early"])
+	}
+	if got["late"] != 0 {
+		t.Errorf("late job granted %d, want 0 under FIFO", got["late"])
+	}
+}
+
+func TestFIFOSpillsOverWhenFirstIsSatisfied(t *testing.T) {
+	reqs := policyReqs()
+	reqs[0].Pending = 10
+	got := Grant(PolicyFIFO, pool(), reqs, nil)
+	if got["early"] != 10 || got["late"] != 122 {
+		t.Errorf("grants = %v, want 10/122", got)
+	}
+}
+
+func TestFIFOOrderTieBreaksByID(t *testing.T) {
+	reqs := policyReqs()
+	reqs[0].Order, reqs[1].Order = 5, 5
+	got := Grant(PolicyFIFO, pool(), reqs, nil)
+	if got["early"] != 132 { // "early" < "late" lexicographically
+		t.Errorf("tie grants = %v", got)
+	}
+}
+
+func TestFairSplitsSlotsEvenly(t *testing.T) {
+	// One memory-hungry job, one light job: Fair ignores container sizes
+	// and still splits slots evenly (unlike DRF).
+	reqs := []Request{
+		{JobID: "heavy", MemoryMB: 4096, VCores: 1, Pending: 200},
+		{JobID: "light", MemoryMB: 512, VCores: 1, Pending: 200},
+	}
+	got := Grant(PolicyFair, pool(), reqs, nil)
+	if got["heavy"] != got["light"] {
+		t.Errorf("fair grants uneven: %v", got)
+	}
+	if got.Total() != 132 {
+		t.Errorf("fair total = %d, want 132", got.Total())
+	}
+}
+
+func TestFairCountsHeld(t *testing.T) {
+	reqs := policyReqs()
+	held := Allocation{"early": 100}
+	got := Grant(PolicyFair, pool(), reqs, held)
+	// 32 free slots; fairness on holdings means they all go to "late".
+	if got["late"] != 32 || got["early"] != 0 {
+		t.Errorf("grants = %v, want all 32 to late", got)
+	}
+}
+
+func TestGrantDefaultsToDRF(t *testing.T) {
+	a := Grant(PolicyDRF, pool(), policyReqs(), nil)
+	b := DRF(pool(), policyReqs(), nil)
+	if a["early"] != b["early"] || a["late"] != b["late"] {
+		t.Errorf("Grant(PolicyDRF) = %v, DRF = %v", a, b)
+	}
+}
+
+func TestPoliciesRespectCapsAndPending(t *testing.T) {
+	for _, p := range Policies() {
+		reqs := []Request{
+			{JobID: "capped", MemoryMB: 1024, VCores: 1, Pending: 500, Cap: 7, Order: 0},
+			{JobID: "short", MemoryMB: 1024, VCores: 1, Pending: 3, Order: 1},
+		}
+		got := Grant(p, pool(), reqs, nil)
+		if got["capped"] > 7 {
+			t.Errorf("%s: cap violated: %v", p, got)
+		}
+		if got["short"] > 3 {
+			t.Errorf("%s: pending violated: %v", p, got)
+		}
+	}
+}
+
+func TestPoliciesRespectPools(t *testing.T) {
+	tight := Pool{MemoryMB: 8 * 1024, VCores: 6, Slots: 5}
+	for _, p := range Policies() {
+		got := Grant(p, tight, policyReqs(), nil)
+		if got.Total() > 5 {
+			t.Errorf("%s over-committed slots: %v", p, got)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[Policy]string{PolicyDRF: "drf", PolicyFIFO: "fifo", PolicyFair: "fair"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if !strings.Contains(Policy(9).String(), "9") {
+		t.Error("unknown policy string")
+	}
+	if len(Policies()) != 3 {
+		t.Error("Policies() incomplete")
+	}
+}

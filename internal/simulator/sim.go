@@ -1,0 +1,656 @@
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/fairshare"
+	"boedag/internal/sched"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// Options tune a simulation run.
+type Options struct {
+	// Seed drives the deterministic task-size skew; runs with the same
+	// seed are bit-identical.
+	Seed int64
+	// TaskStartOverhead is the container launch latency every task pays
+	// before processing (default 1 s, typical of YARN container spin-up).
+	TaskStartOverhead time.Duration
+	// JobSubmitOverhead is the latency between a job becoming eligible and
+	// its tasks being schedulable (client submit + AM start; default 2 s).
+	JobSubmitOverhead time.Duration
+	// ParallelismCaps optionally caps the containers granted per job ID —
+	// the knob behind the paper's degree-of-parallelism sweeps.
+	ParallelismCaps map[string]int
+	// SlotLimit overrides the cluster's total task slots when positive.
+	SlotLimit int
+	// Policy selects the scheduler discipline (default DRF, as the paper).
+	Policy sched.Policy
+	// TaskFailureProb is the probability that a task attempt fails once
+	// mid-flight and is re-executed from scratch (MapReduce's standard
+	// fault tolerance). Failures are drawn deterministically from Seed.
+	TaskFailureProb float64
+	// NodeAware switches resource sharing from cluster-aggregate pools to
+	// per-node pools with least-loaded task placement: CPU and disks are
+	// local to the node a task runs on, network to its NIC. The analytic
+	// models stay aggregate, so this mode measures what the aggregate
+	// assumption costs (see the node-awareness study in EXPERIMENTS.md).
+	NodeAware bool
+	// DisableSkew forces perfectly even task sizes.
+	DisableSkew bool
+	// MaxEvents guards against runaway simulations (default 10 million).
+	MaxEvents int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TaskStartOverhead == 0 {
+		o.TaskStartOverhead = time.Second
+	}
+	if o.JobSubmitOverhead == 0 {
+		o.JobSubmitOverhead = 2 * time.Second
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 10_000_000
+	}
+	return o
+}
+
+// Simulator executes DAG workflows on a simulated cluster.
+type Simulator struct {
+	spec cluster.Spec
+	opt  Options
+}
+
+// New returns a Simulator for the cluster with the given options.
+func New(spec cluster.Spec, opt Options) *Simulator {
+	return &Simulator{spec: spec, opt: opt.withDefaults()}
+}
+
+type jobPhase int
+
+const (
+	jobWaiting jobPhase = iota
+	jobSubmitted
+	jobMapping
+	jobReducing
+	jobDone
+)
+
+type simTask struct {
+	job        *simJob
+	stage      workload.Stage
+	index      int
+	subStages  []workload.SubStage
+	cur        int
+	remaining  float64 // fraction of current sub-stage left
+	delay      float64 // container-launch seconds left before work begins
+	start      float64
+	subStart   float64
+	subDurs    []float64
+	sizeFactor float64
+	boundTime  [cluster.NumResources]float64
+	rate       float64 // progress rate from the last allocation
+	bottleneck cluster.Resource
+	// failAt schedules one attempt failure: when the task's current
+	// sub-stage index equals failStage and its remaining fraction drops to
+	// failAt, the attempt dies and the task restarts from scratch.
+	failAt    float64
+	failStage int
+	willFail  bool
+	retries   int
+	// node is the task's placement in NodeAware mode (-1 = unplaced).
+	node int
+}
+
+func (t *simTask) done() bool { return t.cur >= len(t.subStages) }
+
+type simJob struct {
+	id        string
+	profile   workload.JobProfile
+	waitingOn int
+	phase     jobPhase
+	readyAt   float64
+	order     int
+	pending   []*simTask
+	running   map[*simTask]bool
+	finished  int
+	stageMeta map[workload.Stage]*StageRecord
+	peak      map[workload.Stage]int
+}
+
+// Run simulates the workflow and returns its measurements.
+func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := make(map[string]*simJob, len(w.Jobs))
+	children := w.Children()
+	for _, j := range w.Jobs {
+		jobs[j.ID] = &simJob{
+			id:        j.ID,
+			profile:   j.Profile,
+			waitingOn: len(j.Deps),
+			running:   make(map[*simTask]bool),
+			stageMeta: make(map[workload.Stage]*StageRecord),
+			peak:      make(map[workload.Stage]int),
+		}
+	}
+
+	res := &Result{Workflow: w.Name}
+	now := 0.0
+	submitSeq := 0
+	eligible := func(j *simJob) {
+		j.phase = jobSubmitted
+		j.readyAt = now + s.opt.JobSubmitOverhead.Seconds()
+		j.order = submitSeq
+		submitSeq++
+	}
+	for _, id := range w.Roots() {
+		eligible(jobs[id])
+	}
+
+	pool := sched.PoolOf(s.spec).WithSlotLimit(s.opt.SlotLimit)
+
+	var running []*simTask
+	stateTracker := newStateTracker()
+	nodeLoad := make([]int, s.spec.Nodes)
+
+	remainingJobs := len(jobs)
+	for events := 0; remainingJobs > 0; events++ {
+		if events > s.opt.MaxEvents {
+			return nil, fmt.Errorf("simulator: workflow %q exceeded %d events (livelock?)",
+				w.Name, s.opt.MaxEvents)
+		}
+
+		// Admit jobs whose submit latency elapsed.
+		for _, j := range sortedJobs(jobs) {
+			if j.phase == jobSubmitted && j.readyAt <= now+timeEps {
+				s.startStage(j, workload.Map)
+			}
+		}
+
+		// Grant free containers via DRF and launch tasks.
+		s.schedule(pool, jobs, &running, now, nodeLoad)
+		stateTracker.observe(now, running)
+
+		// Allocate resources among working tasks and find the next event.
+		var util [cluster.NumResources]float64
+		if s.opt.NodeAware {
+			util = s.allocateNodeAware(running)
+		} else {
+			util = s.allocate(running)
+		}
+		next := math.Inf(1)
+		for _, t := range running {
+			var eta float64
+			switch {
+			case t.delay > 0:
+				eta = now + t.delay
+			case t.rate > 0:
+				eta = now + t.remaining/t.rate
+				if t.willFail && t.cur == t.failStage && t.remaining > t.failAt {
+					// The attempt dies before the sub-stage completes.
+					eta = now + (t.remaining-t.failAt)/t.rate
+				}
+			default:
+				continue // starved; another event must free resources
+			}
+			if eta < next {
+				next = eta
+			}
+		}
+		for _, j := range jobs {
+			if j.phase == jobSubmitted && j.readyAt < next {
+				next = j.readyAt
+			}
+		}
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("simulator: workflow %q deadlocked at t=%.2fs (%d jobs left)",
+				w.Name, now, remainingJobs)
+		}
+		dt := next - now
+		if dt < 0 {
+			dt = 0
+		}
+		stateTracker.accumulate(util, dt)
+		now = next
+
+		// Advance every working task by dt.
+		for _, t := range running {
+			if t.delay > 0 {
+				t.delay -= dt
+				if t.delay <= timeEps {
+					t.delay = 0
+					t.subStart = now
+				}
+				continue
+			}
+			t.remaining -= t.rate * dt
+			t.boundTime[t.bottleneck] += dt
+		}
+
+		// Retire finished sub-stages and tasks; failed attempts restart.
+		completed := running[:0]
+		var finishedTasks []*simTask
+		for _, t := range running {
+			if t.willFail && t.delay == 0 && t.cur == t.failStage &&
+				t.remaining <= t.failAt+timeEps {
+				// Attempt lost: the framework reruns the task from scratch
+				// (container re-launch included).
+				t.willFail = false
+				t.retries++
+				t.cur = 0
+				t.remaining = 1
+				t.delay = s.opt.TaskStartOverhead.Seconds()
+				t.subDurs = t.subDurs[:0]
+				t.subStart = now
+				completed = append(completed, t)
+				continue
+			}
+			if t.delay == 0 && t.remaining <= timeEps*math.Max(1, t.rate) {
+				t.subDurs = append(t.subDurs, now-t.subStart)
+				t.cur++
+				t.remaining = 1
+				t.subStart = now
+				if t.done() {
+					finishedTasks = append(finishedTasks, t)
+					continue
+				}
+			}
+			completed = append(completed, t)
+		}
+		running = completed
+
+		for _, t := range finishedTasks {
+			s.finishTask(res, t, now)
+			if t.node >= 0 {
+				nodeLoad[t.node]--
+			}
+			j := t.job
+			delete(j.running, t)
+			j.finished++
+			stageDone := j.finished == j.profile.Tasks(t.stage)
+			if !stageDone {
+				continue
+			}
+			meta := j.stageMeta[t.stage]
+			meta.End = units.Seconds(now)
+			if t.stage == workload.Map && j.profile.ReduceTasks > 0 {
+				s.startStage(j, workload.Reduce)
+				continue
+			}
+			j.phase = jobDone
+			remainingJobs--
+			for _, c := range children[j.id] {
+				cj := jobs[c]
+				cj.waitingOn--
+				if cj.waitingOn == 0 && cj.phase == jobWaiting {
+					eligible(cj)
+				}
+			}
+		}
+	}
+
+	stateTracker.observe(now, nil)
+	res.States = stateTracker.finish(now)
+	res.Makespan = units.Seconds(now)
+	for _, j := range sortedJobs(jobs) {
+		for _, st := range []workload.Stage{workload.Map, workload.Reduce} {
+			if meta, ok := j.stageMeta[st]; ok {
+				meta.MaxParallelism = j.peak[st]
+				res.Stages = append(res.Stages, *meta)
+			}
+		}
+	}
+	sort.Slice(res.Tasks, func(a, b int) bool {
+		ta, tb := res.Tasks[a], res.Tasks[b]
+		if ta.Start != tb.Start {
+			return ta.Start < tb.Start
+		}
+		if ta.Job != tb.Job {
+			return ta.Job < tb.Job
+		}
+		return ta.Index < tb.Index
+	})
+	return res, nil
+}
+
+const timeEps = 1e-9
+
+// startStage materializes the pending tasks of a job stage, applying the
+// deterministic per-task size skew.
+func (s *Simulator) startStage(j *simJob, st workload.Stage) {
+	n := j.profile.Tasks(st)
+	subs := j.profile.SubStages(st, s.spec)
+	cv := j.profile.SkewCV
+	if s.opt.DisableSkew {
+		cv = 0
+	}
+	factors := sizeFactors(n, cv, hashSeed(s.opt.Seed, j.id+"/"+st.String()))
+	failRng := rand.New(rand.NewSource(hashSeed(s.opt.Seed, "fail/"+j.id+"/"+st.String())))
+	j.pending = j.pending[:0]
+	j.finished = 0
+	for i := 0; i < n; i++ {
+		scaled := make([]workload.SubStage, len(subs))
+		for k, ss := range subs {
+			ops := make([]workload.OpDemand, len(ss.Ops))
+			for o, op := range ss.Ops {
+				ops[o] = workload.OpDemand{Resource: op.Resource, Bytes: op.Bytes.Scale(factors[i])}
+			}
+			scaled[k] = workload.SubStage{Name: ss.Name, Ops: ops}
+		}
+		task := &simTask{
+			job: j, stage: st, index: i,
+			subStages: scaled, remaining: 1, sizeFactor: factors[i],
+		}
+		if p := s.opt.TaskFailureProb; p > 0 && failRng.Float64() < p {
+			task.willFail = true
+			task.failStage = failRng.Intn(len(scaled))
+			task.failAt = failRng.Float64() // remaining fraction at death
+		}
+		j.pending = append(j.pending, task)
+	}
+	if st == workload.Map {
+		j.phase = jobMapping
+	} else {
+		j.phase = jobReducing
+	}
+	j.stageMeta[st] = &StageRecord{Job: j.id, Stage: st}
+}
+
+// schedule grants containers under the configured policy and launches
+// pending tasks; in NodeAware mode each launch is placed on the
+// least-loaded node.
+func (s *Simulator) schedule(pool sched.Pool, jobs map[string]*simJob, running *[]*simTask, now float64, nodeLoad []int) {
+	var reqs []sched.Request
+	held := sched.Allocation{}
+	for _, j := range sortedJobs(jobs) {
+		if j.phase != jobMapping && j.phase != jobReducing {
+			continue
+		}
+		st := workload.Map
+		if j.phase == jobReducing {
+			st = workload.Reduce
+		}
+		reqs = append(reqs, sched.Request{
+			JobID:    j.id,
+			MemoryMB: j.profile.MemoryMB(st),
+			VCores:   j.profile.VCores(st),
+			Pending:  len(j.pending),
+			Cap:      s.opt.ParallelismCaps[j.id],
+			Order:    j.order,
+		})
+		held[j.id] = len(j.running)
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	grants := sched.Grant(s.opt.Policy, pool, reqs, held)
+	for _, r := range reqs {
+		j := jobs[r.JobID]
+		for g := grants[r.JobID]; g > 0 && len(j.pending) > 0; g-- {
+			t := j.pending[0]
+			j.pending = j.pending[1:]
+			t.node = -1
+			if s.opt.NodeAware {
+				t.node = leastLoaded(nodeLoad)
+				nodeLoad[t.node]++
+			}
+			t.start = now
+			t.delay = s.opt.TaskStartOverhead.Seconds()
+			t.subStart = now
+			j.running[t] = true
+			*running = append(*running, t)
+			meta := j.stageMeta[t.stage]
+			if len(j.running)+0 > j.peak[t.stage] {
+				j.peak[t.stage] = len(j.running)
+			}
+			if meta.Start == 0 && meta.End == 0 && len(meta.TaskTimes) == 0 {
+				meta.Start = units.Seconds(now)
+			}
+		}
+	}
+}
+
+// allocate shares the cluster's resource pools among working tasks,
+// stores each task's progress rate and current bottleneck, and returns
+// the cluster-wide utilization per resource class.
+func (s *Simulator) allocate(running []*simTask) [cluster.NumResources]float64 {
+	var caps [cluster.NumResources]units.Rate
+	for _, r := range cluster.Resources() {
+		caps[r] = s.spec.TotalCapacity(r)
+	}
+	var consumers []fairshare.Consumer
+	var idx []int
+	for i, t := range running {
+		if t.delay > 0 || t.done() {
+			continue
+		}
+		ss := t.subStages[t.cur]
+		c := fairshare.Consumer{Count: 1, CapResource: cluster.CPU}
+		for _, op := range ss.Ops {
+			if op.Bytes <= 0 {
+				continue
+			}
+			c.Demand[op.Resource] = float64(op.Bytes)
+			// One task cannot exceed one node's device rates (see the BOE
+			// model's consumerFor; model and simulator share the physics).
+			r := float64(s.spec.Node.PerTaskCap(op.Resource)) / float64(op.Bytes)
+			if c.MaxRate == 0 || r < c.MaxRate {
+				c.MaxRate = r
+				c.CapResource = op.Resource
+			}
+		}
+		consumers = append(consumers, c)
+		idx = append(idx, i)
+	}
+	if len(consumers) == 0 {
+		return [cluster.NumResources]float64{}
+	}
+	alloc := fairshare.Allocate(caps, consumers)
+	for k, i := range idx {
+		running[i].rate = alloc.Rate[k]
+		running[i].bottleneck = alloc.Bottleneck[k]
+	}
+	return alloc.Utilization
+}
+
+// finishTask converts a completed task into its record and folds its
+// duration into the stage metadata.
+func (s *Simulator) finishTask(res *Result, t *simTask, now float64) {
+	rec := TaskRecord{
+		Job:        t.job.id,
+		Stage:      t.stage,
+		Index:      t.index,
+		Start:      units.Seconds(t.start),
+		End:        units.Seconds(now),
+		SizeFactor: t.sizeFactor,
+		Retries:    t.retries,
+	}
+	for _, d := range t.subDurs {
+		rec.SubStages = append(rec.SubStages, units.Seconds(d))
+	}
+	best, bestT := cluster.CPU, -1.0
+	for r, bt := range t.boundTime {
+		if bt > bestT {
+			best, bestT = cluster.Resource(r), bt
+		}
+	}
+	rec.Bottleneck = best
+	res.Tasks = append(res.Tasks, rec)
+
+	meta := t.job.stageMeta[t.stage]
+	meta.TaskTimes = append(meta.TaskTimes, rec.Duration())
+	// Dominant stage bottleneck: majority vote weighted by bound time.
+	meta.Bottleneck = stageBottleneck(res, t.job.id, t.stage, meta.Bottleneck, best)
+}
+
+// stageBottleneck keeps a simple running mode of task bottlenecks.
+func stageBottleneck(res *Result, job string, st workload.Stage, prev, latest cluster.Resource) cluster.Resource {
+	counts := make(map[cluster.Resource]int)
+	for _, t := range res.Tasks {
+		if t.Job == job && t.Stage == st {
+			counts[t.Bottleneck]++
+		}
+	}
+	best, bestN := latest, 0
+	for r, n := range counts {
+		if n > bestN || (n == bestN && r < best) {
+			best, bestN = r, n
+		}
+	}
+	_ = prev
+	return best
+}
+
+func sortedJobs(jobs map[string]*simJob) []*simJob {
+	out := make([]*simJob, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// stateTracker turns the evolving set of running (job, stage) pairs into
+// the paper's workflow states: a new state opens whenever the set changes.
+type stateTracker struct {
+	sig      string
+	start    float64
+	labels   []string
+	states   []StateRecord
+	utilSum  [cluster.NumResources]float64
+	utilTime float64
+}
+
+func newStateTracker() *stateTracker { return &stateTracker{sig: "\x00init"} }
+
+func (st *stateTracker) observe(now float64, running []*simTask) {
+	set := make(map[string]bool)
+	for _, t := range running {
+		set[t.job.id+"/"+t.stage.String()] = true
+	}
+	labels := make([]string, 0, len(set))
+	for l := range set {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	sig := fmt.Sprint(labels)
+	if sig == st.sig {
+		return
+	}
+	st.close(now)
+	st.sig, st.start, st.labels = sig, now, labels
+	st.utilSum = [cluster.NumResources]float64{}
+	st.utilTime = 0
+}
+
+// accumulate adds a time-weighted utilization sample to the open state.
+func (st *stateTracker) accumulate(util [cluster.NumResources]float64, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for r := 0; r < cluster.NumResources; r++ {
+		st.utilSum[r] += util[r] * dt
+	}
+	st.utilTime += dt
+}
+
+func (st *stateTracker) close(now float64) {
+	if st.sig == "\x00init" || len(st.labels) == 0 {
+		return
+	}
+	if now-st.start < 1e-6 {
+		return // zero-length state: scheduling transient, not a paper state
+	}
+	rec := StateRecord{
+		Seq:     len(st.states) + 1,
+		Start:   units.Seconds(st.start),
+		End:     units.Seconds(now),
+		Running: st.labels,
+	}
+	if st.utilTime > 0 {
+		for r := 0; r < cluster.NumResources; r++ {
+			rec.Utilization[r] = st.utilSum[r] / st.utilTime
+		}
+	}
+	st.states = append(st.states, rec)
+}
+
+func (st *stateTracker) finish(now float64) []StateRecord {
+	st.close(now)
+	return st.states
+}
+
+// leastLoaded returns the node with the fewest running tasks (lowest
+// index on ties), the placement rule of NodeAware mode.
+func leastLoaded(load []int) int {
+	best := 0
+	for i, l := range load {
+		if l < load[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// allocateNodeAware shares per-node resource pools among working tasks:
+// a task's CPU and disk demands hit the pools of the node it is placed
+// on, its network demand hits that node's NIC. The resource index space
+// is node*NumResources + resource.
+func (s *Simulator) allocateNodeAware(running []*simTask) [cluster.NumResources]float64 {
+	nRes := s.spec.Nodes * cluster.NumResources
+	caps := make([]float64, nRes)
+	for node := 0; node < s.spec.Nodes; node++ {
+		for _, r := range cluster.Resources() {
+			caps[node*cluster.NumResources+int(r)] = float64(s.spec.Node.Capacity(r))
+		}
+	}
+	var consumers []fairshare.VecConsumer
+	var idx []int
+	for i, t := range running {
+		if t.delay > 0 || t.done() || t.node < 0 {
+			continue
+		}
+		ss := t.subStages[t.cur]
+		c := fairshare.VecConsumer{Count: 1, Demand: make([]float64, nRes)}
+		base := t.node * cluster.NumResources
+		for _, op := range ss.Ops {
+			c.Demand[base+int(op.Resource)] = float64(op.Bytes)
+			if op.Resource == cluster.CPU && op.Bytes > 0 {
+				c.MaxRate = float64(s.spec.Node.PerTaskCap(cluster.CPU)) / float64(op.Bytes)
+			}
+		}
+		consumers = append(consumers, c)
+		idx = append(idx, i)
+	}
+	var util [cluster.NumResources]float64
+	if len(consumers) == 0 {
+		return util
+	}
+	alloc := fairshare.AllocateVec(caps, consumers)
+	for k, i := range idx {
+		running[i].rate = alloc.Rate[k]
+		if bn := alloc.Bottleneck[k]; bn >= 0 {
+			running[i].bottleneck = cluster.Resource(bn % cluster.NumResources)
+		} else {
+			running[i].bottleneck = cluster.CPU
+		}
+	}
+	// Average each class over the nodes: the cluster-wide view.
+	for r := 0; r < cluster.NumResources; r++ {
+		sum := 0.0
+		for node := 0; node < s.spec.Nodes; node++ {
+			sum += alloc.Utilization[node*cluster.NumResources+r]
+		}
+		util[r] = sum / float64(s.spec.Nodes)
+	}
+	return util
+}

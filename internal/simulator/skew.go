@@ -1,0 +1,53 @@
+package simulator
+
+import (
+	"math"
+	"math/rand"
+)
+
+// sizeFactors draws n per-task data-size multipliers with the given
+// coefficient of variation, normalized so they sum to n (total job data is
+// preserved). Draws come from a truncated normal around 1.0; the RNG is
+// seeded deterministically per (workflow seed, job, stage) so repeated
+// runs and profiling runs see identical skew.
+func sizeFactors(n int, cv float64, seed int64) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if cv <= 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sum := 0.0
+	for i := range out {
+		f := 1 + rng.NormFloat64()*cv
+		// Truncate: no task smaller than 20% or larger than 3x the mean.
+		f = math.Max(0.2, math.Min(3, f))
+		out[i] = f
+		sum += f
+	}
+	scale := float64(n) / sum
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// hashSeed derives a stable per-job-stage RNG seed from a base seed and a
+// label, using FNV-1a so the mapping is platform-independent.
+func hashSeed(base int64, label string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ uint64(base)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return int64(h & math.MaxInt64)
+}

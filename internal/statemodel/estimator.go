@@ -1,0 +1,479 @@
+package statemodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/sched"
+	"boedag/internal/skew"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// Options tune the estimator. The overheads must mirror the executing
+// system's (here: the simulator's) for a fair end-to-end comparison.
+type Options struct {
+	// Mode selects the skew handling (Alg1-Mean / Alg1-Mid / Alg2-Normal).
+	Mode SkewMode
+	// JobSubmitOverhead is the per-job submit/compile latency.
+	JobSubmitOverhead time.Duration
+	// ParallelismCaps optionally caps per-job container grants.
+	ParallelismCaps map[string]int
+	// SlotLimit overrides the cluster's total task slots when positive.
+	SlotLimit int
+	// Policy selects the modelled scheduler discipline (default DRF).
+	Policy sched.Policy
+	// TaskFailureProb models the execution's task-attempt failure rate:
+	// each failed attempt dies uniformly at random through its work and is
+	// re-executed, so the expected task time inflates by a factor of
+	// (1 + p/2). Set it to match the simulator's TaskFailureProb.
+	TaskFailureProb float64
+	// DiscreteWaves switches the stage-duration rule from the fluid
+	// tasksLeft/throughput form to explicit ⌈N/Δ⌉ waves (ablation).
+	DiscreteWaves bool
+}
+
+// StageEstimate is the predicted execution of one job stage.
+type StageEstimate struct {
+	Job         string
+	Stage       workload.Stage
+	Start, End  time.Duration
+	TaskTime    time.Duration
+	Parallelism int
+	Bottleneck  cluster.Resource
+}
+
+// Duration is the stage's predicted wall-clock span.
+func (s StageEstimate) Duration() time.Duration { return s.End - s.Start }
+
+// StateEstimate is one predicted workflow state (paper Figure 5).
+type StateEstimate struct {
+	Seq        int
+	Start, End time.Duration
+	// Running lists "job/stage" labels active in the state, sorted.
+	Running []string
+	// Parallelism maps job ID to its Δ during the state.
+	Parallelism map[string]int
+}
+
+// Duration is the state's predicted span.
+func (s StateEstimate) Duration() time.Duration { return s.End - s.Start }
+
+// Plan is the estimator's full output: the predicted execution plan of a
+// DAG workflow.
+type Plan struct {
+	Workflow string
+	Makespan time.Duration
+	Stages   []StageEstimate
+	States   []StateEstimate
+}
+
+// StageOf returns the estimate for (job, stage), or nil.
+func (p *Plan) StageOf(job string, st workload.Stage) *StageEstimate {
+	for i := range p.Stages {
+		if p.Stages[i].Job == job && p.Stages[i].Stage == st {
+			return &p.Stages[i]
+		}
+	}
+	return nil
+}
+
+// Estimator predicts DAG workflow execution plans with the state-based
+// approach of Algorithm 1.
+type Estimator struct {
+	Spec  cluster.Spec
+	Timer TaskTimer
+	Opt   Options
+}
+
+// New returns an estimator with the given task timer.
+func New(spec cluster.Spec, timer TaskTimer, opt Options) *Estimator {
+	if opt.JobSubmitOverhead == 0 {
+		opt.JobSubmitOverhead = 2 * time.Second
+	}
+	return &Estimator{Spec: spec, Timer: timer, Opt: opt}
+}
+
+type estJob struct {
+	id        string
+	profile   workload.JobProfile
+	waitingOn int
+	phase     jobPhase
+	readyAt   float64
+	order     int
+	stage     workload.Stage
+	tasksLeft float64
+	// lastDelta is the parallelism granted in the previous state; running
+	// tasks still hold their containers, so the job's demand cannot drop
+	// below them (see pendingTasks).
+	lastDelta int
+
+	plan map[workload.Stage]*StageEstimate
+}
+
+// pendingTasks is the job's container demand for DRF. The fluid progress
+// model drains tasksLeft continuously, but a task that is halfway done
+// still occupies a whole container: with Δ tasks in flight, the
+// unfinished count exceeds the fluid remainder by about Δ/2. Without this
+// correction a single synchronized wave (e.g. 66 reduce tasks finishing
+// together) would appear to release containers mid-wave and the estimator
+// would starve the stage of its own parallelism.
+func (j *estJob) pendingTasks() int {
+	fluid := j.tasksLeft + float64(j.lastDelta)/2
+	n := int(math.Ceil(fluid))
+	if total := j.profile.Tasks(j.stage); n > total {
+		n = total
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+type jobPhase int
+
+const (
+	phaseWaiting jobPhase = iota
+	phaseSubmitted
+	phaseRunning
+	phaseDone
+)
+
+// Estimate runs Algorithm 1: iterate over workflow states; per state,
+// estimate each running job's degree of parallelism with DRF, its task
+// time with the TaskTimer under the state's full contention environment,
+// the remaining time of each job's current stage, then advance to the
+// nearest stage transition and update everyone's progress.
+func (e *Estimator) Estimate(w *dag.Workflow) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := make(map[string]*estJob, len(w.Jobs))
+	for _, j := range w.Jobs {
+		jobs[j.ID] = &estJob{
+			id:        j.ID,
+			profile:   j.Profile,
+			waitingOn: len(j.Deps),
+			plan:      make(map[workload.Stage]*StageEstimate),
+		}
+	}
+	for i, id := range w.Roots() {
+		jobs[id].phase = phaseSubmitted
+		jobs[id].readyAt = e.Opt.JobSubmitOverhead.Seconds()
+		jobs[id].order = i // declaration order is submission order (FIFO)
+	}
+	return e.run(w, jobs, len(jobs))
+}
+
+// run drives the state iteration over pre-initialized jobs (used by both
+// Estimate and EstimateRemaining); remaining counts jobs not yet done.
+func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int) (*Plan, error) {
+	children := w.Children()
+	now := 0.0
+	// Jobs pre-submitted by the caller keep their orders; later submits
+	// continue the sequence.
+	submitSeq := 0
+	for _, j := range jobs {
+		if j.phase != phaseWaiting && j.order >= submitSeq {
+			submitSeq = j.order + 1
+		}
+	}
+	submit := func(j *estJob) {
+		j.phase = phaseSubmitted
+		j.readyAt = now + e.Opt.JobSubmitOverhead.Seconds()
+		j.order = submitSeq
+		submitSeq++
+	}
+
+	pool := sched.PoolOf(e.Spec).WithSlotLimit(e.Opt.SlotLimit)
+
+	plan := &Plan{Workflow: w.Name}
+	var prevSig string
+
+	for iter := 0; remaining > 0; iter++ {
+		if iter > 10000*len(jobs)+10000 {
+			return nil, fmt.Errorf("statemodel: workflow %q did not converge", w.Name)
+		}
+		// Admit submitted jobs.
+		for _, j := range orderedJobs(jobs) {
+			if j.phase == phaseSubmitted && j.readyAt <= now+1e-9 {
+				e.openStage(j, workload.Map, now)
+			}
+		}
+		running := runningJobs(jobs)
+		if len(running) == 0 {
+			// Idle gap: jump to the next submit event.
+			next := math.Inf(1)
+			for _, j := range jobs {
+				if j.phase == phaseSubmitted && j.readyAt < next {
+					next = j.readyAt
+				}
+			}
+			if math.IsInf(next, 1) {
+				return nil, fmt.Errorf("statemodel: workflow %q deadlocked at t=%.2fs", w.Name, now)
+			}
+			now = next
+			continue
+		}
+
+		// (1) Degree of parallelism per running job.
+		reqs := make([]sched.Request, len(running))
+		for i, j := range running {
+			reqs[i] = sched.Request{
+				JobID:    j.id,
+				MemoryMB: j.profile.MemoryMB(j.stage),
+				VCores:   j.profile.VCores(j.stage),
+				Pending:  j.pendingTasks(),
+				Cap:      e.Opt.ParallelismCaps[j.id],
+				Order:    j.order,
+			}
+		}
+		grants := sched.Grant(e.Opt.Policy, pool, reqs, nil)
+
+		// (2) Task time per running job via the BOE model (or profiles).
+		groups := make([]boe.TaskGroup, len(running))
+		delta := make([]int, len(running))
+		for i, j := range running {
+			d := grants[j.id]
+			if d < 1 {
+				d = 1
+			}
+			delta[i] = d
+			j.lastDelta = d
+			groups[i] = groupFor(j.profile, j.stage, d)
+		}
+		dists := make([]TaskTimeDist, len(running))
+		rates := make([]float64, len(running))
+		rests := make([]float64, len(running))
+		for i, j := range running {
+			dists[i] = e.Timer.TaskDist(j.id, groups, i)
+			if p := e.Opt.TaskFailureProb; p > 0 {
+				// Fault-tolerance correction: a failed attempt wastes half
+				// its work in expectation before the re-execution.
+				f := 1 + p/2
+				dists[i].Mean = time.Duration(float64(dists[i].Mean) * f)
+				dists[i].Median = time.Duration(float64(dists[i].Median) * f)
+			}
+			tt := dists[i].ByMode(e.Opt.Mode).Seconds()
+			if tt <= 0 {
+				return nil, fmt.Errorf("statemodel: workflow %q: job %q %s: non-positive task time",
+					w.Name, j.id, j.stage)
+			}
+			rates[i] = float64(delta[i]) / tt
+			rests[i] = e.restTime(j, delta[i], dists[i], tt)
+			se := j.plan[j.stage]
+			se.TaskTime = units.Seconds(tt)
+			se.Parallelism = delta[i]
+		}
+
+		// Record the state if its signature changed.
+		sig := stateSignature(running)
+		if sig != prevSig {
+			closeState(plan, now)
+			prevSig = sig
+			st := StateEstimate{
+				Seq:         len(plan.States) + 1,
+				Start:       units.Seconds(now),
+				Parallelism: make(map[string]int, len(running)),
+			}
+			for i, j := range running {
+				st.Running = append(st.Running, j.id+"/"+j.stage.String())
+				st.Parallelism[j.id] = delta[i]
+			}
+			sort.Strings(st.Running)
+			plan.States = append(plan.States, st)
+		}
+
+		// (3)-(4) Find the job whose stage ends first.
+		dt := math.Inf(1)
+		for i := range running {
+			if rests[i] < dt {
+				dt = rests[i]
+			}
+		}
+		for _, j := range jobs {
+			if j.phase == phaseSubmitted && j.readyAt-now < dt {
+				dt = j.readyAt - now
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		now += dt
+
+		// (5) Update progress of every running job; transition finished
+		// stages.
+		for i, j := range running {
+			j.tasksLeft -= rates[i] * dt
+			if j.tasksLeft > 1e-9 && rests[i] > dt+1e-9 {
+				continue
+			}
+			j.tasksLeft = 0
+			j.plan[j.stage].End = units.Seconds(now)
+			if j.stage == workload.Map && j.profile.ReduceTasks > 0 {
+				e.openStage(j, workload.Reduce, now)
+				continue
+			}
+			j.phase = phaseDone
+			remaining--
+			for _, c := range children[j.id] {
+				cj := jobs[c]
+				cj.waitingOn--
+				if cj.waitingOn == 0 && cj.phase == phaseWaiting {
+					submit(cj)
+				}
+			}
+		}
+	}
+	closeState(plan, now)
+	plan.Makespan = units.Seconds(now)
+	for _, j := range orderedJobs(jobs) {
+		for _, st := range []workload.Stage{workload.Map, workload.Reduce} {
+			if se, ok := j.plan[st]; ok {
+				plan.Stages = append(plan.Stages, *se)
+			}
+		}
+	}
+	return plan, nil
+}
+
+// restTime estimates the remaining wall-clock time of a job's current
+// stage at the state's rate: fluid tasksLeft/rate by default, discrete
+// waves if configured, plus the normal-mode straggler correction when the
+// stage is in its final wave.
+func (e *Estimator) restTime(j *estJob, delta int, dist TaskTimeDist, taskTime float64) float64 {
+	left := j.tasksLeft
+	if left <= 0 {
+		return 0
+	}
+	var base float64
+	if e.Opt.DiscreteWaves {
+		waves := math.Ceil(left / float64(delta))
+		base = waves * taskTime
+	} else {
+		base = left / (float64(delta) / taskTime)
+	}
+	switch e.Opt.Mode {
+	case NormalMode:
+		lastWave := int(math.Min(left, float64(delta)))
+		if lastWave >= 1 {
+			mean := dist.ByMode(e.Opt.Mode)
+			tail := ExpectedMaxNormal(mean, dist.Std, lastWave) - mean
+			base += tail.Seconds()
+		}
+	case EmpiricalMode:
+		if len(dist.Sample) > 0 {
+			// List-schedule the remaining tasks with durations cycled from
+			// the measured sample: a distribution-free stage duration.
+			n := int(math.Ceil(left))
+			tasks := make([]time.Duration, n)
+			for i := range tasks {
+				tasks[i] = dist.Sample[i%len(dist.Sample)]
+			}
+			return skew.EmpiricalStageDuration(tasks, delta).Seconds()
+		}
+		// No sample (e.g. a model-driven timer): degrade to the normal fit.
+		lastWave := int(math.Min(left, float64(delta)))
+		if lastWave >= 1 {
+			mean := dist.ByMode(e.Opt.Mode)
+			tail := ExpectedMaxNormal(mean, dist.Std, lastWave) - mean
+			base += tail.Seconds()
+		}
+	}
+	return base
+}
+
+func (e *Estimator) openStage(j *estJob, st workload.Stage, now float64) {
+	j.phase = phaseRunning
+	j.stage = st
+	j.tasksLeft = float64(j.profile.Tasks(st))
+	j.lastDelta = 0
+
+	j.plan[st] = &StageEstimate{Job: j.id, Stage: st, Start: units.Seconds(now)}
+}
+
+func runningJobs(jobs map[string]*estJob) []*estJob {
+	var out []*estJob
+	for _, j := range orderedJobs(jobs) {
+		if j.phase == phaseRunning && j.tasksLeft > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func orderedJobs(jobs map[string]*estJob) []*estJob {
+	out := make([]*estJob, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+func stateSignature(running []*estJob) string {
+	sig := ""
+	for _, j := range running {
+		sig += j.id + "/" + j.stage.String() + ";"
+	}
+	return sig
+}
+
+func closeState(plan *Plan, end float64) {
+	if len(plan.States) == 0 {
+		return
+	}
+	last := &plan.States[len(plan.States)-1]
+	if last.End == 0 {
+		last.End = units.Seconds(end)
+	}
+}
+
+// CriticalPath returns the chain of stage estimates that determines the
+// plan's makespan: starting from the stage that ends last, repeatedly
+// step to the latest-ending stage that finishes at (or just before) the
+// current one's start — the jobs an optimizer should attack first.
+func (p *Plan) CriticalPath() []StageEstimate {
+	if len(p.Stages) == 0 {
+		return nil
+	}
+	// Latest-ending stage anchors the path.
+	cur := p.Stages[0]
+	for _, s := range p.Stages[1:] {
+		if s.End > cur.End {
+			cur = s
+		}
+	}
+	path := []StageEstimate{cur}
+	const slack = 3 * time.Second // submit overheads sit between stages
+	for {
+		var prev *StageEstimate
+		for i := range p.Stages {
+			s := p.Stages[i]
+			if s.End > cur.Start+time.Millisecond || s == cur {
+				continue
+			}
+			if s.End < cur.Start-slack {
+				continue
+			}
+			if prev == nil || s.End > prev.End {
+				prev = &p.Stages[i]
+			}
+		}
+		if prev == nil {
+			break
+		}
+		path = append(path, *prev)
+		cur = *prev
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

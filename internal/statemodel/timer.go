@@ -1,0 +1,184 @@
+// Package statemodel implements the workflow-level cost model of the
+// paper (§IV): the state-based approach that breaks a DAG workflow into
+// states at every map/reduce transition and iteratively estimates each
+// state's duration (Algorithm 1). Task-level times come from a pluggable
+// TaskTimer: the BOE model (contention-aware prediction from first
+// principles) or measured profiles (the §V-C configuration that isolates
+// the state-model's own error). Skew is handled by three interchangeable
+// stage-duration rules: mean, median, and a fitted normal distribution
+// with an expected-maximum straggler correction (the paper's Alg1-Mean,
+// Alg1-Mid and Alg2-Normal variants).
+package statemodel
+
+import (
+	"math"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/profile"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// SkewMode selects how a task-time distribution is collapsed into stage
+// durations.
+type SkewMode int
+
+const (
+	// MeanMode uses the mean task time (paper's Alg1-Mean).
+	MeanMode SkewMode = iota
+	// MedianMode uses the median task time (paper's Alg1-Mid).
+	MedianMode
+	// NormalMode fits a normal distribution and corrects the final wave by
+	// the expected maximum of Δ draws (paper's Alg2-Normal).
+	NormalMode
+	// EmpiricalMode is this repository's extension of the paper's
+	// skew-aware future work: stage durations come from list-scheduling
+	// the measured task-time sample itself (package skew), which stays
+	// correct where the normal fit of Alg2-Normal breaks down
+	// (multimodal or heavy-tailed task times). It needs a TaskTimer that
+	// supplies Sample — ProfileTimer does; BOETimer falls back to
+	// NormalMode behaviour.
+	EmpiricalMode
+)
+
+// String names the mode as the paper's tables do.
+func (m SkewMode) String() string {
+	switch m {
+	case MeanMode:
+		return "Alg1-Mean"
+	case MedianMode:
+		return "Alg1-Mid"
+	case NormalMode:
+		return "Alg2-Normal"
+	case EmpiricalMode:
+		return "Ext-Empirical"
+	}
+	return "SkewMode(?)"
+}
+
+// Modes lists the paper's three skew modes in Table III order.
+func Modes() []SkewMode { return []SkewMode{MeanMode, MedianMode, NormalMode} }
+
+// AllModes adds the repository's empirical extension to the paper's
+// three.
+func AllModes() []SkewMode { return append(Modes(), EmpiricalMode) }
+
+// TaskTimeDist summarizes the predicted distribution of task times for
+// one job stage in one workflow state.
+type TaskTimeDist struct {
+	Mean   time.Duration
+	Median time.Duration
+	Std    time.Duration
+	// Sample optionally carries the raw task-time observations backing
+	// the summary; EmpiricalMode consumes it.
+	Sample []time.Duration
+}
+
+// ByMode returns the representative task time for the skew mode.
+func (d TaskTimeDist) ByMode(m SkewMode) time.Duration {
+	switch m {
+	case MedianMode:
+		return d.Median
+	default:
+		return d.Mean
+	}
+}
+
+// TaskTimer predicts the task-time distribution of one job's current
+// stage given every concurrently running group (the contention
+// environment). self is the index of the job's own group within groups.
+type TaskTimer interface {
+	TaskDist(jobID string, groups []boe.TaskGroup, self int) TaskTimeDist
+}
+
+// BOETimer predicts task times with the BOE model, adding the per-task
+// container-start overhead and deriving the spread from the workload's
+// declared skew.
+type BOETimer struct {
+	Model *boe.Model
+	// TaskStartOverhead is added to every task (container launch latency);
+	// it must match the simulated system's overhead to compare fairly.
+	TaskStartOverhead time.Duration
+}
+
+// TaskDist implements TaskTimer.
+func (t *BOETimer) TaskDist(jobID string, groups []boe.TaskGroup, self int) TaskTimeDist {
+	g := groups[self]
+	env := make([]boe.TaskGroup, 0, len(groups)-1)
+	for i, o := range groups {
+		if i != self {
+			env = append(env, o)
+		}
+	}
+	est := t.Model.TaskTimeWith(g.Profile, g.Stage, g.Parallelism, env)
+	mean := est.Duration + t.TaskStartOverhead
+	// The task-size skew translates linearly into task-time skew for
+	// data-bound tasks.
+	std := units.Seconds(est.Duration.Seconds() * g.Profile.SkewCV)
+	return TaskTimeDist{Mean: mean, Median: mean, Std: std}
+}
+
+// ProfileTimer replays measured task-time distributions, ignoring the
+// contention environment (the profiles were captured at the matching
+// degree of parallelism, per §V-C).
+type ProfileTimer struct {
+	Profiles *profile.Set
+	// Fallback, if non-nil, covers stages absent from the profiles.
+	Fallback TaskTimer
+}
+
+// TaskDist implements TaskTimer.
+func (t *ProfileTimer) TaskDist(jobID string, groups []boe.TaskGroup, self int) TaskTimeDist {
+	g := groups[self]
+	if p, ok := t.Profiles.Stage(jobID, g.Stage); ok && len(p.TaskTimes) > 0 {
+		return TaskTimeDist{
+			Mean:   p.Mean(),
+			Median: p.Median(),
+			Std:    p.StdDev(),
+			Sample: p.TaskTimes,
+		}
+	}
+	if t.Fallback != nil {
+		return t.Fallback.TaskDist(jobID, groups, self)
+	}
+	return TaskTimeDist{}
+}
+
+// ExpectedMaxNormal returns E[max of n i.i.d. N(mean, std) draws], using
+// the asymptotic extreme-value expansion for n ≥ 5 and exact/tabulated
+// constants for small n. It is the straggler correction of NormalMode:
+// a stage's final wave ends when its slowest task does.
+func ExpectedMaxNormal(mean, std time.Duration, n int) time.Duration {
+	if n <= 1 || std <= 0 {
+		return mean
+	}
+	return mean + time.Duration(expectedMaxStdNormal(n)*float64(std))
+}
+
+// expectedMaxStdNormal is E[max of n standard normal draws].
+func expectedMaxStdNormal(n int) float64 {
+	// Exact values for tiny n (Harter 1961).
+	switch n {
+	case 2:
+		return 0.5642
+	case 3:
+		return 0.8463
+	case 4:
+		return 1.0294
+	}
+	ln := math.Log(float64(n))
+	a := math.Sqrt(2 * ln)
+	return a - (math.Log(ln)+math.Log(4*math.Pi))/(2*a) + 0.5772/a
+}
+
+// groupFor builds the boe.TaskGroup describing a running job stage with
+// the steady-state aggregate sub-stage view.
+func groupFor(p workload.JobProfile, st workload.Stage, parallelism int) boe.TaskGroup {
+	return boe.TaskGroup{
+		Profile:     p,
+		Stage:       st,
+		SubStage:    boe.AggregateSubStage,
+		Parallelism: parallelism,
+	}
+}

@@ -1,0 +1,55 @@
+package tpch
+
+import "fmt"
+
+// queryMeta carries the human-readable identity of each query and the
+// structural facts tests pin down.
+type queryMeta struct {
+	name string
+	// tables lists the base tables the query touches.
+	tables []Table
+}
+
+var queryMetadata = map[int]queryMeta{
+	1:  {"Pricing Summary Report", []Table{Lineitem}},
+	2:  {"Minimum Cost Supplier", []Table{Part, Supplier, Partsupp, Nation, Region}},
+	3:  {"Shipping Priority", []Table{Customer, Orders, Lineitem}},
+	4:  {"Order Priority Checking", []Table{Orders, Lineitem}},
+	5:  {"Local Supplier Volume", []Table{Customer, Orders, Lineitem, Supplier, Nation, Region}},
+	6:  {"Forecasting Revenue Change", []Table{Lineitem}},
+	7:  {"Volume Shipping", []Table{Supplier, Lineitem, Orders, Customer, Nation}},
+	8:  {"National Market Share", []Table{Part, Supplier, Lineitem, Orders, Customer, Nation, Region}},
+	9:  {"Product Type Profit Measure", []Table{Part, Supplier, Lineitem, Partsupp, Orders, Nation}},
+	10: {"Returned Item Reporting", []Table{Customer, Orders, Lineitem, Nation}},
+	11: {"Important Stock Identification", []Table{Partsupp, Supplier, Nation}},
+	12: {"Shipping Modes and Order Priority", []Table{Orders, Lineitem}},
+	13: {"Customer Distribution", []Table{Customer, Orders}},
+	14: {"Promotion Effect", []Table{Lineitem, Part}},
+	15: {"Top Supplier", []Table{Supplier, Lineitem}},
+	16: {"Parts/Supplier Relationship", []Table{Partsupp, Part, Supplier}},
+	17: {"Small-Quantity-Order Revenue", []Table{Lineitem, Part}},
+	18: {"Large Volume Customer", []Table{Customer, Orders, Lineitem}},
+	19: {"Discounted Revenue", []Table{Lineitem, Part}},
+	20: {"Potential Part Promotion", []Table{Supplier, Nation, Partsupp, Part, Lineitem}},
+	21: {"Suppliers Who Kept Orders Waiting", []Table{Supplier, Lineitem, Orders, Nation}},
+	22: {"Global Sales Opportunity", []Table{Customer, Orders}},
+}
+
+// QueryName returns the query's official TPC-H title, e.g. QueryName(21)
+// = "Suppliers Who Kept Orders Waiting".
+func QueryName(q int) (string, error) {
+	m, ok := queryMetadata[q]
+	if !ok {
+		return "", fmt.Errorf("tpch: no such query Q%d", q)
+	}
+	return m.name, nil
+}
+
+// QueryTables returns the base tables query q touches, in plan order.
+func QueryTables(q int) ([]Table, error) {
+	m, ok := queryMetadata[q]
+	if !ok {
+		return nil, fmt.Errorf("tpch: no such query Q%d", q)
+	}
+	return append([]Table(nil), m.tables...), nil
+}

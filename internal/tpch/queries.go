@@ -1,0 +1,315 @@
+package tpch
+
+import (
+	"fmt"
+
+	"boedag/internal/dag"
+)
+
+// Query compiles TPC-H query q (1..22) against the schema into a DAG
+// workflow of MapReduce jobs, the way Hive's planner would: one job per
+// shuffle boundary, map-joins for dimension tables, a final single-reducer
+// sort where the query orders its output. Data volumes derive from the
+// schema statistics and the selectivity of each query's predicates.
+func Query(q int, schema Schema) (*dag.Workflow, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	build, ok := queryBuilders[q]
+	if !ok {
+		return nil, fmt.Errorf("tpch: no such query Q%d (valid: 1..22)", q)
+	}
+	return build(schema)
+}
+
+// NumQueries is the count of TPC-H queries.
+const NumQueries = 22
+
+// JobCount returns how many MapReduce jobs query q compiles to.
+func JobCount(q int, schema Schema) (int, error) {
+	w, err := Query(q, schema)
+	if err != nil {
+		return 0, err
+	}
+	return len(w.Jobs), nil
+}
+
+var queryBuilders = map[int]func(Schema) (*dag.Workflow, error){
+	1: q1, 2: q2, 3: q3, 4: q4, 5: q5, 6: q6, 7: q7, 8: q8,
+	9: q9, 10: q10, 11: q11, 12: q12, 13: q13, 14: q14, 15: q15,
+	16: q16, 17: q17, 18: q18, 19: q19, 20: q20, 21: q21, 22: q22,
+}
+
+// Q1 — pricing summary report. One pass over lineitem (|l_shipdate <=
+// cutoff| ≈ 98%) grouping into four rows, plus the trivial ORDER BY job
+// Hive appends. 2 jobs.
+func q1(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q1")
+	agg := b.scanAgg(b.table(Lineitem), 0.98, 0.00001, 2.4)
+	b.sortLimit(agg, 1.0)
+	return b.build()
+}
+
+// Q2 — minimum cost supplier. The correlated MIN(ps_supplycost) subquery
+// materializes first, then part ⋈ partsupp ⋈ supplier ⋈ nation ⋈ region
+// with the subquery joined back, and a final sort. 8 jobs.
+func q2(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q2")
+	// Subquery: partsupp ⋈ supplier ⋈ nation ⋈ region → min cost per part.
+	sup := b.join(b.table(Supplier), b.table(Nation), 1.0, 0.9)
+	supR := b.mapJoin(sup, b.table(Region), 0.2) // region = 'EUROPE'
+	psMin := b.join(b.table(Partsupp), supR, 1.0, 0.25)
+	minCost := b.groupBy(psMin, 0.3)
+	// Outer: part (type + size filters ≈ 1/125) ⋈ partsupp.
+	partF := b.scanAgg(b.table(Part), 0.008, 1.0, 1.8)
+	outer := b.join(partF, b.table(Partsupp), 1.0, 0.02)
+	joined := b.join(outer, minCost, 1.0, 0.5)
+	b.sortLimit(joined, 0.2)
+	return b.build()
+}
+
+// Q3 — shipping priority. customer(mktsegment 1/5) ⋈ orders(date < X,
+// ~48%) ⋈ lineitem(date > X, ~54%), aggregate by order, top-10 sort.
+// 4 jobs.
+func q3(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q3")
+	co := b.join(b.table(Customer), b.table(Orders), 0.55, 0.45)
+	col := b.join(co, b.table(Lineitem), 0.75, 0.3)
+	agg := b.groupBy(col, 0.4)
+	b.sortLimit(agg, 0.001)
+	return b.build()
+}
+
+// Q4 — order priority checking. Semi-join of orders (quarter window,
+// ~3.8%) against lineitem commit-date violations (~63%), group by
+// priority, sort. 3 jobs.
+func q4(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q4")
+	sj := b.semiJoin(b.table(Orders), b.table(Lineitem), 0.025)
+	agg := b.groupBy(sj, 0.0001)
+	b.sortLimit(agg, 1.0)
+	return b.build()
+}
+
+// Q5 — local supplier volume. Five-way join over customer, orders (one
+// year, ~15%), lineitem, supplier, nation/region, grouped by nation.
+// 7 jobs.
+func q5(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q5")
+	nr := b.mapJoin(b.table(Nation), b.table(Region), 0.2) // one region
+	sn := b.mapJoin(b.table(Supplier), nr, 0.2)
+	co := b.join(b.table(Customer), b.table(Orders), 0.6, 0.15)
+	col := b.join(co, b.table(Lineitem), 0.8, 0.2)
+	all := b.join(col, sn, 1.0, 0.04)
+	agg := b.groupBy(all, 0.0001)
+	b.sortLimit(agg, 1.0)
+	return b.build()
+}
+
+// Q6 — forecasting revenue change. Pure scan-aggregate over lineitem
+// with date/discount/quantity filters (~1.9%) into a single row. 1 job.
+func q6(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q6")
+	b.scanAgg(b.table(Lineitem), 0.019, 0.000001, 1.8)
+	return b.build()
+}
+
+// Q7 — volume shipping between two nations. supplier⋈nation, customer⋈
+// nation, joined through lineitem and orders with a two-year window,
+// grouped by (nations, year), sorted. 7 jobs.
+func q7(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q7")
+	sn := b.mapJoin(b.table(Supplier), b.table(Nation), 0.08) // 2 of 25 nations
+	cn := b.mapJoin(b.table(Customer), b.table(Nation), 0.08)
+	sl := b.join(b.table(Lineitem), sn, 0.9, 0.1)
+	slo := b.join(sl, b.table(Orders), 1.0, 0.3)
+	all := b.join(slo, cn, 1.0, 0.1)
+	agg := b.groupBy(all, 0.001)
+	b.sortLimit(agg, 1.0)
+	return b.build()
+}
+
+// Q8 — national market share. Eight-table join narrowed by part type
+// (~0.13% of part), two-year orders window, grouped by year. 8 jobs.
+func q8(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q8")
+	partF := b.scanAgg(b.table(Part), 0.0013, 1.0, 1.6)
+	pl := b.join(partF, b.table(Lineitem), 0.9, 0.002)
+	plo := b.join(pl, b.table(Orders), 1.0, 0.35)
+	cn := b.mapJoin(b.table(Customer), b.table(Nation), 0.2) // one region's nations
+	ploc := b.join(plo, cn, 1.0, 0.2)
+	sn := b.mapJoin(b.table(Supplier), b.table(Nation), 1.0)
+	all := b.join(ploc, sn, 1.0, 0.9)
+	b.groupBy(all, 0.01)
+	return b.build()
+}
+
+// Q9 — product type profit. part(name like, ~5.4%) ⋈ lineitem ⋈ supplier
+// ⋈ partsupp ⋈ orders ⋈ nation, grouped by (nation, year). 7 jobs.
+func q9(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q9")
+	partF := b.scanAgg(b.table(Part), 0.054, 1.0, 1.6)
+	pl := b.join(partF, b.table(Lineitem), 0.95, 0.06)
+	plps := b.join(pl, b.table(Partsupp), 1.0, 0.5)
+	sn := b.mapJoin(b.table(Supplier), b.table(Nation), 1.0)
+	plpss := b.join(plps, sn, 1.0, 0.9)
+	all := b.join(plpss, b.table(Orders), 0.9, 0.4)
+	b.groupBy(all, 0.002)
+	return b.build()
+}
+
+// Q10 — returned item reporting. customer ⋈ orders (one quarter, ~3.8%)
+// ⋈ lineitem (returnflag, ~25%), group by customer, top-20. 4 jobs.
+func q10(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q10")
+	co := b.join(b.table(Customer), b.table(Orders), 0.7, 0.08)
+	col := b.join(co, b.table(Lineitem), 0.8, 0.05)
+	agg := b.groupBy(col, 0.6)
+	b.sortLimit(agg, 0.001)
+	return b.build()
+}
+
+// Q11 — important stock identification. partsupp ⋈ supplier ⋈ nation
+// (one nation, 4%), a grand-total aggregate, and the HAVING filter with
+// sort. 4 jobs.
+func q11(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q11")
+	sn := b.mapJoin(b.table(Supplier), b.table(Nation), 0.04)
+	pssn := b.join(b.table(Partsupp), sn, 1.0, 0.04)
+	agg := b.groupBy(pssn, 0.8)
+	b.sortLimit(agg, 0.05)
+	return b.build()
+}
+
+// Q12 — shipping mode and order priority. lineitem (two ship modes +
+// receipt window, ~1.7%) ⋈ orders, grouped by mode, sorted. 3 jobs.
+func q12(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q12")
+	lo := b.join(b.table(Lineitem), b.table(Orders), 0.3, 0.02)
+	agg := b.groupBy(lo, 0.0001)
+	b.sortLimit(agg, 1.0)
+	return b.build()
+}
+
+// Q13 — customer distribution. Left outer join customer ⋈ orders (not
+// like filter ~98%), count per customer, histogram, sort. 3 jobs.
+func q13(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q13")
+	co := b.join(b.table(Customer), b.table(Orders), 0.9, 0.25)
+	agg := b.groupBy(co, 0.001)
+	b.sortLimit(agg, 1.0)
+	return b.build()
+}
+
+// Q14 — promotion effect. lineitem (one month, ~1.3%) map-joined with
+// part, single aggregate. 2 jobs.
+func q14(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q14")
+	lp := b.join(b.table(Lineitem), b.table(Part), 0.35, 0.015)
+	b.groupBy(lp, 0.00001)
+	return b.build()
+}
+
+// Q15 — top supplier. Revenue view over lineitem (one quarter, ~3.8%),
+// max aggregate, join back with supplier, sort. 4 jobs.
+func q15(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q15")
+	rev := b.scanAgg(b.table(Lineitem), 0.038, 0.02, 2.0)
+	top := b.groupBy(rev, 1.0)
+	joined := b.join(top, b.table(Supplier), 1.0, 0.01)
+	b.sortLimit(joined, 1.0)
+	return b.build()
+}
+
+// Q16 — parts/supplier relationship. part (filters ~95% pass on NOT
+// predicates → ~48 size/brand combos) ⋈ partsupp, anti-join against
+// complained suppliers, distinct count, sort. 4 jobs.
+func q16(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q16")
+	partF := b.scanAgg(b.table(Part), 0.2, 1.0, 1.6)
+	pps := b.join(partF, b.table(Partsupp), 1.0, 0.2)
+	anti := b.semiJoin(pps, b.table(Supplier), 0.95)
+	b.sortLimit(anti, 0.05)
+	return b.build()
+}
+
+// Q17 — small-quantity-order revenue. part (brand+container, ~0.1%) ⋈
+// lineitem, the correlated AVG(quantity) subquery, join back, aggregate.
+// 4 jobs.
+func q17(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q17")
+	partF := b.scanAgg(b.table(Part), 0.001, 1.0, 1.6)
+	pl := b.join(partF, b.table(Lineitem), 0.9, 0.002)
+	avg := b.groupBy(pl, 0.5)
+	b.groupBy(avg, 0.00001)
+	return b.build()
+}
+
+// Q18 — large volume customer. The HAVING subquery over lineitem
+// (sum(quantity) per order, keeping ~0.004%), joined with orders and
+// customer and lineitem again, top-100. 5 jobs.
+func q18(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q18")
+	big := b.scanAgg(b.table(Lineitem), 1.0, 0.0001, 1.8)
+	lo := b.join(big, b.table(Orders), 1.0, 0.01)
+	loc := b.join(lo, b.table(Customer), 0.8, 0.02)
+	all := b.join(loc, b.table(Lineitem), 0.6, 0.001)
+	b.sortLimit(all, 0.5)
+	return b.build()
+}
+
+// Q19 — discounted revenue. lineitem map-joined with part under three
+// disjunctive brand/container/quantity predicates (~0.02% survive), one
+// aggregate. 2 jobs.
+func q19(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q19")
+	lp := b.join(b.table(Lineitem), b.table(Part), 0.3, 0.0005)
+	b.groupBy(lp, 0.0001)
+	return b.build()
+}
+
+// Q20 — potential part promotion. part name filter (~5.4%) feeding a
+// partsupp semi-join, the lineitem availability subquery (one year,
+// ~15%), supplier ⋈ nation (4%), final semi-join and sort. 7 jobs.
+func q20(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q20")
+	partF := b.scanAgg(b.table(Part), 0.054, 1.0, 1.6)
+	lAvail := b.scanAgg(b.table(Lineitem), 0.15, 0.1, 1.8)
+	ps := b.semiJoin(b.table(Partsupp), partF, 0.054)
+	psl := b.join(ps, lAvail, 1.0, 0.3)
+	sn := b.mapJoin(b.table(Supplier), b.table(Nation), 0.04)
+	final := b.semiJoin(sn, psl, 0.5)
+	b.sortLimit(final, 1.0)
+	return b.build()
+}
+
+// Q21 — suppliers who kept orders waiting. The paper's example of a deep
+// plan: it compiles to 9 MapReduce jobs — supplier ⋈ nation, the l1/l2/l3
+// lineitem self-joins (EXISTS and NOT EXISTS), orders with status 'F'
+// (~49%), group, and top-100 sort.
+func q21(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q21")
+	sn := b.mapJoin(b.table(Supplier), b.table(Nation), 0.04)
+	l1 := b.scanAgg(b.table(Lineitem), 0.63, 1.0, 1.6) // receipt > commit
+	l2 := b.scanAgg(b.table(Lineitem), 1.0, 0.3, 1.5)  // distinct suppliers per order
+	l3 := b.scanAgg(b.table(Lineitem), 0.63, 0.3, 1.5) // late suppliers per order
+	l1o := b.join(l1, b.table(Orders), 0.8, 0.3)       // status = 'F'
+	exists := b.join(l1o, l2, 1.0, 0.4)                // EXISTS other supplier
+	notExists := b.join(exists, l3, 1.0, 0.3)          // NOT EXISTS other late
+	joined := b.join(notExists, sn, 1.0, 0.04)
+	b.sortLimit(joined, 0.01)
+	return b.build()
+}
+
+// Q22 — global sales opportunity. The AVG(acctbal) subquery over
+// customer, the NOT EXISTS anti-join against orders, phone-prefix filter
+// (~28%), group by country code, sort. 5 jobs.
+func q22(s Schema) (*dag.Workflow, error) {
+	b := newBuilder(s, "Q22")
+	avg := b.scanAgg(b.table(Customer), 0.28, 0.00001, 1.6)
+	custF := b.join(b.table(Customer), avg, 0.3, 0.5)
+	anti := b.semiJoin(custF, b.table(Orders), 0.3)
+	agg := b.groupBy(anti, 0.001)
+	b.sortLimit(agg, 1.0)
+	return b.build()
+}

@@ -1,0 +1,162 @@
+// Package trace renders simulation results and estimated plans as text:
+// Gantt-style task execution plans (the paper's Figure 1), stage
+// timelines, and state breakdowns. Everything writes to an io.Writer so
+// commands, examples and tests share the same rendering.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
+)
+
+// ganttWidth is the character width of the rendered time axis.
+const ganttWidth = 72
+
+// Gantt renders each job stage of a simulation result as a horizontal
+// bar on a shared time axis, with state boundaries marked beneath — a
+// textual rendition of the paper's Figure 1 task execution plan.
+func Gantt(w io.Writer, res *simulator.Result) {
+	if res.Makespan <= 0 {
+		fmt.Fprintln(w, "(empty result)")
+		return
+	}
+	total := res.Makespan.Seconds()
+	scale := func(t time.Duration) int {
+		p := int(t.Seconds() / total * ganttWidth)
+		if p < 0 {
+			p = 0
+		}
+		if p > ganttWidth {
+			p = ganttWidth
+		}
+		return p
+	}
+
+	fmt.Fprintf(w, "%s — makespan %.1fs\n", res.Workflow, total)
+	stages := append([]simulator.StageRecord(nil), res.Stages...)
+	sort.Slice(stages, func(i, j int) bool {
+		if stages[i].Start != stages[j].Start {
+			return stages[i].Start < stages[j].Start
+		}
+		return label(stages[i]) < label(stages[j])
+	})
+	nameW := 0
+	for _, s := range stages {
+		if n := len(label(s)); n > nameW {
+			nameW = n
+		}
+	}
+	for _, s := range stages {
+		start, end := scale(s.Start), scale(s.End)
+		if end <= start {
+			end = start + 1
+		}
+		bar := strings.Repeat(" ", start) +
+			strings.Repeat("█", end-start) +
+			strings.Repeat(" ", ganttWidth-end)
+		fmt.Fprintf(w, "  %-*s |%s| %6.1fs Δ=%d %s\n",
+			nameW, label(s), bar, s.Duration().Seconds(), s.MaxParallelism, s.Bottleneck)
+	}
+	if len(res.States) > 0 {
+		marks := []rune(strings.Repeat(" ", ganttWidth+1))
+		for _, st := range res.States {
+			p := scale(st.Start)
+			if p <= ganttWidth {
+				marks[p] = '^'
+			}
+		}
+		fmt.Fprintf(w, "  %-*s |%s|\n", nameW, "states", string(marks))
+		for _, st := range res.States {
+			fmt.Fprintf(w, "    state %d [%6.1fs .. %6.1fs] %s — bound on %s (%.0f%%)\n",
+				st.Seq, st.Start.Seconds(), st.End.Seconds(), strings.Join(st.Running, ", "),
+				st.DominantResource(), 100*st.Utilization[st.DominantResource()])
+		}
+	}
+}
+
+func label(s simulator.StageRecord) string { return s.Job + "/" + s.Stage.String() }
+
+// Plan renders an estimated execution plan in the same layout as Gantt,
+// so a prediction and its ground truth can be compared side by side.
+func Plan(w io.Writer, plan *statemodel.Plan) {
+	if plan.Makespan <= 0 {
+		fmt.Fprintln(w, "(empty plan)")
+		return
+	}
+	total := plan.Makespan.Seconds()
+	scale := func(t time.Duration) int {
+		p := int(t.Seconds() / total * ganttWidth)
+		if p < 0 {
+			p = 0
+		}
+		if p > ganttWidth {
+			p = ganttWidth
+		}
+		return p
+	}
+	fmt.Fprintf(w, "%s — estimated makespan %.1fs\n", plan.Workflow, total)
+	stages := append([]statemodel.StageEstimate(nil), plan.Stages...)
+	sort.Slice(stages, func(i, j int) bool {
+		if stages[i].Start != stages[j].Start {
+			return stages[i].Start < stages[j].Start
+		}
+		return stages[i].Job < stages[j].Job
+	})
+	nameW := 0
+	for _, s := range stages {
+		if n := len(s.Job + "/" + s.Stage.String()); n > nameW {
+			nameW = n
+		}
+	}
+	for _, s := range stages {
+		start, end := scale(s.Start), scale(s.End)
+		if end <= start {
+			end = start + 1
+		}
+		bar := strings.Repeat(" ", start) +
+			strings.Repeat("░", end-start) +
+			strings.Repeat(" ", ganttWidth-end)
+		fmt.Fprintf(w, "  %-*s |%s| %6.1fs Δ=%d task=%.1fs\n",
+			nameW, s.Job+"/"+s.Stage.String(), bar,
+			s.Duration().Seconds(), s.Parallelism, s.TaskTime.Seconds())
+	}
+	for _, st := range plan.States {
+		fmt.Fprintf(w, "    state %d [%6.1fs .. %6.1fs] %s\n",
+			st.Seq, st.Start.Seconds(), st.End.Seconds(), strings.Join(st.Running, ", "))
+	}
+}
+
+// TaskWaves prints the per-wave task timing of one job stage: useful to
+// inspect how task times drift across states (the Figure 1 phenomenon —
+// 27 s, 24 s, 20 s for job 2's maps).
+func TaskWaves(w io.Writer, res *simulator.Result, job string, stage fmt.Stringer) {
+	tasks := res.Tasks
+	var sel []simulator.TaskRecord
+	for _, t := range tasks {
+		if t.Job == job && t.Stage.String() == stage.String() {
+			sel = append(sel, t)
+		}
+	}
+	if len(sel) == 0 {
+		fmt.Fprintf(w, "no tasks for %s/%s\n", job, stage)
+		return
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i].Start < sel[j].Start })
+	fmt.Fprintf(w, "%s/%s tasks (%d):\n", job, stage, len(sel))
+	const maxRows = 20
+	step := 1
+	if len(sel) > maxRows {
+		step = len(sel) / maxRows
+	}
+	for i := 0; i < len(sel); i += step {
+		t := sel[i]
+		fmt.Fprintf(w, "  task %4d  start %7.1fs  dur %6.1fs  bound=%s\n",
+			t.Index, t.Start.Seconds(), t.Duration().Seconds(), t.Bottleneck)
+	}
+}

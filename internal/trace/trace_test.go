@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+func sampleResult(t *testing.T) *simulator.Result {
+	t.Helper()
+	flow := dag.Parallel("demo",
+		dag.Single(workload.WordCount(3*units.GB)),
+		dag.Single(workload.TeraSort(3*units.GB)))
+	res, err := simulator.New(cluster.PaperCluster(), simulator.Options{Seed: 1}).Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGanttMentionsStagesAndStates(t *testing.T) {
+	res := sampleResult(t)
+	var sb strings.Builder
+	Gantt(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"demo", "WC/WC/map", "TS/TS/reduce", "state 1", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("Gantt output has no bars")
+	}
+}
+
+func TestGanttEmptyResult(t *testing.T) {
+	var sb strings.Builder
+	Gantt(&sb, &simulator.Result{Workflow: "x"})
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("empty result rendering = %q", sb.String())
+	}
+}
+
+func TestPlanRendering(t *testing.T) {
+	flow := dag.Single(workload.WordCount(3 * units.GB))
+	timer := &statemodel.BOETimer{Model: boe.New(cluster.PaperCluster()), TaskStartOverhead: time.Second}
+	plan, err := statemodel.New(cluster.PaperCluster(), timer, statemodel.Options{}).Estimate(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Plan(&sb, plan)
+	out := sb.String()
+	for _, want := range []string{"WC", "estimated makespan", "state 1", "░"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Plan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	var sb strings.Builder
+	Plan(&sb, &statemodel.Plan{Workflow: "x"})
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("empty plan rendering = %q", sb.String())
+	}
+}
+
+func TestTaskWaves(t *testing.T) {
+	res := sampleResult(t)
+	var sb strings.Builder
+	TaskWaves(&sb, res, "WC/WC", workload.Map)
+	out := sb.String()
+	if !strings.Contains(out, "WC/WC/map tasks") {
+		t.Errorf("TaskWaves header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "task ") {
+		t.Error("TaskWaves printed no tasks")
+	}
+
+	sb.Reset()
+	TaskWaves(&sb, res, "nope", workload.Map)
+	if !strings.Contains(sb.String(), "no tasks") {
+		t.Errorf("missing-job rendering = %q", sb.String())
+	}
+}
+
+func TestGanttBarsScaleWithDuration(t *testing.T) {
+	res := sampleResult(t)
+	var sb strings.Builder
+	Gantt(&sb, res)
+	// The longest stage must render more bar cells than the shortest.
+	lines := strings.Split(sb.String(), "\n")
+	longest, shortest := -1, 1<<30
+	for _, l := range lines {
+		n := strings.Count(l, "█")
+		if n == 0 {
+			continue
+		}
+		if n > longest {
+			longest = n
+		}
+		if n < shortest {
+			shortest = n
+		}
+	}
+	if longest <= shortest {
+		t.Errorf("bars undifferentiated: longest %d, shortest %d", longest, shortest)
+	}
+}

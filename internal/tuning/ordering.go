@@ -1,0 +1,178 @@
+package tuning
+
+import (
+	"fmt"
+	"time"
+
+	"boedag/internal/dag"
+	"boedag/internal/sched"
+	"boedag/internal/statemodel"
+)
+
+// OrderRecommendation is the submission-order optimizer's output.
+type OrderRecommendation struct {
+	// Order lists root-job IDs in the recommended submission order.
+	Order []string
+	// Baseline and Estimate are the predicted makespans under the original
+	// and recommended orders.
+	Baseline, Estimate time.Duration
+	// Evaluations counts estimator calls.
+	Evaluations int
+}
+
+// Improvement is the fractional makespan gain.
+func (r *OrderRecommendation) Improvement() float64 {
+	if r.Baseline <= 0 {
+		return 0
+	}
+	return 1 - r.Estimate.Seconds()/r.Baseline.Seconds()
+}
+
+// maxExhaustiveRoots bounds the factorial search; beyond it the optimizer
+// greedily inserts jobs into the best position instead.
+const maxExhaustiveRoots = 5
+
+// OrderJobs finds a submission order for the workflow's root jobs that
+// minimizes the estimated makespan under a FIFO scheduler — the paper's
+// "runtime optimizations such as query re-writing" applied to job
+// admission. Under DRF or Fair the order barely matters (shares are
+// order-free); under FIFO it decides who waits, and the estimator is
+// cheap enough (§V-C) to search outright: exhaustively for up to five
+// roots, greedy best-insertion beyond.
+func (t *Tuner) OrderJobs(flow *dag.Workflow) (*OrderRecommendation, error) {
+	if err := flow.Validate(); err != nil {
+		return nil, err
+	}
+	roots := flow.Roots()
+	if len(roots) < 2 {
+		return nil, fmt.Errorf("tuning: workflow %q has %d root jobs; ordering needs at least 2",
+			flow.Name, len(roots))
+	}
+
+	fifoEst := statemodel.New(t.spec, t.est.Timer, statemodel.Options{
+		Mode:   t.opt.Mode,
+		Policy: sched.PolicyFIFO,
+	})
+	score := func(order []string) (time.Duration, error) {
+		t.evals++
+		plan, err := fifoEst.Estimate(reorderRoots(flow, order))
+		if err != nil {
+			return 0, err
+		}
+		return plan.Makespan, nil
+	}
+
+	baseline, err := score(roots)
+	if err != nil {
+		return nil, err
+	}
+	rec := &OrderRecommendation{
+		Order:    append([]string(nil), roots...),
+		Baseline: baseline,
+		Estimate: baseline,
+	}
+
+	try := func(order []string) error {
+		m, err := score(order)
+		if err != nil {
+			return err
+		}
+		if m < rec.Estimate {
+			rec.Estimate = m
+			rec.Order = append(rec.Order[:0], order...)
+		}
+		return nil
+	}
+
+	if len(roots) <= maxExhaustiveRoots {
+		if err := permute(append([]string(nil), roots...), 0, try); err != nil {
+			return nil, err
+		}
+	} else {
+		// Greedy best-insertion: place each job at the position that keeps
+		// the running estimate smallest.
+		order := []string{roots[0]}
+		for _, id := range roots[1:] {
+			bestPos, bestM := 0, time.Duration(1<<62)
+			for pos := 0; pos <= len(order); pos++ {
+				cand := insertAt(order, id, pos)
+				// Score partial orders against the full workflow: absent
+				// roots keep their original relative order at the end.
+				full := append(append([]string(nil), cand...), remainder(roots, cand)...)
+				m, err := score(full)
+				if err != nil {
+					return nil, err
+				}
+				if m < bestM {
+					bestM, bestPos = m, pos
+				}
+			}
+			order = insertAt(order, id, bestPos)
+		}
+		if err := try(order); err != nil {
+			return nil, err
+		}
+	}
+	rec.Evaluations = t.evals
+	return rec, nil
+}
+
+// reorderRoots rewrites the workflow with root jobs declared in the given
+// order (declaration order is submission order for simultaneous roots).
+func reorderRoots(flow *dag.Workflow, order []string) *dag.Workflow {
+	pos := make(map[string]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	out := &dag.Workflow{Name: flow.Name}
+	// Roots first, in the requested order…
+	for _, id := range order {
+		if j := flow.Job(id); j != nil {
+			out.Jobs = append(out.Jobs, *j)
+		}
+	}
+	// …then everything else in original order.
+	for _, j := range flow.Jobs {
+		if _, isRoot := pos[j.ID]; !isRoot {
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	return out
+}
+
+// permute enumerates permutations of s in place (Heap's algorithm),
+// invoking visit on each.
+func permute(s []string, k int, visit func([]string) error) error {
+	if k == len(s)-1 {
+		return visit(s)
+	}
+	for i := k; i < len(s); i++ {
+		s[k], s[i] = s[i], s[k]
+		if err := permute(s, k+1, visit); err != nil {
+			return err
+		}
+		s[k], s[i] = s[i], s[k]
+	}
+	return nil
+}
+
+func insertAt(s []string, v string, pos int) []string {
+	out := make([]string, 0, len(s)+1)
+	out = append(out, s[:pos]...)
+	out = append(out, v)
+	return append(out, s[pos:]...)
+}
+
+func remainder(all, have []string) []string {
+	seen := make(map[string]bool, len(have))
+	for _, id := range have {
+		seen[id] = true
+	}
+	var out []string
+	for _, id := range all {
+		if !seen[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

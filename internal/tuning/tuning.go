@@ -1,0 +1,305 @@
+// Package tuning applies the cost models to automatic configuration
+// tuning of DAG workflows — the second follow-up application the paper's
+// conclusion names ("apply our cost models in automatic tuning for DAG
+// workflows") and the Starfish/MRTuner use case that motivated MapReduce
+// cost models in the first place.
+//
+// The tuner searches per-job configuration knobs (reduce-task count,
+// map-output compression, sort-buffer size) by coordinate descent,
+// scoring every candidate with the state-based BOE estimator. One scoring
+// call costs about a millisecond, so exploring hundreds of candidates is
+// cheap — the property the paper's "Execution time" experiment (§V-C)
+// establishes to justify exactly this application.
+package tuning
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/statemodel"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// Knob identifies one tunable job parameter.
+type Knob int
+
+const (
+	// ReduceTasks tunes the reduce-task count (0.5×, 1×, 2×, 4×).
+	ReduceTasks Knob = iota
+	// Compression toggles map-output compression.
+	Compression
+	// SortBuffer tunes the map-side sort buffer (none/100 MB/400 MB).
+	SortBuffer
+	numKnobs
+)
+
+// String names the knob.
+func (k Knob) String() string {
+	switch k {
+	case ReduceTasks:
+		return "reduce-tasks"
+	case Compression:
+		return "compression"
+	case SortBuffer:
+		return "sort-buffer"
+	}
+	return fmt.Sprintf("knob(%d)", int(k))
+}
+
+// AllKnobs lists every knob.
+func AllKnobs() []Knob { return []Knob{ReduceTasks, Compression, SortBuffer} }
+
+// Options configure the tuner.
+type Options struct {
+	// Knobs restricts the search; empty means all.
+	Knobs []Knob
+	// Mode is the estimator's skew handling (default NormalMode).
+	Mode statemodel.SkewMode
+	// MaxPasses bounds the coordinate-descent sweeps (default 3).
+	MaxPasses int
+	// MinGain stops when a full pass improves the estimate by less than
+	// this fraction (default 0.5 %).
+	MinGain float64
+	// TaskStartOverhead mirrors the executing system's container latency.
+	TaskStartOverhead time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Knobs) == 0 {
+		o.Knobs = AllKnobs()
+	}
+	if o.Mode == 0 {
+		o.Mode = statemodel.NormalMode
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 3
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 0.005
+	}
+	if o.TaskStartOverhead == 0 {
+		o.TaskStartOverhead = time.Second
+	}
+	return o
+}
+
+// Change records one accepted knob adjustment.
+type Change struct {
+	Job  string
+	Knob Knob
+	// From and To render the old and new values.
+	From, To string
+	// Gain is the fractional makespan improvement this change alone
+	// contributed at the moment it was accepted.
+	Gain float64
+}
+
+// Recommendation is the tuner's output.
+type Recommendation struct {
+	// Tuned is the workflow with every accepted change applied.
+	Tuned *dag.Workflow
+	// Changes lists accepted adjustments in acceptance order.
+	Changes []Change
+	// Baseline and Estimate are the estimated makespans before and after.
+	Baseline, Estimate time.Duration
+	// Evaluations counts estimator calls spent searching.
+	Evaluations int
+}
+
+// Improvement is the overall fractional gain.
+func (r *Recommendation) Improvement() float64 {
+	if r.Baseline <= 0 {
+		return 0
+	}
+	return 1 - r.Estimate.Seconds()/r.Baseline.Seconds()
+}
+
+// Tuner searches job configurations with the cost models.
+type Tuner struct {
+	spec  cluster.Spec
+	opt   Options
+	est   *statemodel.Estimator
+	evals int
+}
+
+// New returns a tuner for the cluster.
+func New(spec cluster.Spec, opt Options) *Tuner {
+	opt = opt.withDefaults()
+	timer := &statemodel.BOETimer{
+		Model:             boe.New(spec),
+		TaskStartOverhead: opt.TaskStartOverhead,
+	}
+	return &Tuner{
+		spec: spec,
+		opt:  opt,
+		est:  statemodel.New(spec, timer, statemodel.Options{Mode: opt.Mode}),
+	}
+}
+
+// Tune searches knob settings for every job of the workflow by
+// coordinate descent: sweep jobs × knobs × candidate values, accept the
+// best value per coordinate, and repeat until a pass stops paying.
+// The input workflow is not modified.
+func (t *Tuner) Tune(flow *dag.Workflow) (*Recommendation, error) {
+	if err := flow.Validate(); err != nil {
+		return nil, err
+	}
+	current := cloneFlow(flow)
+	base, err := t.score(current)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recommendation{Baseline: base, Estimate: base}
+
+	for pass := 0; pass < t.opt.MaxPasses; pass++ {
+		passStart := rec.Estimate
+		for ji := range current.Jobs {
+			for _, knob := range t.opt.Knobs {
+				change, err := t.tuneCoordinate(current, ji, knob, rec)
+				if err != nil {
+					return nil, err
+				}
+				if change != nil {
+					rec.Changes = append(rec.Changes, *change)
+				}
+			}
+		}
+		gain := 1 - rec.Estimate.Seconds()/passStart.Seconds()
+		if gain < t.opt.MinGain {
+			break
+		}
+	}
+	rec.Tuned = current
+	rec.Evaluations = t.evals
+	return rec, nil
+}
+
+// tuneCoordinate tries every candidate value of one knob on one job,
+// keeping the best. It mutates current in place when it accepts.
+func (t *Tuner) tuneCoordinate(current *dag.Workflow, ji int, knob Knob, rec *Recommendation) (*Change, error) {
+	job := &current.Jobs[ji]
+	original := job.Profile
+	baseline := rec.Estimate
+
+	bestProfile := original
+	bestScore := baseline
+	bestDesc := ""
+	for _, cand := range candidates(original, knob) {
+		job.Profile = cand.profile
+		score, err := t.score(current)
+		if err != nil {
+			job.Profile = original
+			return nil, err
+		}
+		if score < bestScore {
+			bestScore = score
+			bestProfile = cand.profile
+			bestDesc = cand.desc
+		}
+	}
+	job.Profile = bestProfile
+	if bestDesc == "" {
+		return nil, nil
+	}
+	rec.Estimate = bestScore
+	return &Change{
+		Job:  job.ID,
+		Knob: knob,
+		From: describe(original, knob),
+		To:   bestDesc,
+		Gain: 1 - bestScore.Seconds()/baseline.Seconds(),
+	}, nil
+}
+
+type candidate struct {
+	profile workload.JobProfile
+	desc    string
+}
+
+// candidates enumerates alternative values for a knob, excluding the
+// current setting.
+func candidates(p workload.JobProfile, knob Knob) []candidate {
+	var out []candidate
+	switch knob {
+	case ReduceTasks:
+		if p.ReduceTasks == 0 {
+			return nil // map-only jobs have nothing to tune here
+		}
+		for _, f := range []float64{0.5, 2, 4} {
+			n := int(float64(p.ReduceTasks) * f)
+			if n < 1 || n == p.ReduceTasks || n > 999 {
+				continue
+			}
+			c := p
+			c.ReduceTasks = n
+			out = append(out, candidate{c, fmt.Sprint(n)})
+		}
+	case Compression:
+		c := p
+		if p.Compression.Enabled {
+			c.Compression = workload.Compression{}
+			out = append(out, candidate{c, "off"})
+		} else {
+			c.Compression = workload.Compression{Enabled: true, Ratio: 0.4, CPUOverhead: 0.4}
+			out = append(out, candidate{c, "on(0.4)"})
+		}
+	case SortBuffer:
+		for _, mb := range []units.Bytes{0, 100 * units.MB, 400 * units.MB} {
+			if mb == p.SortBufferBytes {
+				continue
+			}
+			c := p
+			c.SortBufferBytes = mb
+			out = append(out, candidate{c, mb.String()})
+		}
+	}
+	return out
+}
+
+// describe renders a knob's current value.
+func describe(p workload.JobProfile, knob Knob) string {
+	switch knob {
+	case ReduceTasks:
+		return fmt.Sprint(p.ReduceTasks)
+	case Compression:
+		if p.Compression.Enabled {
+			return fmt.Sprintf("on(%.1f)", p.Compression.Ratio)
+		}
+		return "off"
+	case SortBuffer:
+		return p.SortBufferBytes.String()
+	}
+	return "?"
+}
+
+// score estimates the workflow's makespan.
+func (t *Tuner) score(flow *dag.Workflow) (time.Duration, error) {
+	t.evals++
+	plan, err := t.est.Estimate(flow)
+	if err != nil {
+		return 0, err
+	}
+	return plan.Makespan, nil
+}
+
+// cloneFlow deep-copies a workflow so tuning never mutates the caller's.
+func cloneFlow(w *dag.Workflow) *dag.Workflow {
+	out := &dag.Workflow{Name: w.Name, Jobs: make([]dag.Job, len(w.Jobs))}
+	for i, j := range w.Jobs {
+		nj := j
+		nj.Deps = append([]string(nil), j.Deps...)
+		out.Jobs[i] = nj
+	}
+	return out
+}
+
+// SortChangesByGain orders changes with the largest gains first, for
+// reports.
+func SortChangesByGain(changes []Change) {
+	sort.Slice(changes, func(a, b int) bool { return changes[a].Gain > changes[b].Gain })
+}

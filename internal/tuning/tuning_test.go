@@ -1,0 +1,276 @@
+package tuning
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/metrics"
+	"boedag/internal/simulator"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+func spec() cluster.Spec { return cluster.PaperCluster() }
+
+// misconfigured returns a deliberately badly tuned TeraSort: far too few
+// reducers (huge reduce tasks, no parallelism) and a tiny sort buffer
+// (spill pass on every map).
+func misconfigured() workload.JobProfile {
+	p := workload.TeraSort(20 * units.GB)
+	p.ReduceTasks = 4
+	p.SortBufferBytes = 10 * units.MB
+	return p
+}
+
+func TestTuneImprovesMisconfiguredJob(t *testing.T) {
+	flow := dag.Single(misconfigured())
+	rec, err := New(spec(), Options{}).Tune(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Changes) == 0 {
+		t.Fatal("tuner found nothing to change on a misconfigured job")
+	}
+	if rec.Improvement() < 0.2 {
+		t.Errorf("improvement %.1f%% (from %v to %v), want ≥ 20%% on this setup",
+			100*rec.Improvement(), rec.Baseline, rec.Estimate)
+	}
+	// It must have raised the reducer count.
+	tuned := rec.Tuned.Jobs[0].Profile
+	if tuned.ReduceTasks <= 4 {
+		t.Errorf("reduce tasks still %d", tuned.ReduceTasks)
+	}
+	if rec.Evaluations == 0 {
+		t.Error("no evaluations counted")
+	}
+}
+
+// TestRecommendationValidatedBySimulator is the end-to-end check: the
+// tuned configuration must actually run faster in the simulator, not just
+// in the model's own opinion.
+func TestRecommendationValidatedBySimulator(t *testing.T) {
+	flow := dag.Single(misconfigured())
+	rec, err := New(spec(), Options{}).Tune(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulator.New(spec(), simulator.Options{Seed: 1})
+	before, err := sim.Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := sim.Run(rec.Tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Makespan >= before.Makespan {
+		t.Errorf("tuned config simulated slower: %v vs %v", after.Makespan, before.Makespan)
+	}
+	// And the tuner's own estimate of the tuned flow should be credible.
+	if acc := metrics.Accuracy(rec.Estimate, after.Makespan); acc < 0.7 {
+		t.Errorf("tuner's estimate accuracy %.2f (est %v, sim %v)", acc, rec.Estimate, after.Makespan)
+	}
+}
+
+func TestTuneDoesNotMutateInput(t *testing.T) {
+	flow := dag.Single(misconfigured())
+	orig := flow.Jobs[0].Profile
+	if _, err := New(spec(), Options{}).Tune(flow); err != nil {
+		t.Fatal(err)
+	}
+	if flow.Jobs[0].Profile != orig {
+		t.Error("tuner mutated the caller's workflow")
+	}
+}
+
+func TestTuneWellConfiguredJobChangesLittle(t *testing.T) {
+	// The stock WordCount profile is already sensible: gains should be
+	// small and the tuner must not make it worse.
+	flow := dag.Single(workload.WordCount(20 * units.GB))
+	rec, err := New(spec(), Options{}).Tune(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Estimate > rec.Baseline {
+		t.Errorf("tuning made the estimate worse: %v → %v", rec.Baseline, rec.Estimate)
+	}
+}
+
+func TestKnobRestriction(t *testing.T) {
+	flow := dag.Single(misconfigured())
+	rec, err := New(spec(), Options{Knobs: []Knob{Compression}}).Tune(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rec.Changes {
+		if c.Knob != Compression {
+			t.Errorf("change on knob %s despite restriction", c.Knob)
+		}
+	}
+	if got := rec.Tuned.Jobs[0].Profile.ReduceTasks; got != 4 {
+		t.Errorf("reduce tasks changed to %d despite knob restriction", got)
+	}
+}
+
+func TestTuneMapOnlyJob(t *testing.T) {
+	p := workload.WordCount(5 * units.GB)
+	p.ReduceTasks = 0
+	rec, err := New(spec(), Options{Knobs: []Knob{ReduceTasks}}).Tune(dag.Single(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Changes) != 0 {
+		t.Errorf("reduce-task changes on a map-only job: %+v", rec.Changes)
+	}
+}
+
+func TestTuneRejectsInvalidWorkflow(t *testing.T) {
+	if _, err := New(spec(), Options{}).Tune(&dag.Workflow{Name: "x"}); err == nil {
+		t.Fatal("invalid workflow accepted")
+	}
+}
+
+func TestTuneMultiJobDAG(t *testing.T) {
+	a := misconfigured()
+	a.Name = "A"
+	b := workload.WordCount(10 * units.GB)
+	b.Name = "B"
+	flow := &dag.Workflow{Name: "chain", Jobs: []dag.Job{
+		{ID: "A", Profile: a},
+		{ID: "B", Profile: b, Deps: []string{"A"}},
+	}}
+	rec, err := New(spec(), Options{}).Tune(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Improvement() <= 0 {
+		t.Errorf("no improvement on a DAG with a misconfigured member")
+	}
+	touchedA := false
+	for _, c := range rec.Changes {
+		if c.Job == "A" {
+			touchedA = true
+		}
+		if c.Gain < 0 {
+			t.Errorf("accepted a regression: %+v", c)
+		}
+	}
+	if !touchedA {
+		t.Error("the misconfigured job was never touched")
+	}
+}
+
+func TestChangeRendering(t *testing.T) {
+	c := Change{Job: "A", Knob: ReduceTasks, From: "4", To: "16", Gain: 0.3}
+	if c.Knob.String() != "reduce-tasks" {
+		t.Errorf("knob string = %q", c.Knob.String())
+	}
+	if !strings.Contains(Knob(99).String(), "99") {
+		t.Error("unknown knob string")
+	}
+	for _, k := range AllKnobs() {
+		if strings.Contains(k.String(), "knob(") {
+			t.Errorf("knob %d has no name", k)
+		}
+	}
+}
+
+func TestSortChangesByGain(t *testing.T) {
+	changes := []Change{{Gain: 0.1}, {Gain: 0.5}, {Gain: 0.3}}
+	SortChangesByGain(changes)
+	if changes[0].Gain != 0.5 || changes[2].Gain != 0.1 {
+		t.Errorf("sorted = %+v", changes)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Knobs) != 3 || o.MaxPasses != 3 || o.MinGain != 0.005 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if o.TaskStartOverhead != time.Second {
+		t.Errorf("default overhead = %v", o.TaskStartOverhead)
+	}
+}
+
+// lowParallelism returns a long job that can only use a few slots,
+// leaving the cluster mostly idle while it runs.
+func lowParallelism(name string) workload.JobProfile {
+	p := workload.TeraSort(12 * units.GB)
+	p.Name = name
+	p.SplitBytes = 3 * units.GB // 4 huge map tasks
+	p.ReduceTasks = 2
+	return p
+}
+
+func TestOrderJobsImprovesFIFO(t *testing.T) {
+	narrow := lowParallelism("narrow")
+	wide := workload.WordCount(100 * units.GB)
+	wide.Name = "wide"
+	// Submitted wide-first, FIFO gives the wide job every slot and the
+	// narrow job waits; narrow-first leaves slots for the wide job to fill.
+	flow := &dag.Workflow{Name: "order", Jobs: []dag.Job{
+		{ID: "wide", Profile: wide},
+		{ID: "narrow", Profile: narrow},
+	}}
+	rec, err := New(spec(), Options{}).OrderJobs(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Estimate > rec.Baseline {
+		t.Errorf("ordering made it worse: %v → %v", rec.Baseline, rec.Estimate)
+	}
+	if rec.Improvement() < 0.05 {
+		t.Errorf("improvement %.1f%% (order %v), want ≥ 5%% on this setup",
+			100*rec.Improvement(), rec.Order)
+	}
+	if rec.Order[0] != "narrow" {
+		t.Errorf("recommended order %v, want the narrow job first", rec.Order)
+	}
+	if rec.Evaluations < 3 {
+		t.Errorf("evaluations = %d", rec.Evaluations)
+	}
+}
+
+func TestOrderJobsGreedyPath(t *testing.T) {
+	// Seven roots forces the greedy best-insertion branch.
+	flow := &dag.Workflow{Name: "many"}
+	for i := 0; i < 7; i++ {
+		p := workload.WordCount(3 * units.GB)
+		p.Name = fmt.Sprintf("j%d", i)
+		flow.Jobs = append(flow.Jobs, dag.Job{ID: p.Name, Profile: p})
+	}
+	flow.Jobs[0].Profile = lowParallelism("j0")
+	rec, err := New(spec(), Options{}).OrderJobs(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Order) != 7 {
+		t.Fatalf("order has %d entries: %v", len(rec.Order), rec.Order)
+	}
+	seen := map[string]bool{}
+	for _, id := range rec.Order {
+		if seen[id] {
+			t.Fatalf("duplicate %s in order %v", id, rec.Order)
+		}
+		seen[id] = true
+	}
+	if rec.Estimate > rec.Baseline {
+		t.Errorf("greedy ordering regressed: %v → %v", rec.Baseline, rec.Estimate)
+	}
+}
+
+func TestOrderJobsRejections(t *testing.T) {
+	tn := New(spec(), Options{})
+	if _, err := tn.OrderJobs(&dag.Workflow{Name: "x"}); err == nil {
+		t.Error("invalid workflow accepted")
+	}
+	single := dag.Single(workload.WordCount(units.GB))
+	if _, err := tn.OrderJobs(single); err == nil {
+		t.Error("single-root workflow accepted")
+	}
+}

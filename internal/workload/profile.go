@@ -1,0 +1,372 @@
+// Package workload describes MapReduce jobs as profiles: data volumes,
+// selectivities, per-byte CPU costs, compression and replication settings.
+// From a profile and a cluster topology it derives the tuple-level
+// operation demands (read, transfer, compute, write) of each task
+// sub-stage — the inputs both the BOE cost model and the ground-truth
+// simulator consume.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"boedag/internal/cluster"
+	"boedag/internal/units"
+)
+
+// Stage identifies the two task stages of a MapReduce job. The shuffle is
+// modelled, as in Hadoop, as the first sub-stage of the reduce task.
+type Stage int
+
+const (
+	// Map is the record-reading, user-map-function stage.
+	Map Stage = iota
+	// Reduce covers shuffle, merge and the user reduce function.
+	Reduce
+)
+
+// String returns "map" or "reduce".
+func (s Stage) String() string {
+	if s == Map {
+		return "map"
+	}
+	return "reduce"
+}
+
+// OpDemand is the amount of one resource a task sub-stage must move, e.g.
+// "read 128 MB from disk". Compute demand is expressed in bytes of
+// unit-cost work: a map function with CPUCost 2.0 over a 128 MB split
+// demands 256 MB of compute, processed at the core's unit throughput.
+type OpDemand struct {
+	Resource cluster.Resource
+	Bytes    units.Bytes
+}
+
+// SubStage is one pipelined phase of a task: a set of operations executed
+// tuple by tuple, with bulk synchronization at its end (Figure 3 of the
+// paper). The sub-stage's duration is governed by its bottleneck
+// operation.
+type SubStage struct {
+	// Name is a short label for traces, e.g. "map", "spill", "shuffle".
+	Name string
+	// Ops are the pipelined operations. At most one demand per resource.
+	Ops []OpDemand
+}
+
+// Demand returns the bytes this sub-stage moves on resource r (zero when
+// the resource is unused).
+func (ss SubStage) Demand(r cluster.Resource) units.Bytes {
+	for _, op := range ss.Ops {
+		if op.Resource == r {
+			return op.Bytes
+		}
+	}
+	return 0
+}
+
+// TotalDemand sums demands across sub-stages per resource.
+func TotalDemand(subs []SubStage, r cluster.Resource) units.Bytes {
+	var sum units.Bytes
+	for _, ss := range subs {
+		sum += ss.Demand(r)
+	}
+	return sum
+}
+
+// Compression describes optional map-output compression: it shrinks
+// shuffle and spill bytes by Ratio at the price of extra CPU on both the
+// map (compress) and reduce (decompress) side.
+type Compression struct {
+	// Enabled mirrors the paper's "C" column in Table I.
+	Enabled bool
+	// Ratio is compressed size / raw size, e.g. 0.35 for text word counts.
+	Ratio float64
+	// CPUOverhead is the extra unit-cost compute per raw byte spent
+	// compressing (map side) or decompressing (reduce side).
+	CPUOverhead float64
+}
+
+// factor returns the effective size multiplier for map output bytes.
+func (c Compression) factor() float64 {
+	if !c.Enabled {
+		return 1
+	}
+	return c.Ratio
+}
+
+// JobProfile is the static description of one MapReduce job: enough to
+// derive every task's sub-stages without running the job. Profiles come
+// from generators (word count, sort, TPC-H operators) or from measuring a
+// profiling run.
+type JobProfile struct {
+	// Name identifies the job in traces and experiment tables.
+	Name string
+
+	// InputBytes is the total input the map stage reads.
+	InputBytes units.Bytes
+	// SplitBytes is the input per map task (HDFS block / split size).
+	SplitBytes units.Bytes
+	// ReduceTasks is the configured reduce-task count; 0 means map-only.
+	ReduceTasks int
+
+	// MapSelectivity is map-output bytes per input byte, before
+	// compression.
+	MapSelectivity float64
+	// ReduceSelectivity is reduce-output bytes per reduce-input byte.
+	ReduceSelectivity float64
+
+	// MapCPUCost and ReduceCPUCost are unit-cost compute bytes demanded per
+	// byte processed by the user map / reduce function. 1.0 is the
+	// calibration workload (identity-like scan).
+	MapCPUCost    float64
+	ReduceCPUCost float64
+
+	// Compression applies to map output (spill + shuffle).
+	Compression Compression
+
+	// Replicas is the HDFS replication factor of the reduce (or map-only)
+	// output; the paper's "R" column. Zero defaults to 3.
+	Replicas int
+
+	// SortBufferBytes is the in-memory sort buffer of a map task; map
+	// outputs larger than this spill and pay an extra merge pass.
+	SortBufferBytes units.Bytes
+
+	// MapMemoryMB / ReduceMemoryMB are container memory requests, the
+	// denominator of DRF dominant shares.
+	MapMemoryMB    int
+	ReduceMemoryMB int
+	// MapVCores / ReduceVCores are container CPU requests.
+	MapVCores    int
+	ReduceVCores int
+
+	// SkewCV is the coefficient of variation of per-task data sizes the
+	// simulator applies (0 = perfectly even partitions).
+	SkewCV float64
+}
+
+// Validate reports the first inconsistent field, if any.
+func (p JobProfile) Validate() error {
+	switch {
+	case p.Name == "":
+		return errors.New("workload: job profile needs a name")
+	case p.InputBytes <= 0:
+		return fmt.Errorf("workload: %s: input bytes must be positive", p.Name)
+	case p.SplitBytes <= 0:
+		return fmt.Errorf("workload: %s: split bytes must be positive", p.Name)
+	case p.ReduceTasks < 0:
+		return fmt.Errorf("workload: %s: reduce tasks cannot be negative", p.Name)
+	case p.MapSelectivity < 0 || p.ReduceSelectivity < 0:
+		return fmt.Errorf("workload: %s: selectivities cannot be negative", p.Name)
+	case p.MapCPUCost < 0 || p.ReduceCPUCost < 0:
+		return fmt.Errorf("workload: %s: CPU costs cannot be negative", p.Name)
+	case p.Replicas < 0:
+		return fmt.Errorf("workload: %s: replicas cannot be negative", p.Name)
+	case p.Compression.Enabled && (p.Compression.Ratio <= 0 || p.Compression.Ratio > 1):
+		return fmt.Errorf("workload: %s: compression ratio must be in (0,1]", p.Name)
+	case p.SkewCV < 0:
+		return fmt.Errorf("workload: %s: skew CV cannot be negative", p.Name)
+	}
+	return nil
+}
+
+// replicas returns the effective replication factor (default 3, as HDFS).
+func (p JobProfile) replicas() int {
+	if p.Replicas == 0 {
+		return 3
+	}
+	return p.Replicas
+}
+
+// MapTasks returns the number of map tasks: one per input split.
+func (p JobProfile) MapTasks() int {
+	n := int(math.Ceil(float64(p.InputBytes) / float64(p.SplitBytes)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Tasks returns the task count of the given stage.
+func (p JobProfile) Tasks(s Stage) int {
+	if s == Map {
+		return p.MapTasks()
+	}
+	return p.ReduceTasks
+}
+
+// MapOutputBytes is the total (post-compression) map output of the job.
+func (p JobProfile) MapOutputBytes() units.Bytes {
+	return p.InputBytes.Scale(p.MapSelectivity * p.Compression.factor())
+}
+
+// OutputBytes is the job's final output size: reduce output for jobs with
+// a reduce stage, map output (uncompressed, written to HDFS) otherwise.
+func (p JobProfile) OutputBytes() units.Bytes {
+	if p.ReduceTasks == 0 {
+		return p.InputBytes.Scale(p.MapSelectivity)
+	}
+	raw := p.InputBytes.Scale(p.MapSelectivity) // reduce consumes logical bytes
+	return raw.Scale(p.ReduceSelectivity)
+}
+
+// MapTaskInput is the input size of one (average) map task.
+func (p JobProfile) MapTaskInput() units.Bytes {
+	return p.InputBytes / units.Bytes(p.MapTasks())
+}
+
+// ReduceTaskInput is the (post-compression) shuffle input of one reduce
+// task.
+func (p JobProfile) ReduceTaskInput() units.Bytes {
+	if p.ReduceTasks == 0 {
+		return 0
+	}
+	return p.MapOutputBytes() / units.Bytes(p.ReduceTasks)
+}
+
+// MemoryMB returns the container memory request for the stage (with a
+// 1 GB default, YARN's minimum allocation).
+func (p JobProfile) MemoryMB(s Stage) int {
+	mb := p.MapMemoryMB
+	if s == Reduce {
+		mb = p.ReduceMemoryMB
+	}
+	if mb <= 0 {
+		return 1024
+	}
+	return mb
+}
+
+// VCores returns the container vcore request for the stage (default 1).
+func (p JobProfile) VCores(s Stage) int {
+	v := p.MapVCores
+	if s == Reduce {
+		v = p.ReduceVCores
+	}
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// MapSubStages derives the pipelined sub-stages of one map task, given the
+// cluster the job runs on. The spec matters for data locality: the
+// fraction of HDFS reads and replica writes that traverse the network.
+//
+// Sub-stage 1 ("map"): disk read of the split, user map compute (plus
+// compression CPU), disk write of the (compressed) map output.
+// Sub-stage 2 ("spill", only when output exceeds the sort buffer): an
+// external merge pass that re-reads and re-writes the output.
+// Map-only jobs instead write their output to HDFS with replication.
+func (p JobProfile) MapSubStages(spec cluster.Spec) []SubStage {
+	in := p.MapTaskInput()
+	rawOut := in.Scale(p.MapSelectivity)
+	out := rawOut.Scale(p.Compression.factor())
+
+	compute := in.Scale(p.MapCPUCost)
+	if p.Compression.Enabled {
+		compute += rawOut.Scale(p.Compression.CPUOverhead)
+	}
+
+	if p.ReduceTasks == 0 {
+		// Map-only job: output goes straight to HDFS with replication.
+		rep := p.replicas()
+		remote := remoteFraction(spec, rep)
+		main := SubStage{Name: "map", Ops: trimOps([]OpDemand{
+			{Resource: cluster.DiskRead, Bytes: in},
+			{Resource: cluster.CPU, Bytes: compute},
+			{Resource: cluster.DiskWrite, Bytes: rawOut.Scale(float64(rep))},
+			{Resource: cluster.Network, Bytes: rawOut.Scale(remote)},
+		})}
+		return []SubStage{main}
+	}
+
+	subs := []SubStage{{Name: "map", Ops: trimOps([]OpDemand{
+		{Resource: cluster.DiskRead, Bytes: in},
+		{Resource: cluster.CPU, Bytes: compute},
+		{Resource: cluster.DiskWrite, Bytes: out},
+	})}}
+
+	if p.SortBufferBytes > 0 && out > p.SortBufferBytes {
+		// External merge & sort: one extra read+write pass over the spills.
+		subs = append(subs, SubStage{Name: "spill-merge", Ops: trimOps([]OpDemand{
+			{Resource: cluster.DiskRead, Bytes: out},
+			{Resource: cluster.CPU, Bytes: out.Scale(0.2)},
+			{Resource: cluster.DiskWrite, Bytes: out},
+		})})
+	}
+	return subs
+}
+
+// ReduceSubStages derives the pipelined sub-stages of one reduce task.
+//
+// Sub-stage 1 ("shuffle"): network transfer of the remote share of the
+// task's map-output partition plus a disk write materializing the reduce
+// input (the paper's §II-A: input is spilled to reserve memory for the
+// user reduce function). The map-side read is served from the OS buffer
+// cache and therefore demands no disk read.
+// Sub-stage 2 ("reduce"): disk read of the materialized input,
+// decompression + user reduce compute, and the HDFS write of the output
+// with R replicas — one local disk write plus R-1 replica transfers, and
+// the replica disk writes land on this cluster's aggregate disk pool too.
+func (p JobProfile) ReduceSubStages(spec cluster.Spec) []SubStage {
+	if p.ReduceTasks == 0 {
+		return nil
+	}
+	in := p.ReduceTaskInput()                           // compressed bytes pulled
+	logical := in / units.Bytes(p.Compression.factor()) // decompressed bytes
+	out := logical.Scale(p.ReduceSelectivity)
+	rep := p.replicas()
+
+	remoteIn := 1 - 1/float64(spec.Nodes) // map outputs are spread evenly
+
+	shuffle := SubStage{Name: "shuffle", Ops: trimOps([]OpDemand{
+		{Resource: cluster.Network, Bytes: in.Scale(remoteIn)},
+		{Resource: cluster.DiskWrite, Bytes: in},
+		{Resource: cluster.CPU, Bytes: in.Scale(0.1)}, // copier/merger threads
+	})}
+
+	compute := logical.Scale(p.ReduceCPUCost)
+	if p.Compression.Enabled {
+		compute += logical.Scale(p.Compression.CPUOverhead)
+	}
+	remoteOut := remoteFraction(spec, rep)
+	reduce := SubStage{Name: "reduce", Ops: trimOps([]OpDemand{
+		{Resource: cluster.DiskRead, Bytes: in},
+		{Resource: cluster.CPU, Bytes: compute},
+		{Resource: cluster.DiskWrite, Bytes: out.Scale(float64(rep))},
+		{Resource: cluster.Network, Bytes: out.Scale(remoteOut)},
+	})}
+	return []SubStage{shuffle, reduce}
+}
+
+// SubStages returns the sub-stages of a task of the given stage.
+func (p JobProfile) SubStages(s Stage, spec cluster.Spec) []SubStage {
+	if s == Map {
+		return p.MapSubStages(spec)
+	}
+	return p.ReduceSubStages(spec)
+}
+
+// remoteFraction is the share of HDFS replica bytes that cross the
+// network: the first replica is local, the remaining rep-1 are remote
+// (when the cluster has more than one node to hold them).
+func remoteFraction(spec cluster.Spec, rep int) float64 {
+	if spec.Nodes <= 1 || rep <= 1 {
+		return 0
+	}
+	return float64(rep - 1)
+}
+
+// trimOps drops zero-byte operations so sub-stage bottleneck scans only
+// see resources the task actually touches.
+func trimOps(ops []OpDemand) []OpDemand {
+	out := ops[:0]
+	for _, op := range ops {
+		if op.Bytes > 0 {
+			out = append(out, op)
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@
 //	boepredict -workflow ts+q21 -mode normal    # Alg2-Normal skew handling
 //	boepredict -workflow wc+q5 -profiles p.json # predict from saved profiles
 //	boepredict -workflow wc -save-profiles p.json  # profile a run for later
+//	boepredict -workflow wc+ts -trace-out t.json   # estimator + sim Chrome trace
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"boedag/internal/boe"
+	"boedag/internal/cliobs"
 	"boedag/internal/dag"
 	"boedag/internal/experiments"
 	"boedag/internal/metrics"
@@ -39,7 +41,14 @@ func main() {
 		profIn   = flag.String("profiles", "", "predict from this saved profile JSON instead of the BOE model")
 		profOut  = flag.String("save-profiles", "", "write the validation run's profiles to this JSON file")
 	)
+	var ob cliobs.Flags
+	ob.Register(nil)
 	flag.Parse()
+
+	observe, err := ob.Options()
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := experiments.Default()
 	cfg.Seed = *seed
@@ -92,6 +101,7 @@ func main() {
 	est := statemodel.New(cfg.Spec, timer, statemodel.Options{
 		Mode:              skew,
 		JobSubmitOverhead: cfg.JobSubmitOverhead,
+		Observe:           observe,
 	})
 	start := time.Now()
 	plan, err := est.Estimate(flow)
@@ -103,9 +113,12 @@ func main() {
 	fmt.Printf("estimation cost: %s\n", cost)
 
 	if !*validate && *profOut == "" {
+		if err := ob.Finish(); err != nil {
+			fatal(err)
+		}
 		return
 	}
-	res, err := simulator.New(cfg.Spec, simulator.Options{Seed: cfg.Seed}).Run(flow)
+	res, err := simulator.New(cfg.Spec, simulator.Options{Seed: cfg.Seed, Observe: observe}).Run(flow)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,6 +138,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("profiles written to %s\n", *profOut)
+	}
+	if err := ob.Finish(); err != nil {
+		fatal(err)
 	}
 }
 

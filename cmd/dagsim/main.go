@@ -9,6 +9,7 @@
 //	dagsim -workflow q21 -scale 80      # TPC-H Q21 (9 jobs)
 //	dagsim -workflow webanalytics       # the paper's Figure 1 DAG
 //	dagsim -workflow wc -pernode 4      # cap parallelism at 4 tasks/node
+//	dagsim -workflow wc+q5 -trace-out t.json  # Chrome trace for chrome://tracing
 //	dagsim -list                        # show every known workflow name
 package main
 
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"boedag/internal/cliobs"
 	"boedag/internal/dag"
 	"boedag/internal/experiments"
 	"boedag/internal/simulator"
@@ -38,6 +40,8 @@ func main() {
 		stagesCSV = flag.String("stages-csv", "", "write per-stage records to this CSV file")
 		jsonOut   = flag.String("json", "", "write the run summary to this JSON file")
 	)
+	var ob cliobs.Flags
+	ob.Register(nil)
 	flag.Parse()
 
 	if *list {
@@ -60,6 +64,10 @@ func main() {
 	opt := simulator.Options{Seed: cfg.Seed}
 	if *perNode > 0 {
 		opt.SlotLimit = *perNode * cfg.Spec.Nodes
+	}
+	if opt.Observe, err = ob.Options(); err != nil {
+		fmt.Fprintln(os.Stderr, "dagsim:", err)
+		os.Exit(1)
 	}
 	res, err := simulator.New(cfg.Spec, opt).Run(flow)
 	if err != nil {
@@ -97,6 +105,10 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("wrote %s\n", e.path)
+	}
+	if err := ob.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "dagsim:", err)
+		os.Exit(1)
 	}
 }
 

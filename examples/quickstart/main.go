@@ -38,7 +38,10 @@ func main() {
 	fmt.Println()
 
 	// --- 2. Ground truth: simulate the job ----------------------------
-	sim := boedag.NewSimulator(spec, boedag.SimOptions{Seed: 1})
+	// A trace recorder captures every task, state, and scheduling event
+	// of the run; we export it as a Chrome trace below.
+	rec := boedag.NewTraceRecorder()
+	sim := boedag.NewSimulator(spec, boedag.WithTracer(boedag.SimOptions{Seed: 1}, rec))
 	flow := boedag.Single(wc)
 	res, err := sim.Run(flow)
 	if err != nil {
@@ -58,4 +61,17 @@ func main() {
 	fmt.Printf("\npredicted %.1fs, simulated %.1fs — accuracy %.1f%%\n",
 		plan.Makespan.Seconds(), res.Makespan.Seconds(),
 		100*boedag.Accuracy(plan.Makespan, res.Makespan))
+
+	// --- 4. Export the simulation trace for chrome://tracing ----------
+	tf, err := os.CreateTemp("", "boedag-quickstart-*.trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := boedag.ExportChromeTrace(tf, rec.Events()); err != nil {
+		log.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nChrome trace written to %s — open chrome://tracing or https://ui.perfetto.dev\n", tf.Name())
 }

@@ -29,7 +29,10 @@ func main() {
 	spec := boedag.PaperCluster()
 	flow := boedag.WebAnalytics(50 * boedag.GB)
 
-	sim := boedag.NewSimulator(spec, boedag.SimOptions{Seed: 1})
+	// Record the run's events so the four-job DAG — including the state
+	// transitions Figure 1 is about — can be inspected in chrome://tracing.
+	rec := boedag.NewTraceRecorder()
+	sim := boedag.NewSimulator(spec, boedag.WithTracer(boedag.SimOptions{Seed: 1}, rec))
 	res, err := sim.Run(flow)
 	if err != nil {
 		log.Fatal(err)
@@ -81,4 +84,16 @@ func main() {
 	fmt.Printf("\nstate-based estimate: %.1fs vs simulated %.1fs (accuracy %.1f%%)\n",
 		plan.Makespan.Seconds(), res.Makespan.Seconds(),
 		100*boedag.Accuracy(plan.Makespan, res.Makespan))
+
+	tf, err := os.CreateTemp("", "boedag-webanalytics-*.trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := boedag.ExportChromeTrace(tf, rec.Events()); err != nil {
+		log.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Chrome trace written to %s — open chrome://tracing or https://ui.perfetto.dev\n", tf.Name())
 }

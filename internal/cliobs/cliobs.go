@@ -1,0 +1,142 @@
+// Package cliobs wires the observability layer into command-line tools:
+// one flag set covering event tracing, metrics export, and Go profiling,
+// shared by dagsim and boepredict.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"boedag/internal/obs"
+)
+
+// Flags carries the observability command-line options.
+type Flags struct {
+	TraceOut   string // Chrome trace_event JSON output path
+	MetricsOut string // metrics snapshot JSON output path
+	Summary    bool   // print a plain-text event digest to stdout
+	PprofAddr  string // serve net/http/pprof on this address
+	CPUProfile string // write a CPU profile here
+	MemProfile string // write a heap profile here
+
+	recorder *obs.Recorder
+	registry *obs.Registry
+	cpuFile  *os.File
+}
+
+// Register installs the flags on fs (the default command-line set when
+// nil).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a run-metrics JSON snapshot")
+	fs.BoolVar(&f.Summary, "obs-summary", false, "print an event summary after the run")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file")
+}
+
+// Options starts any requested profiling and returns the obs.Options to
+// hand to the simulator or estimator. The tracer and registry are only
+// allocated when an output that needs them was requested, so plain runs
+// keep the zero-cost disabled path.
+func (f *Flags) Options() (obs.Options, error) {
+	var o obs.Options
+	if f.TraceOut != "" || f.Summary {
+		f.recorder = obs.NewRecorder()
+		o.Tracer = f.recorder
+	}
+	if f.MetricsOut != "" {
+		f.registry = obs.NewRegistry()
+		o.Metrics = f.registry
+	}
+	if f.PprofAddr != "" {
+		ln := f.PprofAddr
+		go func() {
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", ln)
+	}
+	if f.CPUProfile != "" {
+		cf, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return o, err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return o, err
+		}
+		f.cpuFile = cf
+	}
+	return o, nil
+}
+
+// Finish stops profiling and writes every requested artifact, printing
+// the path of each file it creates.
+func (f *Flags) Finish() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", f.CPUProfile)
+	}
+	if f.MemProfile != "" {
+		mf, err := os.Create(f.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(mf)
+		if cerr := mf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", f.MemProfile)
+	}
+	if f.recorder != nil && f.TraceOut != "" {
+		if err := writeFile(f.TraceOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, f.recorder.Events())
+		}); err != nil {
+			return err
+		}
+	}
+	if f.registry != nil && f.MetricsOut != "" {
+		if err := writeFile(f.MetricsOut, f.registry.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if f.recorder != nil && f.Summary {
+		fmt.Println()
+		obs.WriteSummary(os.Stdout, f.recorder.Events())
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(w); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

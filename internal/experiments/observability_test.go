@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"boedag/internal/obs"
+	"boedag/internal/simulator"
+	"boedag/internal/units"
+)
+
+// TestHybridWorkflowChromeTrace is the observability acceptance path: a
+// TPC-H hybrid workflow runs with tracing on, and the exported Chrome
+// trace must be valid trace_event JSON carrying task, state, and
+// allocation events.
+func TestHybridWorkflowChromeTrace(t *testing.T) {
+	cfg := Default()
+	cfg.TPCHScale = 10
+	cfg.MicroInput = 10 * units.GB
+	flow, err := BuildNamed("wc+q5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewRecorder()
+	reg := obs.NewRegistry()
+	opt := simulator.Options{Seed: cfg.Seed, Observe: obs.Options{Tracer: rec, Metrics: reg}}
+	res, err := simulator.New(cfg.Spec, opt).Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	byCat := map[string]int{}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		byCat[ev.Cat]++
+		if ev.Ph == "X" {
+			pids[ev.Pid] = true
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Errorf("span %q has negative ts/dur", ev.Name)
+			}
+		}
+	}
+	if byCat["task"] != len(res.Tasks) {
+		t.Errorf("task spans = %d, want %d", byCat["task"], len(res.Tasks))
+	}
+	if byCat["state"] != len(res.States) {
+		t.Errorf("state spans = %d, want %d", byCat["state"], len(res.States))
+	}
+	if byCat["sched"] == 0 {
+		t.Error("no allocation events in the trace")
+	}
+	// The hybrid runs WC next to Q5's multi-job subflow: each job gets
+	// its own track, plus pid 0 for the workflow-level rows.
+	if len(pids) < 3 {
+		t.Errorf("only %d process tracks, want WC + Q5 jobs + workflow", len(pids))
+	}
+
+	if got := reg.Counter("sim_tasks_finished").Value(); got != int64(len(res.Tasks)) {
+		t.Errorf("sim_tasks_finished = %d, want %d", got, len(res.Tasks))
+	}
+}

@@ -10,7 +10,13 @@ import (
 )
 
 // Accuracy is the paper's metric: 1 − |estimated − actual| / actual,
-// clamped to [0, 1]. An estimate twice or half the truth scores 0.
+// clamped to [0, 1]. The clamp engages once the estimate reaches twice
+// the truth (or overshoots by more in either direction past 2×actual);
+// an estimate of half the truth scores 0.5, not 0, because relative
+// error is measured against the actual value. Degenerate inputs are
+// defined explicitly: a non-positive actual scores 1 when the estimate
+// is also non-positive (both "instant") and 0 otherwise, so negative
+// durations never produce accuracies outside [0, 1].
 func Accuracy(estimated, actual time.Duration) float64 {
 	a := actual.Seconds()
 	if a <= 0 {
@@ -26,8 +32,11 @@ func Accuracy(estimated, actual time.Duration) float64 {
 	return acc
 }
 
-// Error is the complementary relative error |est − actual| / actual
-// (unclamped, so gross mispredictions remain comparable).
+// Error is the complementary relative error |est − actual| / actual.
+// Unlike Accuracy it is unclamped, so gross mispredictions (estimate
+// beyond 2× actual) remain comparable between models instead of all
+// collapsing to the same score. For a non-positive actual it returns 0
+// when the estimate is also non-positive and +Inf otherwise.
 func Error(estimated, actual time.Duration) float64 {
 	a := actual.Seconds()
 	if a <= 0 {

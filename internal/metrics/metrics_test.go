@@ -42,6 +42,43 @@ func TestError(t *testing.T) {
 	}
 }
 
+// TestAccuracyErrorEdgeCases pins the degenerate-input contract both
+// functions document: zero and negative durations, and estimates past
+// the 2×actual clamp point.
+func TestAccuracyErrorEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		est, act time.Duration
+		wantAcc  float64
+		wantErr  float64
+	}{
+		{"half the truth scores one half", 50 * time.Second, 100 * time.Second, 0.5, 0.5},
+		{"exactly 2x hits the clamp", 200 * time.Second, 100 * time.Second, 0, 1},
+		{"past 2x stays clamped, error keeps growing", 500 * time.Second, 100 * time.Second, 0, 4},
+		{"negative estimate clamps, error unbounded", -100 * time.Second, 50 * time.Second, 0, 3},
+		{"zero estimate of positive actual", 0, 100 * time.Second, 0, 1},
+		{"both zero is a perfect instant", 0, 0, 1, 0},
+		{"both negative counts as instant", -time.Second, -2 * time.Second, 1, 0},
+		{"negative actual, positive estimate", time.Second, -time.Second, 0, math.Inf(1)},
+		{"zero actual, positive estimate", time.Second, 0, 0, math.Inf(1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Accuracy(c.est, c.act); math.Abs(got-c.wantAcc) > 1e-9 {
+				t.Errorf("Accuracy(%v, %v) = %v, want %v", c.est, c.act, got, c.wantAcc)
+			}
+			got := Error(c.est, c.act)
+			if math.IsInf(c.wantErr, 1) {
+				if !math.IsInf(got, 1) {
+					t.Errorf("Error(%v, %v) = %v, want +Inf", c.est, c.act, got)
+				}
+			} else if math.Abs(got-c.wantErr) > 1e-9 {
+				t.Errorf("Error(%v, %v) = %v, want %v", c.est, c.act, got, c.wantErr)
+			}
+		})
+	}
+}
+
 func TestImprovementFactor(t *testing.T) {
 	if got := ImprovementFactor(0.5, 0.1); math.Abs(got-5) > 1e-9 {
 		t.Errorf("factor = %v, want 5", got)

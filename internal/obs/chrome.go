@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// Object Format of the Trace Event specification, consumed by
+// chrome://tracing and Perfetto). Timestamps and durations are in
+// microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object format envelope.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Track assignment: pid 0 is the workflow-global track (states, scheduler
+// decisions, estimator iterations); each job gets its own pid ≥ 1 with
+// one thread row per task index, so the task execution plan reads like
+// the paper's Figure 1 when opened in Perfetto.
+const (
+	workflowPID  = 0
+	statesTID    = 0
+	schedTID     = 1
+	estimatorTID = 2
+)
+
+const usPerSec = 1e6
+
+// WriteChromeTrace exports recorded events as Chrome trace_event JSON.
+// Load the file in chrome://tracing or https://ui.perfetto.dev: task and
+// sub-stage spans appear on per-job tracks, workflow states and
+// scheduler allocation decisions on the workflow track.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	// Deterministic pid per job: sorted job names, starting at 1.
+	jobSet := make(map[string]bool)
+	for _, ev := range events {
+		if ev.Job != "" {
+			jobSet[ev.Job] = true
+		}
+	}
+	jobNames := make([]string, 0, len(jobSet))
+	for j := range jobSet {
+		jobNames = append(jobNames, j)
+	}
+	sort.Strings(jobNames)
+	jobPID := make(map[string]int, len(jobNames))
+	for i, j := range jobNames {
+		jobPID[j] = i + 1
+	}
+
+	meta := func(pid int, name string) {
+		trace.TraceEvents = append(trace.TraceEvents,
+			chromeEvent{Name: "process_name", Phase: "M", PID: pid,
+				Args: map[string]any{"name": name}},
+			chromeEvent{Name: "process_sort_index", Phase: "M", PID: pid,
+				Args: map[string]any{"sort_index": pid}},
+		)
+	}
+	meta(workflowPID, "workflow")
+	for _, j := range jobNames {
+		meta(jobPID[j], "job "+j)
+	}
+
+	for _, ev := range events {
+		switch ev.Type {
+		case EvTaskFinish:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("%s[%d]", ev.Stage, ev.Task), Cat: "task",
+				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
+				PID: jobPID[ev.Job], TID: ev.Task,
+				Args: map[string]any{"bottleneck": ev.Resource, "node": int(ev.Value)},
+			})
+		case EvSubStageFinish:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: ev.Sub, Cat: "substage",
+				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
+				PID: jobPID[ev.Job], TID: ev.Task,
+				Args: map[string]any{"bottleneck": ev.Resource},
+			})
+		case EvStageFinish:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: ev.Job + "/" + ev.Stage, Cat: "stage",
+				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
+				PID: jobPID[ev.Job], TID: -1,
+			})
+		case EvStateClose:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("state %d", ev.Seq), Cat: "state",
+				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
+				PID: workflowPID, TID: statesTID,
+				Args: map[string]any{
+					"running": ev.Detail, "dominant": ev.Resource,
+					"utilization": ev.Value,
+				},
+			})
+		case EvAllocGrant:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "grant " + ev.Job, Cat: "sched",
+				Phase: "i", TS: ev.Time * usPerSec,
+				PID: workflowPID, TID: schedTID, Scope: "t",
+				Args: map[string]any{
+					"job": ev.Job, "granted": int(ev.Value), "policy": ev.Detail,
+				},
+			})
+		case EvTaskRetry:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("retry %s[%d]", ev.Stage, ev.Task), Cat: "task",
+				Phase: "i", TS: ev.Time * usPerSec,
+				PID: jobPID[ev.Job], TID: ev.Task, Scope: "t",
+			})
+		case EvJobSubmit:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "submit " + ev.Job, Cat: "job",
+				Phase: "i", TS: ev.Time * usPerSec,
+				PID: jobPID[ev.Job], TID: -1, Scope: "p",
+			})
+		case EvEstimatorState:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("est state %d", ev.Seq), Cat: "estimator",
+				Phase: "i", TS: ev.Time * usPerSec,
+				PID: workflowPID, TID: estimatorTID, Scope: "t",
+				Args: map[string]any{"running": ev.Detail},
+			})
+		// EvTaskStart, EvStageStart, EvStateOpen and EvEstimatorIter are
+		// redundant with the span events above in the Chrome view; they
+		// stay in the raw stream for programmatic consumers.
+		default:
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(trace); err != nil {
+		return fmt.Errorf("obs: write chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodeTrace parses exporter output back into the object format.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var decoded struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", decoded.DisplayTimeUnit)
+	}
+	return decoded.TraceEvents
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	events := []Event{
+		{Type: EvJobSubmit, Job: "j1", Time: 0},
+		{Type: EvTaskStart, Job: "j1", Stage: "map", Task: 0, Time: 2},
+		{Type: EvSubStageFinish, Job: "j1", Stage: "map", Sub: "read", Task: 0,
+			Time: 2, Dur: 3, Resource: "disk-read"},
+		{Type: EvTaskFinish, Job: "j1", Stage: "map", Task: 0, Time: 2, Dur: 10,
+			Resource: "cpu", Value: -1},
+		{Type: EvTaskRetry, Job: "j2", Stage: "reduce", Task: 3, Time: 6},
+		{Type: EvStageFinish, Job: "j1", Stage: "map", Time: 2, Dur: 10},
+		{Type: EvAllocGrant, Job: "j1", Time: 1, Value: 4, Detail: "drf"},
+		{Type: EvStateClose, Seq: 1, Time: 0, Dur: 12, Detail: "j1/map",
+			Resource: "cpu", Value: 0.8},
+		{Type: EvEstimatorState, Seq: 1, Time: 0, Detail: "j1/map"},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	tes := decodeTrace(t, buf.Bytes())
+
+	cats := make(map[string]int)
+	phases := make(map[string]int)
+	for _, te := range tes {
+		if c, ok := te["cat"].(string); ok {
+			cats[c]++
+		}
+		phases[te["ph"].(string)]++
+	}
+	for _, want := range []string{"task", "substage", "stage", "state", "sched", "job", "estimator"} {
+		if cats[want] == 0 {
+			t.Errorf("no %q events in trace; cats = %v", want, cats)
+		}
+	}
+	if phases["M"] == 0 {
+		t.Error("no metadata (process_name) events")
+	}
+	if phases["X"] < 4 {
+		t.Errorf("complete events = %d, want ≥ 4", phases["X"])
+	}
+
+	// The task span must be converted to microseconds.
+	for _, te := range tes {
+		if te["cat"] == "task" && te["ph"] == "X" {
+			if ts := te["ts"].(float64); ts != 2*usPerSec {
+				t.Errorf("task ts = %v, want %v", ts, 2*usPerSec)
+			}
+			if dur := te["dur"].(float64); dur != 10*usPerSec {
+				t.Errorf("task dur = %v, want %v", dur, 10*usPerSec)
+			}
+		}
+	}
+}
+
+func TestWriteChromeTraceDeterministicPIDs(t *testing.T) {
+	events := []Event{
+		{Type: EvTaskFinish, Job: "zeta", Stage: "map", Time: 0, Dur: 1},
+		{Type: EvTaskFinish, Job: "alpha", Stage: "map", Time: 0, Dur: 1},
+	}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	// Reversed emission order must yield identical pid assignment (sorted
+	// by job name), so traces diff cleanly across runs.
+	if err := WriteChromeTrace(&b, []Event{events[1], events[0]}); err != nil {
+		t.Fatal(err)
+	}
+	pidOf := func(data []byte, job string) float64 {
+		for _, te := range decodeTrace(t, data) {
+			if te["ph"] == "M" && te["name"] == "process_name" {
+				if args := te["args"].(map[string]any); args["name"] == "job "+job {
+					return te["pid"].(float64)
+				}
+			}
+		}
+		t.Fatalf("no process_name for %s", job)
+		return -1
+	}
+	if pidOf(a.Bytes(), "alpha") != pidOf(b.Bytes(), "alpha") ||
+		pidOf(a.Bytes(), "zeta") != pidOf(b.Bytes(), "zeta") {
+		t.Error("pid assignment depends on emission order")
+	}
+	if pidOf(a.Bytes(), "alpha") >= pidOf(a.Bytes(), "zeta") {
+		t.Error("pids not sorted by job name")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tes := decodeTrace(t, buf.Bytes()); len(tes) < 2 {
+		// Still a valid trace with the workflow metadata track.
+		t.Errorf("empty trace has %d events, want the metadata pair", len(tes))
+	}
+}

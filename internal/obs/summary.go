@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteSummary renders a plain-text report over a recorded event stream:
+// event counts by type, per-job task statistics, and the workflow state
+// timeline — the quick look before reaching for chrome://tracing.
+func WriteSummary(w io.Writer, events []Event) {
+	if len(events) == 0 {
+		fmt.Fprintln(w, "(no events recorded)")
+		return
+	}
+
+	byType := make(map[EventType]int)
+	type jobStat struct {
+		tasks   int
+		retries int
+		taskSum float64
+	}
+	jobs := make(map[string]*jobStat)
+	span := 0.0
+	var states []Event
+	for _, ev := range events {
+		byType[ev.Type]++
+		if end := ev.Time + ev.Dur; end > span {
+			span = end
+		}
+		switch ev.Type {
+		case EvTaskFinish:
+			js := jobs[ev.Job]
+			if js == nil {
+				js = &jobStat{}
+				jobs[ev.Job] = js
+			}
+			js.tasks++
+			js.taskSum += ev.Dur
+		case EvTaskRetry:
+			js := jobs[ev.Job]
+			if js == nil {
+				js = &jobStat{}
+				jobs[ev.Job] = js
+			}
+			js.retries++
+		case EvStateClose:
+			states = append(states, ev)
+		}
+	}
+
+	fmt.Fprintf(w, "observability summary: %d events over %.1fs\n", len(events), span)
+
+	fmt.Fprintln(w, "events by type:")
+	types := make([]EventType, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(a, b int) bool { return types[a] < types[b] })
+	for _, t := range types {
+		fmt.Fprintf(w, "  %-18s %d\n", t, byType[t])
+	}
+
+	if len(jobs) > 0 {
+		fmt.Fprintln(w, "tasks by job:")
+		names := make([]string, 0, len(jobs))
+		for j := range jobs {
+			names = append(names, j)
+		}
+		sort.Strings(names)
+		for _, j := range names {
+			js := jobs[j]
+			mean := 0.0
+			if js.tasks > 0 {
+				mean = js.taskSum / float64(js.tasks)
+			}
+			fmt.Fprintf(w, "  %-12s %4d tasks, mean %6.1fs, %d retries\n",
+				j, js.tasks, mean, js.retries)
+		}
+	}
+
+	if len(states) > 0 {
+		fmt.Fprintln(w, "workflow states:")
+		for _, st := range states {
+			fmt.Fprintf(w, "  state %2d [%7.1fs .. %7.1fs] %s — bound on %s (%.0f%%)\n",
+				st.Seq, st.Time, st.Time+st.Dur, st.Detail, st.Resource, 100*st.Value)
+		}
+	}
+}

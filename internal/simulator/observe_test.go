@@ -1,0 +1,145 @@
+package simulator
+
+import (
+	"testing"
+
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/obs"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// obsFlow is the instrumentation test workload: two parallel jobs so the
+// run crosses several workflow states.
+func obsFlow() *dag.Workflow {
+	return dag.Parallel("obs-demo",
+		dag.Single(workload.WordCount(5*units.GB)),
+		dag.Single(workload.TeraSort(5*units.GB)))
+}
+
+func TestSimulatorEmitsEvents(t *testing.T) {
+	rec := obs.NewRecorder()
+	reg := obs.NewRegistry()
+	opt := Options{Seed: 1, Observe: obs.Options{Tracer: rec, Metrics: reg}}
+	res, err := New(cluster.PaperCluster(), opt).Run(obsFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finishes := rec.ByType(obs.EvTaskFinish)
+	if len(finishes) != len(res.Tasks) {
+		t.Errorf("EvTaskFinish count = %d, want %d (one per task)", len(finishes), len(res.Tasks))
+	}
+	if got := len(rec.ByType(obs.EvStateClose)); got != len(res.States) {
+		t.Errorf("EvStateClose count = %d, want %d", got, len(res.States))
+	}
+	if got := len(rec.ByType(obs.EvStageFinish)); got != len(res.Stages) {
+		t.Errorf("EvStageFinish count = %d, want %d", got, len(res.Stages))
+	}
+	for _, want := range []obs.EventType{
+		obs.EvJobSubmit, obs.EvStageStart, obs.EvTaskStart,
+		obs.EvSubStageFinish, obs.EvStateOpen, obs.EvAllocGrant,
+	} {
+		if len(rec.ByType(want)) == 0 {
+			t.Errorf("no %s events emitted", want)
+		}
+	}
+	// Span events carry (start, duration) consistent with the records.
+	for _, ev := range finishes {
+		if ev.Dur <= 0 || ev.Time < 0 {
+			t.Errorf("task finish span invalid: %+v", ev)
+		}
+		if ev.Resource == "" {
+			t.Errorf("task finish missing bottleneck: %+v", ev)
+		}
+	}
+
+	if got := reg.Counter("sim_tasks_finished").Value(); got != int64(len(res.Tasks)) {
+		t.Errorf("sim_tasks_finished = %d, want %d", got, len(res.Tasks))
+	}
+	if got := reg.Counter("sim_tasks_scheduled").Value(); got < int64(len(res.Tasks)) {
+		t.Errorf("sim_tasks_scheduled = %d, want ≥ %d", got, len(res.Tasks))
+	}
+	if reg.Histogram("sim_task_duration_s").Count() == 0 {
+		t.Error("task duration histogram empty")
+	}
+	if reg.Gauge("sim_mean_utilization_cpu").Value() <= 0 {
+		t.Error("cpu utilization gauge not set")
+	}
+	if reg.Counter("sched_grant_rounds").Value() == 0 {
+		t.Error("scheduler grant rounds not counted")
+	}
+}
+
+func TestSimulatorRetryEventsWithFailures(t *testing.T) {
+	rec := obs.NewRecorder()
+	opt := Options{Seed: 1, TaskFailureProb: 0.2, Observe: obs.Options{Tracer: rec}}
+	res, err := New(cluster.PaperCluster(), opt).Run(dag.Single(workload.WordCount(5 * units.GB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.ByType(obs.EvTaskRetry)); got != res.TotalRetries() {
+		t.Errorf("EvTaskRetry count = %d, want %d", got, res.TotalRetries())
+	}
+}
+
+// TestObservationDoesNotPerturb is the Heisenberg guard: attaching the
+// full observability stack must not change a single simulated number.
+func TestObservationDoesNotPerturb(t *testing.T) {
+	base, err := New(cluster.PaperCluster(), Options{Seed: 7}).Run(obsFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsOpt := Options{Seed: 7, Observe: obs.Options{Tracer: obs.NewRecorder(), Metrics: obs.NewRegistry()}}
+	traced, err := New(cluster.PaperCluster(), obsOpt).Run(obsFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan != traced.Makespan {
+		t.Errorf("makespan drifted under observation: %v vs %v", base.Makespan, traced.Makespan)
+	}
+	if len(base.Tasks) != len(traced.Tasks) || len(base.States) != len(traced.States) {
+		t.Errorf("record counts drifted: %d/%d tasks, %d/%d states",
+			len(base.Tasks), len(traced.Tasks), len(base.States), len(traced.States))
+	}
+	for i := range base.Tasks {
+		if base.Tasks[i].End != traced.Tasks[i].End {
+			t.Fatalf("task %d end drifted", i)
+		}
+	}
+}
+
+// BenchmarkSimulatorInstrumentationOff measures the disabled-path cost of
+// the observability layer: it must stay within 5% of the seed simulator
+// (every emit site is one predictable branch; compare against
+// BenchmarkSimulatorInstrumentationOn for the enabled cost).
+func BenchmarkSimulatorInstrumentationOff(b *testing.B) {
+	spec := cluster.PaperCluster()
+	flow := obsFlow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(spec, Options{Seed: 1}).Run(flow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorInstrumentationOn is the enabled-path counterpart:
+// full event recording plus metrics.
+func BenchmarkSimulatorInstrumentationOn(b *testing.B) {
+	spec := cluster.PaperCluster()
+	flow := obsFlow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := Options{Seed: 1, Observe: obs.Options{
+			Tracer:  obs.NewRecorder(),
+			Metrics: obs.NewRegistry(),
+		}}
+		if _, err := New(spec, opt).Run(flow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
 	"boedag/internal/fairshare"
+	"boedag/internal/obs"
 	"boedag/internal/sched"
 	"boedag/internal/units"
 	"boedag/internal/workload"
@@ -47,6 +49,11 @@ type Options struct {
 	DisableSkew bool
 	// MaxEvents guards against runaway simulations (default 10 million).
 	MaxEvents int
+	// Observe attaches the observability layer: a Tracer receiving
+	// structured events (task lifecycle, sub-stage bottleneck resolution,
+	// state transitions, allocation decisions) and a metrics Registry.
+	// The zero value is fully off and costs one branch per emit site.
+	Observe obs.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -66,11 +73,21 @@ func (o Options) withDefaults() Options {
 type Simulator struct {
 	spec cluster.Spec
 	opt  Options
+	// trOn caches Observe.TracerOn() so every emit site pays one branch;
+	// m holds pre-resolved metric instruments (nil when metrics are off).
+	trOn bool
+	m    *simMetrics
 }
 
 // New returns a Simulator for the cluster with the given options.
 func New(spec cluster.Spec, opt Options) *Simulator {
-	return &Simulator{spec: spec, opt: opt.withDefaults()}
+	opt = opt.withDefaults()
+	return &Simulator{
+		spec: spec,
+		opt:  opt,
+		trOn: opt.Observe.TracerOn(),
+		m:    newSimMetrics(opt.Observe.Metrics),
+	}
 }
 
 type jobPhase int
@@ -123,6 +140,9 @@ type simJob struct {
 	finished  int
 	stageMeta map[workload.Stage]*StageRecord
 	peak      map[workload.Stage]int
+	// stageOpenAt is when the current stage materialized its tasks — the
+	// baseline for the queue-wait metric.
+	stageOpenAt float64
 }
 
 // Run simulates the workflow and returns its measurements.
@@ -151,6 +171,12 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 		j.readyAt = now + s.opt.JobSubmitOverhead.Seconds()
 		j.order = submitSeq
 		submitSeq++
+		if s.trOn {
+			s.opt.Observe.Tracer.Emit(obs.Event{
+				Type: obs.EvJobSubmit, Time: now, Job: j.id, Task: -1,
+				Value: j.readyAt,
+			})
+		}
 	}
 	for _, id := range w.Roots() {
 		eligible(jobs[id])
@@ -159,7 +185,7 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 	pool := sched.PoolOf(s.spec).WithSlotLimit(s.opt.SlotLimit)
 
 	var running []*simTask
-	stateTracker := newStateTracker()
+	stateTracker := newStateTracker(s.opt.Observe, s.trOn, s.m)
 	nodeLoad := make([]int, s.spec.Nodes)
 
 	remainingJobs := len(jobs)
@@ -168,11 +194,14 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 			return nil, fmt.Errorf("simulator: workflow %q exceeded %d events (livelock?)",
 				w.Name, s.opt.MaxEvents)
 		}
+		if s.m != nil {
+			s.m.loopEvents.Inc()
+		}
 
 		// Admit jobs whose submit latency elapsed.
 		for _, j := range sortedJobs(jobs) {
 			if j.phase == jobSubmitted && j.readyAt <= now+timeEps {
-				s.startStage(j, workload.Map)
+				s.startStage(j, workload.Map, now)
 			}
 		}
 
@@ -251,10 +280,28 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 				t.delay = s.opt.TaskStartOverhead.Seconds()
 				t.subDurs = t.subDurs[:0]
 				t.subStart = now
+				if s.trOn {
+					s.opt.Observe.Tracer.Emit(obs.Event{
+						Type: obs.EvTaskRetry, Time: now,
+						Job: t.job.id, Stage: t.stage.String(), Task: t.index,
+					})
+				}
+				if s.m != nil {
+					s.m.taskRetries.Inc()
+				}
 				completed = append(completed, t)
 				continue
 			}
 			if t.delay == 0 && t.remaining <= timeEps*math.Max(1, t.rate) {
+				if s.trOn {
+					s.opt.Observe.Tracer.Emit(obs.Event{
+						Type: obs.EvSubStageFinish,
+						Time: t.subStart, Dur: now - t.subStart,
+						Job: t.job.id, Stage: t.stage.String(),
+						Sub: t.subStages[t.cur].Name, Task: t.index,
+						Resource: t.bottleneck.String(),
+					})
+				}
 				t.subDurs = append(t.subDurs, now-t.subStart)
 				t.cur++
 				t.remaining = 1
@@ -282,8 +329,16 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 			}
 			meta := j.stageMeta[t.stage]
 			meta.End = units.Seconds(now)
+			if s.trOn {
+				s.opt.Observe.Tracer.Emit(obs.Event{
+					Type: obs.EvStageFinish,
+					Time: meta.Start.Seconds(), Dur: (meta.End - meta.Start).Seconds(),
+					Job: j.id, Stage: t.stage.String(), Task: -1,
+					Resource: meta.Bottleneck.String(),
+				})
+			}
 			if t.stage == workload.Map && j.profile.ReduceTasks > 0 {
-				s.startStage(j, workload.Reduce)
+				s.startStage(j, workload.Reduce, now)
 				continue
 			}
 			j.phase = jobDone
@@ -301,6 +356,9 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 	stateTracker.observe(now, nil)
 	res.States = stateTracker.finish(now)
 	res.Makespan = units.Seconds(now)
+	if s.m != nil {
+		s.m.recordFinalUtilization(res.States)
+	}
 	for _, j := range sortedJobs(jobs) {
 		for _, st := range []workload.Stage{workload.Map, workload.Reduce} {
 			if meta, ok := j.stageMeta[st]; ok {
@@ -324,9 +382,9 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 
 const timeEps = 1e-9
 
-// startStage materializes the pending tasks of a job stage, applying the
-// deterministic per-task size skew.
-func (s *Simulator) startStage(j *simJob, st workload.Stage) {
+// startStage materializes the pending tasks of a job stage at model time
+// now, applying the deterministic per-task size skew.
+func (s *Simulator) startStage(j *simJob, st workload.Stage, now float64) {
 	n := j.profile.Tasks(st)
 	subs := j.profile.SubStages(st, s.spec)
 	cv := j.profile.SkewCV
@@ -363,6 +421,14 @@ func (s *Simulator) startStage(j *simJob, st workload.Stage) {
 		j.phase = jobReducing
 	}
 	j.stageMeta[st] = &StageRecord{Job: j.id, Stage: st}
+	j.stageOpenAt = now
+	if s.trOn {
+		s.opt.Observe.Tracer.Emit(obs.Event{
+			Type: obs.EvStageStart, Time: now,
+			Job: j.id, Stage: st.String(), Task: -1,
+			Value: float64(n),
+		})
+	}
 }
 
 // schedule grants containers under the configured policy and launches
@@ -392,7 +458,7 @@ func (s *Simulator) schedule(pool sched.Pool, jobs map[string]*simJob, running *
 	if len(reqs) == 0 {
 		return
 	}
-	grants := sched.Grant(s.opt.Policy, pool, reqs, held)
+	grants := sched.GrantObserved(s.opt.Policy, pool, reqs, held, s.opt.Observe, now)
 	for _, r := range reqs {
 		j := jobs[r.JobID]
 		for g := grants[r.JobID]; g > 0 && len(j.pending) > 0; g-- {
@@ -408,6 +474,17 @@ func (s *Simulator) schedule(pool sched.Pool, jobs map[string]*simJob, running *
 			t.subStart = now
 			j.running[t] = true
 			*running = append(*running, t)
+			if s.trOn {
+				s.opt.Observe.Tracer.Emit(obs.Event{
+					Type: obs.EvTaskStart, Time: now,
+					Job: j.id, Stage: t.stage.String(), Task: t.index,
+					Value: now - j.stageOpenAt, // container queue wait
+				})
+			}
+			if s.m != nil {
+				s.m.tasksScheduled.Inc()
+				s.m.queueWait.Observe(now - j.stageOpenAt)
+			}
 			meta := j.stageMeta[t.stage]
 			if len(j.running)+0 > j.peak[t.stage] {
 				j.peak[t.stage] = len(j.running)
@@ -485,6 +562,18 @@ func (s *Simulator) finishTask(res *Result, t *simTask, now float64) {
 	}
 	rec.Bottleneck = best
 	res.Tasks = append(res.Tasks, rec)
+	if s.trOn {
+		s.opt.Observe.Tracer.Emit(obs.Event{
+			Type: obs.EvTaskFinish,
+			Time: t.start, Dur: now - t.start,
+			Job: t.job.id, Stage: t.stage.String(), Task: t.index,
+			Resource: best.String(), Value: float64(t.node),
+		})
+	}
+	if s.m != nil {
+		s.m.tasksFinished.Inc()
+		s.m.taskDur.Observe(now - t.start)
+	}
 
 	meta := t.job.stageMeta[t.stage]
 	meta.TaskTimes = append(meta.TaskTimes, rec.Duration())
@@ -528,9 +617,15 @@ type stateTracker struct {
 	states   []StateRecord
 	utilSum  [cluster.NumResources]float64
 	utilTime float64
+	// Observability sinks, shared with the owning Simulator.
+	o    obs.Options
+	trOn bool
+	m    *simMetrics
 }
 
-func newStateTracker() *stateTracker { return &stateTracker{sig: "\x00init"} }
+func newStateTracker(o obs.Options, trOn bool, m *simMetrics) *stateTracker {
+	return &stateTracker{sig: "\x00init", o: o, trOn: trOn, m: m}
+}
 
 func (st *stateTracker) observe(now float64, running []*simTask) {
 	set := make(map[string]bool)
@@ -550,6 +645,13 @@ func (st *stateTracker) observe(now float64, running []*simTask) {
 	st.sig, st.start, st.labels = sig, now, labels
 	st.utilSum = [cluster.NumResources]float64{}
 	st.utilTime = 0
+	if st.trOn && len(labels) > 0 {
+		st.o.Tracer.Emit(obs.Event{
+			Type: obs.EvStateOpen, Time: now, Task: -1,
+			Seq:    len(st.states) + 1, // tentative: transients are dropped at close
+			Detail: strings.Join(labels, ","),
+		})
+	}
 }
 
 // accumulate adds a time-weighted utilization sample to the open state.
@@ -582,6 +684,21 @@ func (st *stateTracker) close(now float64) {
 		}
 	}
 	st.states = append(st.states, rec)
+	if st.trOn {
+		dom := rec.DominantResource()
+		st.o.Tracer.Emit(obs.Event{
+			Type: obs.EvStateClose,
+			Time: st.start, Dur: now - st.start,
+			Seq: rec.Seq, Task: -1,
+			Detail:   strings.Join(st.labels, ","),
+			Resource: dom.String(),
+			Value:    rec.Utilization[dom],
+		})
+	}
+	if st.m != nil {
+		st.m.states.Inc()
+		st.m.stateDur.Observe(now - st.start)
+	}
 }
 
 func (st *stateTracker) finish(now float64) []StateRecord {

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"boedag/internal/boe"
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
+	"boedag/internal/obs"
 	"boedag/internal/sched"
 	"boedag/internal/skew"
 	"boedag/internal/units"
@@ -36,6 +38,10 @@ type Options struct {
 	// DiscreteWaves switches the stage-duration rule from the fluid
 	// tasksLeft/throughput form to explicit ⌈N/Δ⌉ waves (ablation).
 	DiscreteWaves bool
+	// Observe attaches the observability layer: per-iteration events of
+	// Algorithm 1's state loop, predicted state/stage spans, scheduler
+	// grants, and iteration counters. Zero value = off.
+	Observe obs.Options
 }
 
 // StageEstimate is the predicted execution of one job stage.
@@ -195,9 +201,31 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 	plan := &Plan{Workflow: w.Name}
 	var prevSig string
 
+	trOn := e.Opt.Observe.TracerOn()
+	var iterCount *obs.Counter
+	var stateCount *obs.Counter
+	var stateDur *obs.Histogram
+	if reg := e.Opt.Observe.Metrics; reg != nil {
+		iterCount = reg.Counter("est_iterations")
+		stateCount = reg.Counter("est_states")
+		stateDur = reg.Histogram("est_state_duration_s")
+	}
+	// observeClosed folds the just-closed predicted state into metrics.
+	observeClosed := func() {
+		if stateDur == nil || len(plan.States) == 0 {
+			return
+		}
+		if last := plan.States[len(plan.States)-1]; last.End > 0 {
+			stateDur.Observe(last.Duration().Seconds())
+		}
+	}
+
 	for iter := 0; remaining > 0; iter++ {
 		if iter > 10000*len(jobs)+10000 {
 			return nil, fmt.Errorf("statemodel: workflow %q did not converge", w.Name)
+		}
+		if iterCount != nil {
+			iterCount.Inc()
 		}
 		// Admit submitted jobs.
 		for _, j := range orderedJobs(jobs) {
@@ -206,6 +234,12 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 			}
 		}
 		running := runningJobs(jobs)
+		if trOn {
+			e.Opt.Observe.Tracer.Emit(obs.Event{
+				Type: obs.EvEstimatorIter, Time: now, Task: -1,
+				Seq: iter, Value: float64(len(running)),
+			})
+		}
 		if len(running) == 0 {
 			// Idle gap: jump to the next submit event.
 			next := math.Inf(1)
@@ -233,7 +267,7 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 				Order:    j.order,
 			}
 		}
-		grants := sched.Grant(e.Opt.Policy, pool, reqs, nil)
+		grants := sched.GrantObserved(e.Opt.Policy, pool, reqs, nil, e.Opt.Observe, now)
 
 		// (2) Task time per running job via the BOE model (or profiles).
 		groups := make([]boe.TaskGroup, len(running))
@@ -275,6 +309,7 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 		sig := stateSignature(running)
 		if sig != prevSig {
 			closeState(plan, now)
+			observeClosed()
 			prevSig = sig
 			st := StateEstimate{
 				Seq:         len(plan.States) + 1,
@@ -287,6 +322,15 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 			}
 			sort.Strings(st.Running)
 			plan.States = append(plan.States, st)
+			if stateCount != nil {
+				stateCount.Inc()
+			}
+			if trOn {
+				e.Opt.Observe.Tracer.Emit(obs.Event{
+					Type: obs.EvEstimatorState, Time: now, Task: -1,
+					Seq: st.Seq, Detail: strings.Join(st.Running, ","),
+				})
+			}
 		}
 
 		// (3)-(4) Find the job whose stage ends first.
@@ -315,6 +359,16 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 			}
 			j.tasksLeft = 0
 			j.plan[j.stage].End = units.Seconds(now)
+			if trOn {
+				se := j.plan[j.stage]
+				e.Opt.Observe.Tracer.Emit(obs.Event{
+					Type: obs.EvStageFinish,
+					Time: se.Start.Seconds(), Dur: se.Duration().Seconds(),
+					Job: j.id, Stage: j.stage.String(), Task: -1,
+					Resource: se.Bottleneck.String(),
+					Value:    float64(se.Parallelism),
+				})
+			}
 			if j.stage == workload.Map && j.profile.ReduceTasks > 0 {
 				e.openStage(j, workload.Reduce, now)
 				continue
@@ -331,6 +385,7 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 		}
 	}
 	closeState(plan, now)
+	observeClosed()
 	plan.Makespan = units.Seconds(now)
 	for _, j := range orderedJobs(jobs) {
 		for _, st := range []workload.Stage{workload.Map, workload.Reduce} {

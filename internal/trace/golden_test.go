@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/obs"
+	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenCompare checks got against testdata/<name>, rewriting the file
+// when -update is set. The demo workflow is fully deterministic (fixed
+// seed, fixed cluster), so renderer output is byte-stable.
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to create golden files)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file; diff the output below against %s or rerun with -update\n%s",
+			name, path, got)
+	}
+}
+
+func TestGanttGolden(t *testing.T) {
+	var buf bytes.Buffer
+	Gantt(&buf, sampleResult(t))
+	goldenCompare(t, "gantt.txt", buf.Bytes())
+}
+
+func TestPlanGolden(t *testing.T) {
+	spec := cluster.PaperCluster()
+	timer := &statemodel.BOETimer{Model: boe.New(spec), TaskStartOverhead: time.Second}
+	flow := dag.Parallel("demo",
+		dag.Single(workload.WordCount(3*units.GB)),
+		dag.Single(workload.TeraSort(3*units.GB)))
+	plan, err := statemodel.New(spec, timer, statemodel.Options{}).Estimate(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Plan(&buf, plan)
+	goldenCompare(t, "plan.txt", buf.Bytes())
+}
+
+func TestExportsGolden(t *testing.T) {
+	res := sampleResult(t)
+	for _, tc := range []struct {
+		name  string
+		write func(*bytes.Buffer) error
+	}{
+		{"tasks.csv", func(b *bytes.Buffer) error { return ExportTasksCSV(b, res) }},
+		{"stages.csv", func(b *bytes.Buffer) error { return ExportStagesCSV(b, res) }},
+		{"result.json", func(b *bytes.Buffer) error { return ExportResultJSON(b, res) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, tc.name, buf.Bytes())
+		})
+	}
+}
+
+// TestObservabilityGolden pins the Chrome trace and text summary of the
+// demo run, exercising the obs export paths end to end.
+func TestObservabilityGolden(t *testing.T) {
+	rec := obs.NewRecorder()
+	flow := dag.Parallel("demo",
+		dag.Single(workload.WordCount(3*units.GB)),
+		dag.Single(workload.TeraSort(3*units.GB)))
+	opt := simulator.Options{Seed: 1, Observe: obs.Options{Tracer: rec}}
+	if _, err := simulator.New(cluster.PaperCluster(), opt).Run(flow); err != nil {
+		t.Fatal(err)
+	}
+	var chrome bytes.Buffer
+	if err := obs.WriteChromeTrace(&chrome, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "chrome_trace.json", chrome.Bytes())
+
+	var summary bytes.Buffer
+	obs.WriteSummary(&summary, rec.Events())
+	goldenCompare(t, "summary.txt", summary.Bytes())
+}

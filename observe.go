@@ -1,0 +1,65 @@
+package boedag
+
+import (
+	"io"
+
+	"boedag/internal/obs"
+)
+
+// Observability. The simulator and the state-based estimator can stream
+// structured events to a Tracer and update a MetricsRegistry as they run;
+// both are off by default and cost nothing when unset. Collected events
+// export to Chrome's trace_event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) or to a plain-text summary.
+type (
+	// Tracer receives structured events from a run. Implementations must
+	// be safe for concurrent use; Enabled reports whether Emit does
+	// anything, letting instrumented code skip building events entirely.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured observation (task finish, state
+	// transition, allocation decision, estimator iteration, ...).
+	TraceEvent = obs.Event
+	// TraceEventType discriminates TraceEvent kinds.
+	TraceEventType = obs.EventType
+	// TraceRecorder is a Tracer that buffers events in memory.
+	TraceRecorder = obs.Recorder
+	// MetricsRegistry holds named counters, gauges, and histograms.
+	MetricsRegistry = obs.Registry
+	// ObserveOptions bundles a Tracer and a MetricsRegistry.
+	ObserveOptions = obs.Options
+)
+
+// NewTraceRecorder returns an empty in-memory event recorder.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithTracer returns opt with tr attached, so the simulator emits
+// structured events as it runs:
+//
+//	rec := boedag.NewTraceRecorder()
+//	res, _ := boedag.NewSimulator(spec, boedag.WithTracer(opt, rec)).Run(flow)
+//	boedag.ExportChromeTrace(f, rec.Events())
+func WithTracer(opt SimOptions, tr Tracer) SimOptions {
+	opt.Observe.Tracer = tr
+	return opt
+}
+
+// WithMetrics returns opt with reg attached, so the simulator updates
+// run-level counters, gauges, and histograms as it runs.
+func WithMetrics(opt SimOptions, reg *MetricsRegistry) SimOptions {
+	opt.Observe.Metrics = reg
+	return opt
+}
+
+// Trace exporters.
+var (
+	// ExportChromeTrace writes events as Chrome trace_event JSON.
+	ExportChromeTrace = obs.WriteChromeTrace
+	// WriteTraceSummary writes a plain-text digest of events.
+	WriteTraceSummary = obs.WriteSummary
+)
+
+// WriteMetricsJSON dumps a registry snapshot as JSON.
+func WriteMetricsJSON(w io.Writer, reg *MetricsRegistry) error { return reg.WriteJSON(w) }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"boedag/internal/cliobs"
 	"boedag/internal/experiments"
 )
 
@@ -27,10 +28,19 @@ func main() {
 		shrink = flag.Float64("shrink", 1, "divide all data sizes by this factor")
 		seed   = flag.Int64("seed", 1, "skew RNG seed")
 	)
+	var ob cliobs.Flags
+	ob.Register(nil)
 	flag.Parse()
 
 	cfg := experiments.Scaled(*shrink)
 	cfg.Seed = *seed
+	observe, err := ob.Options()
+	if err != nil {
+		fatal(err)
+	}
+	// Every simulation an experiment launches feeds the shared sinks, so
+	// -obs-summary or -metrics-out aggregates a whole benchmark session.
+	cfg.Observe = observe
 
 	all := *table == 0 && *figure == 0 && !*ext
 	start := time.Now()
@@ -105,6 +115,9 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	if err := ob.Finish(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"boedag/internal/experiments"
 	"boedag/internal/metrics"
 	"boedag/internal/profile"
+	"boedag/internal/progress"
 	"boedag/internal/simulator"
 	"boedag/internal/statemodel"
 	"boedag/internal/trace"
@@ -42,7 +43,7 @@ func main() {
 		profOut  = flag.String("save-profiles", "", "write the validation run's profiles to this JSON file")
 	)
 	var ob cliobs.Flags
-	ob.Register(nil)
+	ob.RegisterLive(nil)
 	flag.Parse()
 
 	observe, err := ob.Options()
@@ -118,7 +119,37 @@ func main() {
 		}
 		return
 	}
+	// Live progress over the validation run. The subscriber attaches only
+	// now — after Estimate — so the estimator's own predicted-stage events
+	// never reach the fold; its tracker runs a private estimator for the
+	// same reason.
+	var liveDone chan struct{}
+	if stream := ob.Stream(); stream != nil {
+		liveEst := statemodel.New(cfg.Spec, timer, statemodel.Options{
+			Mode: skew, JobSubmitOverhead: cfg.JobSubmitOverhead,
+		})
+		points := progress.Follow(stream, &progress.Indicator{Estimator: liveEst, Flow: flow},
+			progress.LiveOptions{})
+		liveDone = make(chan struct{})
+		go func() {
+			defer close(liveDone)
+			for p := range points {
+				if p.Err != nil {
+					fmt.Fprintln(os.Stderr, "boepredict: live estimate:", p.Err)
+					continue
+				}
+				fmt.Printf("live: t=%8.1fs  %5.1f%% done  ~%v remaining\n",
+					p.Elapsed.Seconds(), p.PercentComplete,
+					p.PredictedRemaining.Round(100*time.Millisecond))
+			}
+		}()
+	}
 	res, err := simulator.New(cfg.Spec, simulator.Options{Seed: cfg.Seed, Observe: observe}).Run(flow)
+	ob.CloseStream()
+	if liveDone != nil {
+		<-liveDone
+		fmt.Println()
+	}
 	if err != nil {
 		fatal(err)
 	}

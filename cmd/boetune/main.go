@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"boedag/internal/cliobs"
 	"boedag/internal/experiments"
 	"boedag/internal/metrics"
 	"boedag/internal/simulator"
@@ -34,7 +35,14 @@ func main() {
 		order    = flag.Bool("order", false, "also optimize root-job submission order for FIFO clusters")
 		seed     = flag.Int64("seed", 1, "skew RNG seed for validation")
 	)
+	var ob cliobs.Flags
+	ob.Register(nil)
 	flag.Parse()
+
+	observe, err := ob.Options()
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := experiments.Default()
 	cfg.Seed = *seed
@@ -46,7 +54,7 @@ func main() {
 		fatal(err)
 	}
 
-	tuner := tuning.New(cfg.Spec, tuning.Options{MaxPasses: *passes})
+	tuner := tuning.New(cfg.Spec, tuning.Options{MaxPasses: *passes, Observe: observe})
 	start := time.Now()
 	rec, err := tuner.Tune(flow)
 	if err != nil {
@@ -76,9 +84,12 @@ func main() {
 	}
 
 	if !*validate {
+		if err := ob.Finish(); err != nil {
+			fatal(err)
+		}
 		return
 	}
-	sim := simulator.New(cfg.Spec, simulator.Options{Seed: cfg.Seed})
+	sim := simulator.New(cfg.Spec, simulator.Options{Seed: cfg.Seed, Observe: observe})
 	before, err := sim.Run(flow)
 	if err != nil {
 		fatal(err)
@@ -91,6 +102,9 @@ func main() {
 	fmt.Printf("\nsimulated check: %.1fs → %.1fs (%.1f%% better); tuner estimate accuracy %.1f%%\n",
 		before.Makespan.Seconds(), after.Makespan.Seconds(), 100*gain,
 		100*metrics.Accuracy(rec.Estimate, after.Makespan))
+	if err := ob.Finish(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

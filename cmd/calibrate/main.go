@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"boedag/internal/calibrate"
+	"boedag/internal/cliobs"
 	"boedag/internal/cluster"
 	"boedag/internal/units"
 )
@@ -30,7 +31,15 @@ func main() {
 		disks   = flag.Int("disks", 2, "disks per node")
 		slotsPN = flag.Int("slots", 12, "task slots per node")
 	)
+	var ob cliobs.Flags
+	ob.Register(nil)
 	flag.Parse()
+
+	observe, err := ob.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
 
 	spec := cluster.Spec{
 		Nodes:        *nodes,
@@ -50,7 +59,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	est, err := calibrate.Cluster(calibrate.SimulatorRunner(spec), spec.TotalSlots(), spec.Nodes)
+	est, err := calibrate.Cluster(calibrate.SimulatorRunner(spec, observe), spec.TotalSlots(), spec.Nodes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
@@ -68,4 +77,8 @@ func main() {
 	node := est.NodeSpec(spec.Nodes, spec.Node.Cores, spec.Node.MemoryMB)
 	fmt.Printf("\nrecovered per-node spec: %d cores × %v, disk %v/%v, NIC %v\n",
 		node.Cores, node.CoreThroughput, node.DiskReadRate, node.DiskWriteRate, node.NetworkRate)
+	if err := ob.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
 }

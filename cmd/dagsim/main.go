@@ -10,6 +10,8 @@
 //	dagsim -workflow webanalytics       # the paper's Figure 1 DAG
 //	dagsim -workflow wc -pernode 4      # cap parallelism at 4 tasks/node
 //	dagsim -workflow wc+q5 -trace-out t.json  # Chrome trace for chrome://tracing
+//	dagsim -workflow wc+ts -live-progress     # online remaining-time estimates
+//	dagsim -workflow q21 -otlp-out o.json     # OTLP/JSON spans + metrics
 //	dagsim -list                        # show every known workflow name
 package main
 
@@ -17,11 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"boedag/internal/boe"
 	"boedag/internal/cliobs"
 	"boedag/internal/dag"
 	"boedag/internal/experiments"
+	"boedag/internal/progress"
 	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
 	"boedag/internal/trace"
 	"boedag/internal/units"
 )
@@ -41,7 +47,7 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the run summary to this JSON file")
 	)
 	var ob cliobs.Flags
-	ob.Register(nil)
+	ob.RegisterLive(nil)
 	flag.Parse()
 
 	if *list {
@@ -69,7 +75,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dagsim:", err)
 		os.Exit(1)
 	}
+	// The live estimator re-runs Algorithm 1 from streamed events while the
+	// simulation executes. It must be subscribed before Run: the simulator
+	// snapshots Tracer.Enabled at startup.
+	var liveDone chan struct{}
+	if stream := ob.Stream(); stream != nil {
+		in := &progress.Indicator{
+			Estimator: statemodel.New(cfg.Spec,
+				&statemodel.BOETimer{Model: boe.New(cfg.Spec), TaskStartOverhead: cfg.TaskStartOverhead},
+				statemodel.Options{JobSubmitOverhead: cfg.JobSubmitOverhead}),
+			Flow: flow,
+		}
+		points := progress.Follow(stream, in, progress.LiveOptions{})
+		liveDone = make(chan struct{})
+		go func() {
+			defer close(liveDone)
+			for p := range points {
+				if p.Err != nil {
+					fmt.Fprintln(os.Stderr, "dagsim: live estimate:", p.Err)
+					continue
+				}
+				fmt.Printf("live: t=%8.1fs  %5.1f%% done  ~%v remaining\n",
+					p.Elapsed.Seconds(), p.PercentComplete,
+					p.PredictedRemaining.Round(100*time.Millisecond))
+			}
+		}()
+	}
 	res, err := simulator.New(cfg.Spec, opt).Run(flow)
+	// Close the stream (and wait out the printer) before the Gantt chart so
+	// live lines never interleave with the post-run report.
+	ob.CloseStream()
+	if liveDone != nil {
+		<-liveDone
+		fmt.Println()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dagsim:", err)
 		os.Exit(1)

@@ -1,10 +1,16 @@
 // Progressbar demonstrates the online progress indicator built on the
 // state-based cost model — the ParaTimer-style application from the
-// paper's introduction. It simulates the WC+TS hybrid workload, then
-// replays it: at each 10% of true completion it takes the snapshot a
-// resource manager would expose (finished and in-flight tasks per job),
-// re-estimates the remaining time with Algorithm 1, and compares against
-// the truth.
+// paper's introduction. It runs twice:
+//
+// First live: the simulator streams its observation events through a
+// TraceStream while it runs, and a follower folds them into a rolling
+// snapshot, re-estimating the remaining time with Algorithm 1 on every
+// stage boundary and state transition — no access to the result, only
+// to the event stream, exactly what a resource manager would expose.
+//
+// Then replayed: with the finished run in hand, it snapshots the truth
+// at each 10% of completion and compares the prediction against the
+// known remaining time.
 //
 // Run it with:
 //
@@ -26,16 +32,52 @@ func main() {
 		boedag.Single(boedag.WordCount(100*boedag.GB)),
 		boedag.Single(boedag.TeraSort(100*boedag.GB)))
 
-	res, err := boedag.NewSimulator(spec, boedag.SimOptions{Seed: 1}).Run(flow)
+	// ---- Part 1: live estimation from the event stream ----
+	//
+	// The live indicator has nothing but the BOE model: no profiles, no
+	// completed run. Its estimator must not share the observed stream
+	// (estimator tracers emit predicted events that would corrupt the fold).
+	live := &boedag.ProgressIndicator{
+		Estimator: boedag.NewEstimator(spec, &boedag.BOETimer{
+			Model: boedag.NewBOE(spec), TaskStartOverhead: time.Second,
+		}, boedag.EstimatorOptions{}),
+		Flow: flow,
+	}
+	stream := boedag.NewTraceStream()
+	// Subscribe before the run: the simulator checks for subscribers once
+	// at startup and keeps the zero-cost path when there are none.
+	points := boedag.FollowProgress(stream, live, boedag.LiveProgressOptions{
+		MinInterval: 10 * time.Second, // model time between task-driven updates
+	})
+	printed := make(chan struct{})
+	go func() {
+		defer close(printed)
+		fmt.Println("live estimates while the simulation runs:")
+		for p := range points {
+			if p.Err != nil {
+				log.Println("live estimate:", p.Err)
+				continue
+			}
+			fmt.Printf("  t=%7.1fs  %5.1f%% done  ~%.0fs remaining\n",
+				p.Elapsed.Seconds(), p.PercentComplete, p.PredictedRemaining.Seconds())
+		}
+	}()
+
+	opt := boedag.WithTracer(boedag.SimOptions{Seed: 1}, stream)
+	res, err := boedag.NewSimulator(spec, opt).Run(flow)
+	stream.Close() // flushes the tail and terminates the follower
+	<-printed
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s ran for %.1fs — replaying it through the progress indicator\n\n",
+	fmt.Printf("\n%s ran for %.1fs — replaying it through the progress indicator\n\n",
 		flow.Name, res.Makespan.Seconds())
 
-	// The indicator predicts from profiles of past runs plus the BOE model
-	// as fallback — the realistic deployment (historical profiles exist,
-	// the model covers the rest).
+	// ---- Part 2: replay against the truth ----
+	//
+	// The replay indicator predicts from profiles of the finished run plus
+	// the BOE model as fallback — the realistic deployment (historical
+	// profiles exist, the model covers the rest).
 	timer := &boedag.ProfileTimer{
 		Profiles: boedag.CaptureProfiles(res),
 		Fallback: &boedag.BOETimer{Model: boedag.NewBOE(spec), TaskStartOverhead: time.Second},
@@ -46,12 +88,12 @@ func main() {
 	}
 
 	fractions := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	points, err := boedag.ProgressCurve(indicator, res, fractions)
+	curve, err := boedag.ProgressCurve(indicator, res, fractions)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("  done   bar                    predicted-left   actual-left   accuracy")
-	for _, p := range points {
+	for _, p := range curve {
 		bar := strings.Repeat("█", int(p.PercentComplete/5)) +
 			strings.Repeat("·", 20-int(p.PercentComplete/5))
 		fmt.Printf("  %5.1f%%  %s  %9.1fs  %11.1fs  %8.1f%%\n",

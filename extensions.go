@@ -113,6 +113,30 @@ func ProgressCurve(in *ProgressIndicator, res *simulator.Result, fractions []flo
 	return progress.Curve(in, res, fractions)
 }
 
+// Online progress estimation over a live event stream.
+type (
+	// LiveProgressTracker folds observation events into a live snapshot
+	// and re-runs Algorithm 1 incrementally.
+	LiveProgressTracker = progress.Tracker
+	// LiveProgressPoint is one (elapsed, predicted-remaining) sample.
+	LiveProgressPoint = progress.LivePoint
+	// LiveProgressOptions tune the online tracker.
+	LiveProgressOptions = progress.LiveOptions
+)
+
+// NewLiveProgressTracker builds a synchronous online tracker; feed it
+// events with Observe. Use FollowProgress for the channel-based wrapper.
+func NewLiveProgressTracker(in *ProgressIndicator, opt LiveProgressOptions) *LiveProgressTracker {
+	return progress.NewTracker(in, opt)
+}
+
+// FollowProgress subscribes to a trace stream and emits one
+// LiveProgressPoint per re-estimate while the observed run executes.
+// The indicator's estimator must not emit into the same stream.
+func FollowProgress(stream *TraceStream, in *ProgressIndicator, opt LiveProgressOptions) <-chan LiveProgressPoint {
+	return progress.Follow(stream, in, opt)
+}
+
 // Spark lineage adapter.
 type (
 	// SparkLineage is a Spark job as a DAG of shuffle-bounded stages.

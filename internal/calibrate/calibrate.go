@@ -17,6 +17,7 @@ import (
 
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
+	"boedag/internal/obs"
 	"boedag/internal/simulator"
 	"boedag/internal/units"
 	"boedag/internal/workload"
@@ -28,12 +29,19 @@ type Runner func(p workload.JobProfile, slotLimit int) (*simulator.Result, error
 
 // SimulatorRunner adapts a cluster spec into a Runner backed by the
 // discrete-event simulator (skew disabled: probes want clean medians).
-func SimulatorRunner(spec cluster.Spec) Runner {
+// An optional obs.Options attaches observability sinks to every probe
+// run, so a calibration session can be traced end to end.
+func SimulatorRunner(spec cluster.Spec, observe ...obs.Options) Runner {
+	var o obs.Options
+	if len(observe) > 0 {
+		o = observe[0]
+	}
 	return func(p workload.JobProfile, slotLimit int) (*simulator.Result, error) {
 		sim := simulator.New(spec, simulator.Options{
 			Seed:        1,
 			DisableSkew: true,
 			SlotLimit:   slotLimit,
+			Observe:     o,
 		})
 		return sim.Run(dag.Single(p))
 	}

@@ -1,6 +1,7 @@
 // Package cliobs wires the observability layer into command-line tools:
-// one flag set covering event tracing, metrics export, and Go profiling,
-// shared by dagsim and boepredict.
+// one flag set covering event tracing, live streaming, metrics export,
+// OTLP export, and Go profiling, shared by dagsim, boepredict, boetune,
+// calibrate and benchtables.
 package cliobs
 
 import (
@@ -18,15 +19,19 @@ import (
 
 // Flags carries the observability command-line options.
 type Flags struct {
-	TraceOut   string // Chrome trace_event JSON output path
-	MetricsOut string // metrics snapshot JSON output path
-	Summary    bool   // print a plain-text event digest to stdout
-	PprofAddr  string // serve net/http/pprof on this address
-	CPUProfile string // write a CPU profile here
-	MemProfile string // write a heap profile here
+	TraceOut     string // Chrome trace_event JSON output path
+	MetricsOut   string // metrics snapshot JSON output path
+	Summary      bool   // print a plain-text event digest to stdout
+	OTLPOut      string // OTLP/JSON export output path (traces + metrics)
+	OTLPEndpoint string // OTLP/HTTP collector base URL to POST to
+	LiveProgress bool   // stream events to an online progress estimator
+	PprofAddr    string // serve net/http/pprof on this address
+	CPUProfile   string // write a CPU profile here
+	MemProfile   string // write a heap profile here
 
 	recorder *obs.Recorder
 	registry *obs.Registry
+	stream   *obs.Stream
 	cpuFile  *os.File
 }
 
@@ -39,22 +44,49 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a run-metrics JSON snapshot")
 	fs.BoolVar(&f.Summary, "obs-summary", false, "print an event summary after the run")
+	fs.StringVar(&f.OTLPOut, "otlp-out", "", "write an OTLP/JSON export (spans + metrics) to this file")
+	fs.StringVar(&f.OTLPEndpoint, "otlp-endpoint", "", "POST OTLP/JSON to this collector base URL (/v1/traces, /v1/metrics)")
 	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file")
 }
 
+// RegisterLive additionally installs -live-progress, for tools that can
+// drive an online progress estimator from the event stream.
+func (f *Flags) RegisterLive(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f.Register(fs)
+	fs.BoolVar(&f.LiveProgress, "live-progress", false, "print live remaining-time estimates during the run")
+}
+
 // Options starts any requested profiling and returns the obs.Options to
-// hand to the simulator or estimator. The tracer and registry are only
-// allocated when an output that needs them was requested, so plain runs
-// keep the zero-cost disabled path.
+// hand to the simulator or estimator. The tracer, registry, and stream
+// are only allocated when an output that needs them was requested, so
+// plain runs keep the zero-cost disabled path. When several sinks are
+// active the tracer is a tee over all of them.
 func (f *Flags) Options() (obs.Options, error) {
 	var o obs.Options
-	if f.TraceOut != "" || f.Summary {
+	if f.TraceOut != "" || f.Summary || f.OTLPOut != "" || f.OTLPEndpoint != "" {
 		f.recorder = obs.NewRecorder()
-		o.Tracer = f.recorder
 	}
-	if f.MetricsOut != "" {
+	if f.LiveProgress {
+		f.stream = obs.NewStream()
+	}
+	// Append conditionally: a nil *Recorder inside a Tracer value is not a
+	// nil interface, so Tee could not filter it out itself.
+	var sinks []obs.Tracer
+	if f.recorder != nil {
+		sinks = append(sinks, f.recorder)
+	}
+	if f.stream != nil {
+		sinks = append(sinks, f.stream)
+	}
+	if len(sinks) > 0 {
+		o.Tracer = obs.Tee(sinks...)
+	}
+	if f.MetricsOut != "" || f.OTLPOut != "" || f.OTLPEndpoint != "" {
 		f.registry = obs.NewRegistry()
 		o.Metrics = f.registry
 	}
@@ -81,9 +113,26 @@ func (f *Flags) Options() (obs.Options, error) {
 	return o, nil
 }
 
+// Stream returns the live event stream, or nil when -live-progress was
+// not requested (or Options has not run yet). Subscribe before the run
+// starts: producers snapshot Enabled at startup.
+func (f *Flags) Stream() *obs.Stream { return f.stream }
+
+// CloseStream closes the live stream so its consumers drain and
+// terminate. Idempotent and safe when no stream exists; call it after
+// the observed run, before printing any post-run report, so live output
+// does not interleave.
+func (f *Flags) CloseStream() {
+	if f.stream != nil {
+		f.stream.Close()
+	}
+}
+
 // Finish stops profiling and writes every requested artifact, printing
-// the path of each file it creates.
+// the path of each file it creates. It closes the live stream first so
+// streaming consumers are done before post-run artifacts land.
 func (f *Flags) Finish() error {
+	f.CloseStream()
 	if f.cpuFile != nil {
 		pprof.StopCPUProfile()
 		if err := f.cpuFile.Close(); err != nil {
@@ -117,6 +166,19 @@ func (f *Flags) Finish() error {
 		if err := writeFile(f.MetricsOut, f.registry.WriteJSON); err != nil {
 			return err
 		}
+	}
+	if f.OTLPOut != "" {
+		if err := writeFile(f.OTLPOut, func(w io.Writer) error {
+			return obs.WriteOTLP(w, f.recorder.Events(), f.registry, obs.OTLPOptions{})
+		}); err != nil {
+			return err
+		}
+	}
+	if f.OTLPEndpoint != "" {
+		if err := obs.PostOTLP(f.OTLPEndpoint, f.recorder.Events(), f.registry, obs.OTLPOptions{}); err != nil {
+			return err
+		}
+		fmt.Printf("posted OTLP to %s\n", f.OTLPEndpoint)
 	}
 	if f.recorder != nil && f.Summary {
 		fmt.Println()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"boedag/internal/cluster"
+	"boedag/internal/obs"
 	"boedag/internal/simulator"
 	"boedag/internal/units"
 )
@@ -28,6 +29,9 @@ type Config struct {
 	// latencies in the estimators.
 	TaskStartOverhead time.Duration
 	JobSubmitOverhead time.Duration
+	// Observe attaches observability sinks to every simulation an
+	// experiment runs (zero value = off, the allocation-free path).
+	Observe obs.Options
 }
 
 // Default returns the paper's configuration.
@@ -65,5 +69,6 @@ func (c Config) SimOptions(seed int64) simulator.Options {
 		Seed:              seed,
 		TaskStartOverhead: c.TaskStartOverhead,
 		JobSubmitOverhead: c.JobSubmitOverhead,
+		Observe:           c.Observe,
 	}
 }

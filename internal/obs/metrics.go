@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -91,6 +92,22 @@ func bucketOf(v float64) int {
 
 // bucketUpper is the inclusive upper bound of bucket i.
 func bucketUpper(i int) float64 { return histBase * math.Pow(2, float64(i)) }
+
+// Buckets snapshots the histogram's exponential buckets: counts holds
+// every bucket's population (length histBuckets) and bounds the inclusive
+// upper bound of each bucket but the overflow one (length histBuckets-1)
+// — exactly the bucketCounts/explicitBounds split the OTLP histogram
+// encoding wants.
+func (h *Histogram) Buckets() (counts []int64, bounds []float64) {
+	h.mu.Lock()
+	counts = append(counts, h.buckets[:]...)
+	h.mu.Unlock()
+	bounds = make([]float64, histBuckets-1)
+	for i := range bounds {
+		bounds[i] = bucketUpper(i)
+	}
+	return counts, bounds
+}
 
 // Count returns how many values were observed.
 func (h *Histogram) Count() int64 {
@@ -243,6 +260,7 @@ type histJSON struct {
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
 }
@@ -251,31 +269,65 @@ func (h *Histogram) summary() histJSON {
 	return histJSON{
 		Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
 		Min: h.Min(), Max: h.Max(),
-		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90),
+		P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 	}
 }
 
-// WriteJSON dumps every metric as indented JSON — the -metrics-out format
-// of cmd/dagsim and cmd/boepredict.
+// sortedMap marshals its entries in explicit sorted-key order, so the
+// metrics dump is byte-deterministic by construction rather than by
+// relying on encoding/json's map-key sorting (and stays deterministic if
+// structured label keys ever join the plain names).
+type sortedMap[V any] struct {
+	keys []string
+	vals map[string]V
+}
+
+func (s sortedMap[V]) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range s.keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		vb, err := json.Marshal(s.vals[k])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(vb)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// WriteJSON dumps every metric as indented JSON, metric names sorted —
+// the -metrics-out format of the command-line tools, pinned by the
+// golden-file test in internal/trace.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	cn, gn, hn := r.snapshot()
 	out := struct {
-		Counters   map[string]int64    `json:"counters"`
-		Gauges     map[string]float64  `json:"gauges"`
-		Histograms map[string]histJSON `json:"histograms"`
+		Counters   sortedMap[int64]    `json:"counters"`
+		Gauges     sortedMap[float64]  `json:"gauges"`
+		Histograms sortedMap[histJSON] `json:"histograms"`
 	}{
-		Counters:   make(map[string]int64, len(cn)),
-		Gauges:     make(map[string]float64, len(gn)),
-		Histograms: make(map[string]histJSON, len(hn)),
+		Counters:   sortedMap[int64]{keys: cn, vals: make(map[string]int64, len(cn))},
+		Gauges:     sortedMap[float64]{keys: gn, vals: make(map[string]float64, len(gn))},
+		Histograms: sortedMap[histJSON]{keys: hn, vals: make(map[string]histJSON, len(hn))},
 	}
 	for _, n := range cn {
-		out.Counters[n] = r.Counter(n).Value()
+		out.Counters.vals[n] = r.Counter(n).Value()
 	}
 	for _, n := range gn {
-		out.Gauges[n] = r.Gauge(n).Value()
+		out.Gauges.vals[n] = r.Gauge(n).Value()
 	}
 	for _, n := range hn {
-		out.Histograms[n] = r.Histogram(n).summary()
+		out.Histograms.vals[n] = r.Histogram(n).summary()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -305,8 +357,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		fmt.Fprintln(w, "histograms:")
 		for _, n := range hn {
 			s := r.Histogram(n).summary()
-			fmt.Fprintf(w, "  %-36s n=%d mean=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
-				n, s.Count, s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max)
+			fmt.Fprintf(w, "  %-36s n=%d mean=%.3f min=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+				n, s.Count, s.Mean, s.Min, s.P50, s.P90, s.P95, s.P99, s.Max)
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -22,12 +23,16 @@ func WriteSummary(w io.Writer, events []Event) {
 		taskSum float64
 	}
 	jobs := make(map[string]*jobStat)
+	durs := make(map[EventType][]float64)
 	span := 0.0
 	var states []Event
 	for _, ev := range events {
 		byType[ev.Type]++
 		if end := ev.Time + ev.Dur; end > span {
 			span = end
+		}
+		if spanEvent(ev) {
+			durs[ev.Type] = append(durs[ev.Type], ev.Dur)
 		}
 		switch ev.Type {
 		case EvTaskFinish:
@@ -62,6 +67,21 @@ func WriteSummary(w io.Writer, events []Event) {
 		fmt.Fprintf(w, "  %-18s %d\n", t, byType[t])
 	}
 
+	if len(durs) > 0 {
+		fmt.Fprintln(w, "duration quantiles:")
+		dtypes := make([]EventType, 0, len(durs))
+		for t := range durs {
+			dtypes = append(dtypes, t)
+		}
+		sort.Slice(dtypes, func(a, b int) bool { return dtypes[a] < dtypes[b] })
+		for _, t := range dtypes {
+			samples := durs[t]
+			fmt.Fprintf(w, "  %-18s n=%-5d p50=%6.1fs p90=%6.1fs p99=%6.1fs\n",
+				t, len(samples),
+				Percentile(samples, 0.50), Percentile(samples, 0.90), Percentile(samples, 0.99))
+		}
+	}
+
 	if len(jobs) > 0 {
 		fmt.Fprintln(w, "tasks by job:")
 		names := make([]string, 0, len(jobs))
@@ -87,4 +107,24 @@ func WriteSummary(w io.Writer, events []Event) {
 				st.Seq, st.Time, st.Time+st.Dur, st.Detail, st.Resource, 100*st.Value)
 		}
 	}
+}
+
+// Percentile returns the exact nearest-rank q-quantile (0 < q ≤ 1) of
+// the samples — unlike Histogram.Quantile there is no bucket rounding,
+// since the summary holds the raw durations anyway. Zero when empty.
+// The input is not modified.
+func Percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
 }

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	oneToTen := []float64{5, 3, 9, 1, 7, 2, 10, 8, 4, 6} // deliberately unsorted
+	tests := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p50", []float64{7}, 0.5, 7},
+		{"single p99", []float64{7}, 0.99, 7},
+		{"ten p50", oneToTen, 0.50, 5},
+		{"ten p90", oneToTen, 0.90, 9},
+		{"ten p99", oneToTen, 0.99, 10},
+		{"ten max", oneToTen, 1.0, 10},
+		{"ten tiny q", oneToTen, 0.001, 1},
+		{"pair p50", []float64{2, 4}, 0.5, 2},
+		{"pair p90", []float64{2, 4}, 0.9, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Percentile(tt.samples, tt.q); got != tt.want {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tt.samples, tt.q, got, tt.want)
+			}
+		})
+	}
+	// The input slice must survive unsorted.
+	if oneToTen[0] != 5 || oneToTen[9] != 6 {
+		t.Errorf("Percentile reordered its input: %v", oneToTen)
+	}
+}
+
+func TestWriteSummaryQuantileLines(t *testing.T) {
+	var events []Event
+	for i := 0; i < 10; i++ {
+		events = append(events, Event{
+			Type: EvTaskFinish, Job: "j1", Stage: "map", Task: i,
+			Time: float64(i), Dur: float64(i + 1), // durations 1..10
+		})
+	}
+	events = append(events,
+		Event{Type: EvSubStageFinish, Job: "j1", Stage: "map", Sub: "read", Task: 0, Time: 0, Dur: 2},
+		Event{Type: EvStageFinish, Job: "j1", Stage: "map", Time: 0, Dur: 11},
+		Event{Type: EvStateClose, Seq: 1, Time: 0, Dur: 11, Detail: "j1/map", Resource: "cpu", Value: 1},
+		Event{Type: EvTaskStart, Job: "j1", Stage: "map", Task: 0, Time: 0}, // instant: no quantile line
+	)
+	var sb strings.Builder
+	WriteSummary(&sb, events)
+	out := sb.String()
+
+	if !strings.Contains(out, "duration quantiles:") {
+		t.Fatalf("summary missing quantile section:\n%s", out)
+	}
+	// One line per span-shaped event family present in the stream.
+	for _, want := range []string{
+		"task_finish        n=10    p50=   5.0s p90=   9.0s p99=  10.0s",
+		"substage_finish    n=1",
+		"stage_finish       n=1",
+		"state_close        n=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "task_start         n=") {
+		t.Errorf("instant event grew a quantile line:\n%s", out)
+	}
+}

@@ -1,0 +1,171 @@
+package progress
+
+import (
+	"testing"
+	"time"
+
+	"boedag/internal/obs"
+	"boedag/internal/simulator"
+	"boedag/internal/statemodel"
+)
+
+// recordedRun re-runs the setup workflow with a Recorder attached and
+// returns the event log alongside the indicator.
+func recordedRun(t *testing.T) ([]obs.Event, *Indicator) {
+	t.Helper()
+	flow, res, in := setup(t)
+	rec := obs.NewRecorder()
+	spec := in.Estimator.Spec
+	_, err := simulator.New(spec, simulator.Options{
+		Seed:    1,
+		Observe: obs.Options{Tracer: rec},
+	}).Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	return rec.Events(), in
+}
+
+func TestTrackerReplay(t *testing.T) {
+	events, in := recordedRun(t)
+	tr := NewTracker(in, LiveOptions{MinInterval: time.Nanosecond})
+	var points []LivePoint
+	for _, ev := range events {
+		if p, ok := tr.Observe(ev); ok {
+			if p.Err != nil {
+				t.Fatalf("estimate at %v failed: %v", p.Elapsed, p.Err)
+			}
+			points = append(points, p)
+		}
+	}
+	if len(points) < 10 {
+		t.Fatalf("replay produced only %d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Elapsed < points[i-1].Elapsed {
+			t.Fatalf("elapsed went backwards: %v after %v",
+				points[i].Elapsed, points[i-1].Elapsed)
+		}
+		if points[i].PercentComplete+1e-9 < points[i-1].PercentComplete {
+			t.Fatalf("percent complete went backwards: %.2f after %.2f",
+				points[i].PercentComplete, points[i-1].PercentComplete)
+		}
+	}
+	last := points[len(points)-1]
+	if last.PredictedRemaining != 0 {
+		t.Errorf("final predicted remaining = %v, want 0", last.PredictedRemaining)
+	}
+	if last.PercentComplete != 100 {
+		t.Errorf("final percent complete = %.2f, want 100", last.PercentComplete)
+	}
+	if first := points[0]; first.PredictedRemaining <= 0 {
+		t.Errorf("first predicted remaining = %v, want > 0", first.PredictedRemaining)
+	}
+}
+
+func TestTrackerReplayDeterministic(t *testing.T) {
+	events, in := recordedRun(t)
+	fold := func() []LivePoint {
+		tr := NewTracker(in, LiveOptions{MinInterval: time.Second})
+		var out []LivePoint
+		for _, ev := range events {
+			if p, ok := tr.Observe(ev); ok {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	a, b := fold(), fold()
+	if len(a) != len(b) {
+		t.Fatalf("replays differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTrackerFinalSnapshotAllFinished(t *testing.T) {
+	events, in := recordedRun(t)
+	tr := NewTracker(in, LiveOptions{})
+	for _, ev := range events {
+		tr.Observe(ev)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Jobs) != len(in.Flow.Jobs) {
+		t.Fatalf("snapshot has %d jobs, want %d", len(snap.Jobs), len(in.Flow.Jobs))
+	}
+	for id, js := range snap.Jobs {
+		if js.Phase != statemodel.JobFinished {
+			t.Errorf("%s phase = %s after full replay, want finished", id, js.Phase)
+		}
+		if js.TasksRunning != 0 {
+			t.Errorf("%s still has %d tasks running", id, js.TasksRunning)
+		}
+	}
+	if snap.Elapsed <= 0 {
+		t.Error("snapshot elapsed not advanced")
+	}
+}
+
+func TestTrackerIgnoresForeignEvents(t *testing.T) {
+	_, _, in := setup(t)
+	tr := NewTracker(in, LiveOptions{})
+	foreign := []obs.Event{
+		{Type: obs.EvTaskStart, Job: "not-a-job", Task: 0, Time: 1},
+		{Type: obs.EvTaskFinish, Job: "not-a-job", Task: 0, Time: 1, Dur: 2},
+		{Type: obs.EvStageStart, Job: "not-a-job", Stage: "map", Time: 1},
+		{Type: obs.EvEstimatorIter, Time: 3},
+	}
+	for _, ev := range foreign {
+		if _, ok := tr.Observe(ev); ok {
+			t.Errorf("foreign event %v triggered an estimate", ev.Type)
+		}
+	}
+	for id, js := range tr.Snapshot().Jobs {
+		if js.Phase != statemodel.JobPending || js.TasksDone != 0 {
+			t.Errorf("%s perturbed by foreign events: %+v", id, js)
+		}
+	}
+}
+
+// TestFollowLiveStream drives the real simulator with a Stream tracer
+// and consumes Follow's points concurrently — the dagsim -live-progress
+// wiring in miniature. Run under -race this also exercises the bus.
+func TestFollowLiveStream(t *testing.T) {
+	flow, _, in := setup(t)
+	stream := obs.NewStream()
+	// Subscribe before the run: the simulator snapshots Tracer.Enabled at
+	// start, so a subscriber-less stream keeps the whole run dark.
+	live := Follow(stream, in, LiveOptions{MinInterval: time.Nanosecond})
+	points := make(chan []LivePoint, 1)
+	go func() {
+		var got []LivePoint
+		for p := range live {
+			got = append(got, p)
+		}
+		points <- got
+	}()
+	_, err := simulator.New(in.Estimator.Spec, simulator.Options{
+		Seed:    1,
+		Observe: obs.Options{Tracer: stream},
+	}).Run(flow)
+	stream.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := <-points
+	if len(got) < 10 {
+		t.Fatalf("live stream produced only %d points", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Elapsed < got[i-1].Elapsed {
+			t.Fatalf("live elapsed went backwards at %d", i)
+		}
+	}
+	if last := got[len(got)-1]; last.PredictedRemaining != 0 {
+		t.Errorf("final live remaining = %v, want 0", last.PredictedRemaining)
+	}
+}

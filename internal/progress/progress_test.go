@@ -59,6 +59,96 @@ func TestSnapshotPhases(t *testing.T) {
 	}
 }
 
+func TestSnapshotAtZeroAllPending(t *testing.T) {
+	_, res, _ := setup(t)
+	snap := SnapshotAt(res, 0)
+	if snap.Elapsed != 0 {
+		t.Errorf("elapsed = %v, want 0", snap.Elapsed)
+	}
+	for job, js := range snap.Jobs {
+		if js.Phase != statemodel.JobPending {
+			t.Errorf("%s phase = %s at t=0, want pending", job, js.Phase)
+		}
+		if js.TasksDone != 0 || js.TasksRunning != 0 {
+			t.Errorf("%s has work at t=0: %+v", job, js)
+		}
+	}
+}
+
+func TestSnapshotAtFarPastCompletion(t *testing.T) {
+	_, res, in := setup(t)
+	snap := SnapshotAt(res, res.Makespan*100)
+	for job, js := range snap.Jobs {
+		if js.Phase != statemodel.JobFinished {
+			t.Errorf("%s phase = %s far past the end, want finished", job, js.Phase)
+		}
+		if js.TasksRunning != 0 {
+			t.Errorf("%s still running tasks far past the end", job)
+		}
+	}
+	left, err := in.Remaining(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Errorf("remaining far past completion = %v, want 0", left)
+	}
+}
+
+// TestSnapshotAtMidShuffle pins the between-stages convention: with every
+// map done and no reduce started yet, the job reads as JobMapping with
+// all map tasks finished — not pending, not reducing.
+func TestSnapshotAtMidShuffle(t *testing.T) {
+	const maps = 4
+	res := &simulator.Result{
+		Workflow: "synthetic",
+		Makespan: 40 * time.Second,
+	}
+	for i := 0; i < maps; i++ {
+		res.Tasks = append(res.Tasks, simulator.TaskRecord{
+			Job: "j1", Stage: workload.Map, Index: i,
+			Start: time.Duration(i) * time.Second, End: 10 * time.Second,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		res.Tasks = append(res.Tasks, simulator.TaskRecord{
+			Job: "j1", Stage: workload.Reduce, Index: i,
+			Start: 20 * time.Second, End: 40 * time.Second,
+		})
+	}
+	res.Stages = []simulator.StageRecord{
+		{Job: "j1", Stage: workload.Map, Start: 0, End: 10 * time.Second},
+		{Job: "j1", Stage: workload.Reduce, Start: 20 * time.Second, End: 40 * time.Second},
+	}
+
+	snap := SnapshotAt(res, 15*time.Second) // between map end and reduce start
+	js, ok := snap.Jobs["j1"]
+	if !ok {
+		t.Fatal("job missing from snapshot")
+	}
+	if js.Phase != statemodel.JobMapping {
+		t.Errorf("mid-shuffle phase = %s, want mapping", js.Phase)
+	}
+	if js.TasksDone != maps {
+		t.Errorf("mid-shuffle tasks done = %d, want %d", js.TasksDone, maps)
+	}
+	if js.TasksRunning != 0 {
+		t.Errorf("mid-shuffle tasks running = %d, want 0", js.TasksRunning)
+	}
+
+	// Once a reduce task has started, the phase flips to reducing.
+	during := SnapshotAt(res, 25*time.Second).Jobs["j1"]
+	if during.Phase != statemodel.JobReducing {
+		t.Errorf("during-reduce phase = %s, want reducing", during.Phase)
+	}
+	if during.TasksRunning != 2 {
+		t.Errorf("during-reduce tasks running = %d, want 2", during.TasksRunning)
+	}
+	if during.RunningProgress <= 0 || during.RunningProgress >= 1 {
+		t.Errorf("during-reduce running progress = %v, want in (0,1)", during.RunningProgress)
+	}
+}
+
 func TestSnapshotAtEndAllFinished(t *testing.T) {
 	_, res, _ := setup(t)
 	snap := SnapshotAt(res, res.Makespan+time.Second)

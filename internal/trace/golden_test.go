@@ -107,3 +107,31 @@ func TestObservabilityGolden(t *testing.T) {
 	obs.WriteSummary(&summary, rec.Events())
 	goldenCompare(t, "summary.txt", summary.Bytes())
 }
+
+// TestMetricsGolden pins the deterministic JSON metrics dump (sorted
+// metric names, fixed demo run) and the OTLP/JSON export (fnv-derived
+// ids, fixed wall-clock anchor) byte for byte.
+func TestMetricsGolden(t *testing.T) {
+	rec := obs.NewRecorder()
+	reg := obs.NewRegistry()
+	flow := dag.Parallel("demo",
+		dag.Single(workload.WordCount(3*units.GB)),
+		dag.Single(workload.TeraSort(3*units.GB)))
+	opt := simulator.Options{Seed: 1, Observe: obs.Options{Tracer: rec, Metrics: reg}}
+	if _, err := simulator.New(cluster.PaperCluster(), opt).Run(flow); err != nil {
+		t.Fatal(err)
+	}
+
+	var metrics bytes.Buffer
+	if err := reg.WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "metrics.json", metrics.Bytes())
+
+	var otlp bytes.Buffer
+	if err := obs.WriteOTLP(&otlp, rec.Events(), reg,
+		obs.OTLPOptions{Start: time.Unix(1700000000, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "otlp.json", otlp.Bytes())
+}

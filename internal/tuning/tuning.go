@@ -20,6 +20,7 @@ import (
 	"boedag/internal/boe"
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
+	"boedag/internal/obs"
 	"boedag/internal/statemodel"
 	"boedag/internal/units"
 	"boedag/internal/workload"
@@ -67,6 +68,9 @@ type Options struct {
 	MinGain float64
 	// TaskStartOverhead mirrors the executing system's container latency.
 	TaskStartOverhead time.Duration
+	// Observe attaches observability sinks to the scoring estimator —
+	// every candidate evaluation's iterations and states become events.
+	Observe obs.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -137,7 +141,7 @@ func New(spec cluster.Spec, opt Options) *Tuner {
 	return &Tuner{
 		spec: spec,
 		opt:  opt,
-		est:  statemodel.New(spec, timer, statemodel.Options{Mode: opt.Mode}),
+		est:  statemodel.New(spec, timer, statemodel.Options{Mode: opt.Mode, Observe: opt.Observe}),
 	}
 }
 

@@ -27,10 +27,39 @@ type (
 	MetricsRegistry = obs.Registry
 	// ObserveOptions bundles a Tracer and a MetricsRegistry.
 	ObserveOptions = obs.Options
+	// TraceStream is a fan-out Tracer: events are forwarded to every
+	// subscriber's bounded channel without ever blocking the producer.
+	TraceStream = obs.Stream
+	// TraceSubscriber is one bounded consumer of a TraceStream.
+	TraceSubscriber = obs.Subscriber
+	// TraceDropPolicy decides what a full subscriber buffer drops.
+	TraceDropPolicy = obs.DropPolicy
+	// OTLPOptions configure the OpenTelemetry OTLP/JSON exporters.
+	OTLPOptions = obs.OTLPOptions
+)
+
+// Subscriber drop policies.
+const (
+	// TraceDropNewest keeps the oldest buffered window under overload.
+	TraceDropNewest = obs.DropNewest
+	// TraceDropOldest keeps the freshest buffered window under overload.
+	TraceDropOldest = obs.DropOldest
 )
 
 // NewTraceRecorder returns an empty in-memory event recorder.
 func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// NewTraceStream returns a subscription bus with no subscribers. A
+// stream with no subscribers reports Enabled() == false, so attaching
+// one to a simulator costs nothing until somebody subscribes — but
+// subscribers must attach before the run starts (producers snapshot
+// Enabled at startup). Close the stream when the run ends so consumers
+// ranging over a subscriber's Events() terminate.
+func NewTraceStream() *TraceStream { return obs.NewStream() }
+
+// TeeTracers fans events out to several tracers (e.g. a recorder plus a
+// live stream). Nil and no-op entries are skipped.
+func TeeTracers(tracers ...Tracer) Tracer { return obs.Tee(tracers...) }
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -63,3 +92,22 @@ var (
 
 // WriteMetricsJSON dumps a registry snapshot as JSON.
 func WriteMetricsJSON(w io.Writer, reg *MetricsRegistry) error { return reg.WriteJSON(w) }
+
+// OTLP export — hand-rolled OTLP/JSON (OpenTelemetry protocol over
+// HTTP/JSON), no external dependencies. Span-shaped events become spans
+// with stage→task→sub-stage parent links; the metrics registry maps to
+// OTLP sums, gauges, and histograms.
+var (
+	// ExportOTLP writes one JSON document holding both resourceSpans and
+	// resourceMetrics (either may be omitted when empty/nil).
+	ExportOTLP = obs.WriteOTLP
+	// ExportOTLPTraces writes just the spans; returns the span count.
+	ExportOTLPTraces = obs.WriteOTLPTraces
+	// ExportOTLPMetrics writes just the metrics.
+	ExportOTLPMetrics = obs.WriteOTLPMetrics
+	// PostOTLP POSTs traces and metrics to an OTLP/HTTP collector's
+	// /v1/traces and /v1/metrics endpoints.
+	PostOTLP = obs.PostOTLP
+	// OTLPSpanCount reports how many events of a run are span-shaped.
+	OTLPSpanCount = obs.SpanCount
+)

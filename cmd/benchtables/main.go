@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"boedag/internal/cliobs"
@@ -22,11 +23,12 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate only this table (1, 2 or 3)")
-		figure = flag.Int("figure", 0, "regenerate only this figure (6)")
-		ext    = flag.Bool("ext", false, "also run the extension studies (skew sweep, scheduler policies)")
-		shrink = flag.Float64("shrink", 1, "divide all data sizes by this factor")
-		seed   = flag.Int64("seed", 1, "skew RNG seed")
+		table   = flag.Int("table", 0, "regenerate only this table (1, 2 or 3)")
+		figure  = flag.Int("figure", 0, "regenerate only this figure (6)")
+		ext     = flag.Bool("ext", false, "also run the extension studies (skew sweep, scheduler policies)")
+		shrink  = flag.Float64("shrink", 1, "divide all data sizes by this factor")
+		seed    = flag.Int64("seed", 1, "skew RNG seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent evaluations per experiment (1 = serial)")
 	)
 	var ob cliobs.Flags
 	ob.Register(nil)
@@ -41,6 +43,7 @@ func main() {
 	// Every simulation an experiment launches feeds the shared sinks, so
 	// -obs-summary or -metrics-out aggregates a whole benchmark session.
 	cfg.Observe = observe
+	cfg.Workers = *workers
 
 	all := *table == 0 && *figure == 0 && !*ext
 	start := time.Now()

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"boedag/internal/cliobs"
@@ -34,6 +35,7 @@ func main() {
 		validate = flag.Bool("validate", true, "simulate before/after to verify the gain")
 		order    = flag.Bool("order", false, "also optimize root-job submission order for FIFO clusters")
 		seed     = flag.Int64("seed", 1, "skew RNG seed for validation")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent candidate scorings per coordinate (1 = serial)")
 	)
 	var ob cliobs.Flags
 	ob.Register(nil)
@@ -54,7 +56,7 @@ func main() {
 		fatal(err)
 	}
 
-	tuner := tuning.New(cfg.Spec, tuning.Options{MaxPasses: *passes, Observe: observe})
+	tuner := tuning.New(cfg.Spec, tuning.Options{MaxPasses: *passes, Observe: observe, Workers: *workers})
 	start := time.Now()
 	rec, err := tuner.Tune(flow)
 	if err != nil {
@@ -62,9 +64,9 @@ func main() {
 	}
 	searchTime := time.Since(start)
 
-	fmt.Printf("%s: estimated %.1fs → %.1fs (%.1f%% better) after %d evaluations in %s\n",
+	fmt.Printf("%s: estimated %.1fs → %.1fs (%.1f%% better) after %d evaluations (%d cache hits) in %s\n",
 		flow.Name, rec.Baseline.Seconds(), rec.Estimate.Seconds(),
-		100*rec.Improvement(), rec.Evaluations, searchTime.Round(time.Millisecond))
+		100*rec.Improvement(), rec.Evaluations, rec.CacheHits, searchTime.Round(time.Millisecond))
 	if len(rec.Changes) == 0 {
 		fmt.Println("no profitable changes found — the configuration is already sensible")
 	}

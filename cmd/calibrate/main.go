@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"boedag/internal/calibrate"
 	"boedag/internal/cliobs"
@@ -30,6 +31,7 @@ func main() {
 		diskMB  = flag.Float64("disk-mbps", 100, "true per-disk rate (MB/s)")
 		disks   = flag.Int("disks", 2, "disks per node")
 		slotsPN = flag.Int("slots", 12, "task slots per node")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent probe executions (1 = serial)")
 	)
 	var ob cliobs.Flags
 	ob.Register(nil)
@@ -59,7 +61,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	est, err := calibrate.Cluster(calibrate.SimulatorRunner(spec, observe), spec.TotalSlots(), spec.Nodes)
+	est, err := calibrate.ClusterWith(calibrate.SimulatorRunner(spec, observe), spec.TotalSlots(), spec.Nodes,
+		calibrate.Options{Workers: *workers, Observe: observe})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)

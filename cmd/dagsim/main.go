@@ -9,6 +9,7 @@
 //	dagsim -workflow q21 -scale 80      # TPC-H Q21 (9 jobs)
 //	dagsim -workflow webanalytics       # the paper's Figure 1 DAG
 //	dagsim -workflow wc -pernode 4      # cap parallelism at 4 tasks/node
+//	dagsim -workflow wc,ts,q5 -workers 3  # simulate several workflows concurrently
 //	dagsim -workflow wc+q5 -trace-out t.json  # Chrome trace for chrome://tracing
 //	dagsim -workflow wc+ts -live-progress     # online remaining-time estimates
 //	dagsim -workflow q21 -otlp-out o.json     # OTLP/JSON spans + metrics
@@ -16,14 +17,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"boedag/internal/boe"
 	"boedag/internal/cliobs"
 	"boedag/internal/dag"
+	"boedag/internal/evalpool"
 	"boedag/internal/experiments"
 	"boedag/internal/progress"
 	"boedag/internal/simulator"
@@ -34,7 +39,7 @@ import (
 
 func main() {
 	var (
-		name      = flag.String("workflow", "wc+ts", "workflow name (see -list)")
+		name      = flag.String("workflow", "wc+ts", "workflow name, or comma-separated names to run concurrently (see -list)")
 		specFile  = flag.String("spec", "", "load the workflow from this JSON spec instead of -workflow")
 		list      = flag.Bool("list", false, "list available workflow names")
 		scale     = flag.Float64("scale", 80, "TPC-H scale factor (GB)")
@@ -45,6 +50,7 @@ func main() {
 		tasksCSV  = flag.String("tasks-csv", "", "write per-task records to this CSV file")
 		stagesCSV = flag.String("stages-csv", "", "write per-stage records to this CSV file")
 		jsonOut   = flag.String("json", "", "write the run summary to this JSON file")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations for a multi-workflow run (1 = serial)")
 	)
 	var ob cliobs.Flags
 	ob.RegisterLive(nil)
@@ -62,16 +68,36 @@ func main() {
 	cfg.TPCHScale = *scale
 	cfg.MicroInput = units.Bytes(*microGB) * units.GB
 
-	flow, err := loadFlow(*specFile, *name, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dagsim:", err)
-		os.Exit(1)
-	}
 	opt := simulator.Options{Seed: cfg.Seed}
 	if *perNode > 0 {
 		opt.SlotLimit = *perNode * cfg.Spec.Nodes
 	}
+	var err error
 	if opt.Observe, err = ob.Options(); err != nil {
+		fmt.Fprintln(os.Stderr, "dagsim:", err)
+		os.Exit(1)
+	}
+
+	// Comma-separated names run every workflow concurrently through the
+	// evaluation pool, then print the reports sequentially in input order.
+	if names := strings.Split(*name, ","); *specFile == "" && len(names) > 1 {
+		if *tasksCSV != "" || *stagesCSV != "" || *jsonOut != "" {
+			fmt.Fprintln(os.Stderr, "dagsim: CSV/JSON exports support a single workflow")
+			os.Exit(1)
+		}
+		if ob.Stream() != nil {
+			fmt.Fprintln(os.Stderr, "dagsim: -live-progress supports a single workflow")
+			os.Exit(1)
+		}
+		if err := runMulti(names, cfg, opt, *workers, *tasks, &ob); err != nil {
+			fmt.Fprintln(os.Stderr, "dagsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	flow, err := loadFlow(*specFile, *name, cfg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dagsim:", err)
 		os.Exit(1)
 	}
@@ -149,6 +175,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dagsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runMulti simulates every named workflow through the evaluation pool —
+// each with its own simulator instance, all feeding the shared
+// observability sinks — and prints the Gantt reports sequentially in
+// input order, so the output is identical at any worker count.
+func runMulti(names []string, cfg experiments.Config, opt simulator.Options, workers int, tasks bool, ob *cliobs.Flags) error {
+	flows := make([]*dag.Workflow, len(names))
+	for i, n := range names {
+		flow, err := experiments.BuildNamed(strings.TrimSpace(n), cfg)
+		if err != nil {
+			return err
+		}
+		flows[i] = flow
+	}
+	jobs := make([]func() (*simulator.Result, error), len(flows))
+	for i, flow := range flows {
+		flow := flow
+		jobs[i] = func() (*simulator.Result, error) {
+			return simulator.New(cfg.Spec, opt).Run(flow)
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results, err := evalpool.RunObserved(context.Background(), jobs, evalpool.Options{
+		Workers: workers,
+		Label:   "dagsim",
+		Observe: opt.Observe,
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s ==\n", flows[i].Name)
+		trace.Gantt(os.Stdout, res)
+		if tasks {
+			fmt.Println()
+			for _, s := range res.Stages {
+				trace.TaskWaves(os.Stdout, res, s.Job, s.Stage)
+			}
+		}
+	}
+	return ob.Finish()
 }
 
 // loadFlow builds the workflow from a JSON spec file when given, or from

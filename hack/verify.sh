@@ -40,14 +40,29 @@ otlp_check() {
     rm -rf "$tmp"
 }
 
+# bench_smoke compiles and runs the parallel-sweep benchmark once per
+# sub-benchmark — a cheap guard that the evalpool fan-out path stays
+# runnable; real speedup numbers need a longer -benchtime on a
+# multi-core machine.
+bench_smoke() {
+    echo "== parallel sweep benchmark smoke =="
+    go test ./internal/experiments -run '^$' -bench BenchmarkSweepParallel -benchtime 1x
+}
+
 if [[ $quick -eq 1 ]]; then
     echo "== go test (quick) =="
     go test ./...
-    # The streaming bus is the one genuinely concurrent piece: even the
-    # quick gate runs its tests under the race detector.
+    # The streaming bus and the evalpool engine are the genuinely
+    # concurrent pieces: even the quick gate runs their tests under the
+    # race detector.
     echo "== streaming race check =="
     go test -race -count=1 -run 'TestStream|TestTee|TestFollow|TestTracker' \
         ./internal/obs ./internal/progress
+    echo "== evalpool race check =="
+    go test -race -count=1 ./internal/evalpool
+    go test -race -count=1 -run 'Parallel|Cache' \
+        ./internal/experiments ./internal/tuning ./internal/calibrate
+    bench_smoke
     otlp_check
     echo "verify OK (quick)"
     exit 0
@@ -56,6 +71,7 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
+bench_smoke
 otlp_check
 
 echo "== instrumentation overhead guard =="

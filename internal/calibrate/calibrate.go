@@ -12,11 +12,13 @@
 package calibrate
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
+	"boedag/internal/evalpool"
 	"boedag/internal/obs"
 	"boedag/internal/simulator"
 	"boedag/internal/units"
@@ -85,73 +87,119 @@ const (
 	heavyCPU   = 4.0
 )
 
-// Cluster runs the probe suite and inverts the BOE relations. slots is
-// the cluster's total simultaneous task capacity (used to saturate shared
-// pools); nodes is the node count (for the shuffle's remote fraction).
+// Options configure how the probe suite executes.
+type Options struct {
+	// Workers bounds how many probe jobs run concurrently (0 or 1 =
+	// serial). The five probes are independent executions — only the
+	// inversion arithmetic afterwards chains — so the estimate is
+	// identical at any value.
+	Workers int
+	// Observe attaches observability sinks to the probe pool, emitting a
+	// pool_job span per probe.
+	Observe obs.Options
+}
+
+// Cluster runs the probe suite serially and inverts the BOE relations.
+// slots is the cluster's total simultaneous task capacity (used to
+// saturate shared pools); nodes is the node count (for the shuffle's
+// remote fraction).
 func Cluster(run Runner, slots, nodes int) (*Estimate, error) {
+	return ClusterWith(run, slots, nodes, Options{})
+}
+
+// ClusterWith is Cluster with execution options: the five probe jobs run
+// through the evaluation pool, bounded by opt.Workers.
+func ClusterWith(run Runner, slots, nodes int, opt Options) (*Estimate, error) {
 	if slots <= 0 || nodes <= 0 {
 		return nil, fmt.Errorf("calibrate: need positive slots and nodes, got %d/%d", slots, nodes)
 	}
-	est := &Estimate{}
 
-	// Probe 0 — overhead: a near-empty task is all container launch.
-	overheadProbe := workload.JobProfile{
-		Name: "cal-overhead", InputBytes: units.MB, SplitBytes: units.MB,
-		MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
+	probes := []struct {
+		p     workload.JobProfile
+		slots int
+	}{
+		// Probe 0 — overhead: a near-empty task is all container launch.
+		{workload.JobProfile{
+			Name: "cal-overhead", InputBytes: units.MB, SplitBytes: units.MB,
+			MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
+		}, 1},
+		// Probe 1 — CPU: one heavy-compute task; everything else is noise.
+		{workload.JobProfile{
+			Name: "cal-cpu", InputBytes: probeSplit, SplitBytes: probeSplit,
+			MapSelectivity: 0, MapCPUCost: heavyCPU, Replicas: 1,
+		}, 1},
+		// Probe 2 — disk read: slots parallel scan tasks saturate the pool.
+		{workload.JobProfile{
+			Name: "cal-read", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
+			MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
+		}, slots},
+		// Probe 3 — disk write: scan + local identity write; with the read
+		// pool known we attribute the slowdown to the write path.
+		{workload.JobProfile{
+			Name: "cal-write", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
+			MapSelectivity: 1, MapCPUCost: tinyCPU, ReduceTasks: 0, Replicas: 1,
+		}, slots},
+		// Probe 4 — network: an identity shuffle; the copy sub-stage's
+		// median isolates the transfer (map output is from page cache).
+		{workload.JobProfile{
+			Name: "cal-net", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
+			MapSelectivity: 1, ReduceSelectivity: 1, MapCPUCost: tinyCPU, ReduceCPUCost: tinyCPU,
+			ReduceTasks: slots, Replicas: 1,
+		}, slots},
 	}
-	t0, err := medianMapTime(run, overheadProbe, 1)
+	jobs := make([]func() (*simulator.Result, error), len(probes))
+	for i, pr := range probes {
+		pr := pr
+		jobs[i] = func() (*simulator.Result, error) {
+			res, err := run(pr.p, pr.slots)
+			if err != nil {
+				return nil, fmt.Errorf("calibrate: probe %s: %w", pr.p.Name, err)
+			}
+			return res, nil
+		}
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	results, err := evalpool.RunObserved(context.Background(), jobs, evalpool.Options{
+		Workers: workers,
+		Label:   "calibrate",
+		Observe: opt.Observe,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Inversion arithmetic: serial, cheap, order-dependent (probes 1–3
+	// subtract the overhead probe's launch latency).
+	est := &Estimate{}
+	t0, err := medianMapTime(results[0], probes[0].p.Name)
 	if err != nil {
 		return nil, err
 	}
 	est.TaskOverhead = t0
 
-	// Probe 1 — CPU: one heavy-compute task; everything else is noise.
-	cpuProbe := workload.JobProfile{
-		Name: "cal-cpu", InputBytes: probeSplit, SplitBytes: probeSplit,
-		MapSelectivity: 0, MapCPUCost: heavyCPU, Replicas: 1,
-	}
-	t1, err := medianMapTime(run, cpuProbe, 1)
+	t1, err := medianMapTime(results[1], probes[1].p.Name)
 	if err != nil {
 		return nil, err
 	}
 	work := float64(probeSplit) * heavyCPU
 	est.CoreThroughput = units.Rate(work / effective(t1, t0))
 
-	// Probe 2 — disk read: slots parallel scan tasks saturate the pool.
-	readProbe := workload.JobProfile{
-		Name: "cal-read", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
-		MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
-	}
-	t2, err := medianMapTime(run, readProbe, slots)
+	t2, err := medianMapTime(results[2], probes[2].p.Name)
 	if err != nil {
 		return nil, err
 	}
 	est.DiskReadPool = units.Rate(float64(slots) * float64(probeSplit) / effective(t2, t0))
 
-	// Probe 3 — disk write: scan + local identity write; with the read
-	// pool known we attribute the slowdown to the write path.
-	writeProbe := workload.JobProfile{
-		Name: "cal-write", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
-		MapSelectivity: 1, MapCPUCost: tinyCPU, ReduceTasks: 0, Replicas: 1,
-	}
-	t3, err := medianMapTime(run, writeProbe, slots)
+	t3, err := medianMapTime(results[3], probes[3].p.Name)
 	if err != nil {
 		return nil, err
 	}
 	est.DiskWritePool = units.Rate(float64(slots) * float64(probeSplit) / effective(t3, t0))
 
-	// Probe 4 — network: an identity shuffle; the copy sub-stage's median
-	// isolates the transfer (map output is served from page cache).
-	netProbe := workload.JobProfile{
-		Name: "cal-net", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
-		MapSelectivity: 1, ReduceSelectivity: 1, MapCPUCost: tinyCPU, ReduceCPUCost: tinyCPU,
-		ReduceTasks: slots, Replicas: 1,
-	}
-	res, err := run(netProbe, slots)
-	if err != nil {
-		return nil, fmt.Errorf("calibrate: network probe: %w", err)
-	}
-	shuffle, err := medianShuffleTime(res, netProbe.Name)
+	shuffle, err := medianShuffleTime(results[4], probes[4].p.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -168,15 +216,11 @@ func Cluster(run Runner, slots, nodes int) (*Estimate, error) {
 	return est, nil
 }
 
-// medianMapTime runs the probe and returns its median map-task duration.
-func medianMapTime(run Runner, p workload.JobProfile, slots int) (time.Duration, error) {
-	res, err := run(p, slots)
-	if err != nil {
-		return 0, fmt.Errorf("calibrate: probe %s: %w", p.Name, err)
-	}
-	s := res.StageOf(p.Name, workload.Map)
+// medianMapTime extracts the probe's median map-task duration.
+func medianMapTime(res *simulator.Result, job string) (time.Duration, error) {
+	s := res.StageOf(job, workload.Map)
 	if s == nil || len(s.TaskTimes) == 0 {
-		return 0, fmt.Errorf("calibrate: probe %s measured nothing", p.Name)
+		return 0, fmt.Errorf("calibrate: probe %s measured nothing", job)
 	}
 	return s.MedianTaskTime(), nil
 }

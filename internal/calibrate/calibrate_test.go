@@ -127,3 +127,21 @@ func TestSortDurations(t *testing.T) {
 		t.Errorf("sorted = %v", ts)
 	}
 }
+
+// TestClusterWithParallelProbesDeterministic: the five probes are
+// independent runs, so the estimate is identical at any worker count.
+func TestClusterWithParallelProbesDeterministic(t *testing.T) {
+	spec := cluster.PaperCluster()
+	run := SimulatorRunner(spec)
+	serial, err := ClusterWith(run, spec.TotalSlots(), spec.Nodes, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ClusterWith(run, spec.TotalSlots(), spec.Nodes, Options{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *serial != *parallel {
+		t.Errorf("estimates differ:\nserial   %+v\nparallel %+v", *serial, *parallel)
+	}
+}

@@ -1,0 +1,82 @@
+package evalpool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"boedag/internal/obs"
+)
+
+// Cache memoizes the results of deterministic computations by canonical
+// key (see signature.go). It is safe for concurrent use and
+// single-flight: when several workers request the same key at once, the
+// computation runs exactly once and everyone shares the result. Errors
+// are cached alongside values — a deterministic computation that failed
+// once will fail identically again.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry[V]
+	// hits/misses are always tracked; the obs counters mirror them when a
+	// registry is attached with WithMetrics.
+	hits, misses atomic.Int64
+	hitC, missC  *obs.Counter
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache[V any]() *Cache[V] {
+	return &Cache[V]{entries: make(map[string]*cacheEntry[V])}
+}
+
+// WithMetrics exports the cache's hit/miss counters into the metrics
+// registry as <name>_hits / <name>_misses and returns the cache.
+func (c *Cache[V]) WithMetrics(reg *obs.Registry, name string) *Cache[V] {
+	if reg != nil {
+		c.hitC = reg.Counter(name + "_hits")
+		c.missC = reg.Counter(name + "_misses")
+	}
+	return c
+}
+
+// Do returns the cached result for key, computing it on first request.
+// Concurrent callers with the same key block until the single in-flight
+// computation finishes.
+func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		if c.hitC != nil {
+			c.hitC.Inc()
+		}
+	} else {
+		c.misses.Add(1)
+		if c.missC != nil {
+			c.missC.Inc()
+		}
+	}
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// Len reports how many distinct keys are cached (including in-flight).
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns how many Do calls hit respectively missed the cache.
+func (c *Cache[V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

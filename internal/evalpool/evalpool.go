@@ -1,0 +1,146 @@
+// Package evalpool is the parallel evaluation engine behind every batch
+// consumer of the cost models: the Figure 6 sweep, Tables I–III, the
+// extension studies, the coordinate-descent tuner, and the calibration
+// probe suite. All of them run many independent estimator/simulator
+// invocations; the paper's own pitch is that analytic models are cheap
+// enough to evaluate *many* configurations, so batch evaluation should be
+// embarrassingly parallel.
+//
+// The engine has two halves:
+//
+//   - Run / RunObserved: a bounded worker pool that executes a slice of
+//     jobs concurrently and returns their results in input order, with
+//     aggregated errors and optional per-job observability (EvPoolJob
+//     trace spans plus pool counters in the metrics registry). Output is
+//     deterministic for deterministic jobs at any worker count — only
+//     wall-clock interleaving varies.
+//   - Cache: a memoizing single-flight table keyed by the canonical
+//     signatures of signature.go, so repeated configurations (the tuner
+//     re-scores overlapping candidates; sweeps share baselines) are
+//     computed exactly once even when requested concurrently.
+package evalpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"boedag/internal/obs"
+)
+
+// Options tune an observed pool run.
+type Options struct {
+	// Workers bounds the number of concurrently executing jobs; values
+	// below 1 mean GOMAXPROCS.
+	Workers int
+	// Label names the pool in trace events and error messages (default
+	// "evalpool").
+	Label string
+	// Observe attaches the observability layer: one EvPoolJob span per
+	// job plus pool_jobs / pool_errors counters and a pool_job_duration_s
+	// histogram in the metrics registry. Zero value = off.
+	Observe obs.Options
+}
+
+// Workers normalizes a requested worker count: anything below 1 becomes
+// GOMAXPROCS, the "use the hardware" default of the CLI flags.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes jobs on at most workers goroutines and returns the
+// results in input order. Every job runs (unless ctx is cancelled first);
+// all failures are aggregated into the returned error, each annotated
+// with its job index. Results of failed jobs are the zero value.
+func Run[T any](ctx context.Context, jobs []func() (T, error), workers int) ([]T, error) {
+	return RunObserved(ctx, jobs, Options{Workers: workers})
+}
+
+// RunObserved is Run with observability and a pool label. See Options.
+func RunObserved[T any](ctx context.Context, jobs []func() (T, error), opt Options) ([]T, error) {
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	label := opt.Label
+	if label == "" {
+		label = "evalpool"
+	}
+	workers := Workers(opt.Workers)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	trOn := opt.Observe.TracerOn()
+	var jobCount, errCount *obs.Counter
+	var jobDur *obs.Histogram
+	if reg := opt.Observe.Metrics; reg != nil {
+		jobCount = reg.Counter("pool_jobs")
+		errCount = reg.Counter("pool_errors")
+		jobDur = reg.Histogram("pool_job_duration_s")
+	}
+	start := time.Now()
+
+	errs := make([]error, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				results[i], errs[i] = jobs[i]()
+				if jobCount != nil {
+					jobCount.Inc()
+					jobDur.Observe(time.Since(t0).Seconds())
+					if errs[i] != nil {
+						errCount.Inc()
+					}
+				}
+				if trOn {
+					failed := 0.0
+					if errs[i] != nil {
+						failed = 1
+					}
+					opt.Observe.Tracer.Emit(obs.Event{
+						Type: obs.EvPoolJob,
+						Time: t0.Sub(start).Seconds(), Dur: time.Since(t0).Seconds(),
+						Task: -1, Seq: i, Detail: label, Value: failed,
+					})
+				}
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// Mark every job not yet handed out as cancelled.
+			for j := i; j < len(jobs); j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	var bad []error
+	for i, err := range errs {
+		if err != nil {
+			bad = append(bad, fmt.Errorf("%s job %d: %w", label, i, err))
+		}
+	}
+	if len(bad) > 0 {
+		return results, errors.Join(bad...)
+	}
+	return results, nil
+}

@@ -1,0 +1,205 @@
+package evalpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"boedag/internal/obs"
+)
+
+func TestRunOrderingDeterministic(t *testing.T) {
+	jobs := make([]func() (int, error), 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) { return i * i, nil }
+	}
+	for _, workers := range []int{1, 2, 7, 64, 0} {
+		got, err := Run(context.Background(), jobs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunAggregatesAllErrors(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []func() (string, error){
+		func() (string, error) { return "ok", nil },
+		func() (string, error) { return "", fmt.Errorf("first: %w", boom) },
+		func() (string, error) { return "", fmt.Errorf("second: %w", boom) },
+	}
+	got, err := Run(context.Background(), jobs, 3)
+	if err == nil {
+		t.Fatal("want aggregated error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("errors.Is(err, boom) = false: %v", err)
+	}
+	for _, want := range []string{"job 1", "job 2", "first", "second"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	if got[0] != "ok" {
+		t.Fatalf("successful result lost: %q", got[0])
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	jobs := make([]func() (struct{}, error), 50)
+	for i := range jobs {
+		jobs[i] = func() (struct{}, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return struct{}{}, nil
+		}
+	}
+	if _, err := Run(context.Background(), jobs, workers); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, worker bound is %d", p, workers)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	jobs := make([]func() (int, error), 100)
+	for i := range jobs {
+		jobs[i] = func() (int, error) {
+			ran.Add(1)
+			cancel() // first job to run cancels everyone behind it
+			time.Sleep(time.Millisecond)
+			return 1, nil
+		}
+	}
+	_, err := Run(ctx, jobs, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n == 100 {
+		t.Fatal("cancellation did not stop the feed")
+	}
+}
+
+func TestRunObservedEventsAndMetrics(t *testing.T) {
+	rec := obs.NewRecorder()
+	reg := obs.NewRegistry()
+	jobs := []func() (int, error){
+		func() (int, error) { return 1, nil },
+		func() (int, error) { return 0, errors.New("bad") },
+		func() (int, error) { return 3, nil },
+	}
+	_, err := RunObserved(context.Background(), jobs, Options{
+		Workers: 2,
+		Label:   "sweep",
+		Observe: obs.Options{Tracer: rec, Metrics: reg},
+	})
+	if err == nil {
+		t.Fatal("want error from job 1")
+	}
+	evs := rec.ByType(obs.EvPoolJob)
+	if len(evs) != 3 {
+		t.Fatalf("EvPoolJob events = %d, want 3", len(evs))
+	}
+	var failed int
+	for _, ev := range evs {
+		if ev.Detail != "sweep" {
+			t.Fatalf("event label = %q, want sweep", ev.Detail)
+		}
+		if ev.Value > 0 {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed spans = %d, want 1", failed)
+	}
+	if got := reg.Counter("pool_jobs").Value(); got != 3 {
+		t.Fatalf("pool_jobs = %d, want 3", got)
+	}
+	if got := reg.Counter("pool_errors").Value(); got != 1 {
+		t.Fatalf("pool_errors = %d, want 1", got)
+	}
+	if got := reg.Histogram("pool_job_duration_s").Count(); got != 3 {
+		t.Fatalf("pool_job_duration_s count = %d, want 3", got)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache[int]()
+	var computed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("k", func() (int, error) {
+				computed.Add(1)
+				time.Sleep(time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 31 {
+		t.Fatalf("hits/misses = %d/%d, want 31/1", hits, misses)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache[int]()
+	var calls int
+	bad := errors.New("deterministic failure")
+	for i := 0; i < 3; i++ {
+		_, err := c.Do("k", func() (int, error) { calls++; return 0, bad })
+		if !errors.Is(err, bad) {
+			t.Fatalf("want cached error, got %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+func TestCacheMetricsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache[int]().WithMetrics(reg, "test_cache")
+	c.Do("a", func() (int, error) { return 1, nil })
+	c.Do("a", func() (int, error) { return 1, nil })
+	c.Do("b", func() (int, error) { return 2, nil })
+	if got := reg.Counter("test_cache_hits").Value(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	if got := reg.Counter("test_cache_misses").Value(); got != 2 {
+		t.Fatalf("misses = %d, want 2", got)
+	}
+}

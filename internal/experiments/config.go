@@ -32,6 +32,11 @@ type Config struct {
 	// Observe attaches observability sinks to every simulation an
 	// experiment runs (zero value = off, the allocation-free path).
 	Observe obs.Options
+	// Workers bounds how many independent evaluations (sweep points, table
+	// rows, study probes) run concurrently. 0 or 1 is serial — the default,
+	// which also keeps the observability event stream in a deterministic
+	// order; results and rendered tables are identical at any value.
+	Workers int
 }
 
 // Default returns the paper's configuration.

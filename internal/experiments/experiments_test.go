@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"boedag/internal/evalpool"
 	"boedag/internal/sched"
 	"boedag/internal/statemodel"
 	"boedag/internal/tpch"
@@ -336,7 +337,7 @@ func TestFig6StageString(t *testing.T) {
 
 func TestMeasurePhasesUsesSubStages(t *testing.T) {
 	cfg := testConfig()
-	phases, err := measurePhases(cfg, workload.TeraSort(cfg.MicroInput), 6)
+	phases, err := measurePhases(cfg, evalpool.NewResultCache(), workload.TeraSort(cfg.MicroInput), 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,41 +31,46 @@ type SkewRow struct {
 // simulated truth, profiles captured per run (the Table III
 // methodology).
 func SkewSweep(cfg Config, cvs []float64) ([]SkewRow, error) {
-	var out []SkewRow
 	for _, cv := range cvs {
 		if cv < 0 {
 			return nil, fmt.Errorf("experiments: negative skew CV %v", cv)
 		}
-		wc := workload.WordCount(cfg.MicroInput)
-		ts := workload.TeraSort(cfg.MicroInput)
-		wc.SkewCV, ts.SkewCV = cv, cv
-		flow := dag.Parallel(fmt.Sprintf("WC+TS cv=%.2f", cv),
-			dag.Single(wc), dag.Single(ts))
-
-		res, err := simulator.New(cfg.Spec, cfg.simOptions()).Run(flow)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: skew sweep cv=%v: %w", cv, err)
-		}
-		timer := &statemodel.ProfileTimer{Profiles: profile.Capture(res)}
-		row := SkewRow{
-			CV:       cv,
-			Makespan: res.Makespan,
-			Accuracy: make(map[statemodel.SkewMode]float64, 4),
-		}
-		for _, mode := range statemodel.AllModes() {
-			est := statemodel.New(cfg.Spec, timer, statemodel.Options{
-				Mode:              mode,
-				JobSubmitOverhead: cfg.JobSubmitOverhead,
-			})
-			plan, err := est.Estimate(flow)
-			if err != nil {
-				return nil, err
-			}
-			row.Accuracy[mode] = metrics.Accuracy(plan.Makespan, res.Makespan)
-		}
-		out = append(out, row)
 	}
-	return out, nil
+	jobs := make([]func() (SkewRow, error), len(cvs))
+	for i, cv := range cvs {
+		cv := cv
+		jobs[i] = func() (SkewRow, error) {
+			wc := workload.WordCount(cfg.MicroInput)
+			ts := workload.TeraSort(cfg.MicroInput)
+			wc.SkewCV, ts.SkewCV = cv, cv
+			flow := dag.Parallel(fmt.Sprintf("WC+TS cv=%.2f", cv),
+				dag.Single(wc), dag.Single(ts))
+
+			res, err := simulator.New(cfg.Spec, cfg.simOptions()).Run(flow)
+			if err != nil {
+				return SkewRow{}, fmt.Errorf("experiments: skew sweep cv=%v: %w", cv, err)
+			}
+			timer := &statemodel.ProfileTimer{Profiles: profile.Capture(res)}
+			row := SkewRow{
+				CV:       cv,
+				Makespan: res.Makespan,
+				Accuracy: make(map[statemodel.SkewMode]float64, 4),
+			}
+			for _, mode := range statemodel.AllModes() {
+				est := statemodel.New(cfg.Spec, timer, statemodel.Options{
+					Mode:              mode,
+					JobSubmitOverhead: cfg.JobSubmitOverhead,
+				})
+				plan, err := est.Estimate(flow)
+				if err != nil {
+					return SkewRow{}, err
+				}
+				row.Accuracy[mode] = metrics.Accuracy(plan.Makespan, res.Makespan)
+			}
+			return row, nil
+		}
+	}
+	return runJobs(cfg, "skew-sweep", jobs)
 }
 
 // RenderSkewSweep prints the sensitivity table.
@@ -104,47 +109,55 @@ func FailureStudy(cfg Config, probs []float64) ([]FailureRow, error) {
 	flow := dag.Parallel("WC+TS",
 		dag.Single(workload.WordCount(cfg.MicroInput)),
 		dag.Single(workload.TeraSort(cfg.MicroInput)))
-	var out []FailureRow
 	for _, p := range probs {
 		if p < 0 || p >= 1 {
 			return nil, fmt.Errorf("experiments: failure probability %v outside [0,1)", p)
 		}
-		opts := cfg.simOptions()
-		opts.TaskFailureProb = p
-		res, err := simulator.New(cfg.Spec, opts).Run(flow)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: failure study p=%v: %w", p, err)
-		}
-		// Profiles come from a clean (p=0) run: historical profiles do not
-		// know about today's failures, which is the realistic setting.
-		clean, err := simulator.New(cfg.Spec, cfg.simOptions()).Run(flow)
-		if err != nil {
-			return nil, err
-		}
-		timer := &statemodel.ProfileTimer{Profiles: profile.Capture(clean)}
-		row := FailureRow{FailureProb: p, Makespan: res.Makespan, Retries: res.TotalRetries()}
-		for _, correct := range []bool{true, false} {
-			o := statemodel.Options{
-				Mode:              statemodel.NormalMode,
-				JobSubmitOverhead: cfg.JobSubmitOverhead,
-			}
-			if correct {
-				o.TaskFailureProb = p
-			}
-			plan, err := statemodel.New(cfg.Spec, timer, o).Estimate(flow)
-			if err != nil {
-				return nil, err
-			}
-			acc := metrics.Accuracy(plan.Makespan, res.Makespan)
-			if correct {
-				row.Corrected = acc
-			} else {
-				row.Uncorrected = acc
-			}
-		}
-		out = append(out, row)
 	}
-	return out, nil
+	// Profiles come from a clean (p=0) run: historical profiles do not
+	// know about today's failures, which is the realistic setting. The
+	// clean run is identical for every probability, so it simulates once
+	// and every probe shares its timer (ProfileTimer is read-only).
+	clean, err := simulator.New(cfg.Spec, cfg.simOptions()).Run(flow)
+	if err != nil {
+		return nil, err
+	}
+	timer := &statemodel.ProfileTimer{Profiles: profile.Capture(clean)}
+
+	jobs := make([]func() (FailureRow, error), len(probs))
+	for i, p := range probs {
+		p := p
+		jobs[i] = func() (FailureRow, error) {
+			opts := cfg.simOptions()
+			opts.TaskFailureProb = p
+			res, err := simulator.New(cfg.Spec, opts).Run(flow)
+			if err != nil {
+				return FailureRow{}, fmt.Errorf("experiments: failure study p=%v: %w", p, err)
+			}
+			row := FailureRow{FailureProb: p, Makespan: res.Makespan, Retries: res.TotalRetries()}
+			for _, correct := range []bool{true, false} {
+				o := statemodel.Options{
+					Mode:              statemodel.NormalMode,
+					JobSubmitOverhead: cfg.JobSubmitOverhead,
+				}
+				if correct {
+					o.TaskFailureProb = p
+				}
+				plan, err := statemodel.New(cfg.Spec, timer, o).Estimate(flow)
+				if err != nil {
+					return FailureRow{}, err
+				}
+				acc := metrics.Accuracy(plan.Makespan, res.Makespan)
+				if correct {
+					row.Corrected = acc
+				} else {
+					row.Uncorrected = acc
+				}
+			}
+			return row, nil
+		}
+	}
+	return runJobs(cfg, "failure-study", jobs)
 }
 
 // RenderFailureStudy prints the fault-tolerance table.
@@ -179,37 +192,41 @@ func PolicyStudy(cfg Config) ([]PolicyRow, error) {
 	flow := dag.Parallel("WC+TS",
 		dag.Single(workload.WordCount(cfg.MicroInput)),
 		dag.Single(workload.TeraSort(cfg.MicroInput)))
-	var out []PolicyRow
-	for _, pol := range sched.Policies() {
-		opts := cfg.simOptions()
-		opts.Policy = pol
-		res, err := simulator.New(cfg.Spec, opts).Run(flow)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: policy %s: %w", pol, err)
-		}
-		timer := &statemodel.ProfileTimer{Profiles: profile.Capture(res)}
-		row := PolicyRow{Policy: pol, Makespan: res.Makespan}
-		for _, assume := range []sched.Policy{pol, sched.PolicyDRF} {
-			est := statemodel.New(cfg.Spec, timer, statemodel.Options{
-				Mode:              statemodel.NormalMode,
-				JobSubmitOverhead: cfg.JobSubmitOverhead,
-				Policy:            assume,
-			})
-			plan, err := est.Estimate(flow)
+	policies := sched.Policies()
+	jobs := make([]func() (PolicyRow, error), len(policies))
+	for i, pol := range policies {
+		pol := pol
+		jobs[i] = func() (PolicyRow, error) {
+			opts := cfg.simOptions()
+			opts.Policy = pol
+			res, err := simulator.New(cfg.Spec, opts).Run(flow)
 			if err != nil {
-				return nil, err
+				return PolicyRow{}, fmt.Errorf("experiments: policy %s: %w", pol, err)
 			}
-			acc := metrics.Accuracy(plan.Makespan, res.Makespan)
-			if assume == pol {
-				row.Accuracy = acc
+			timer := &statemodel.ProfileTimer{Profiles: profile.Capture(res)}
+			row := PolicyRow{Policy: pol, Makespan: res.Makespan}
+			for _, assume := range []sched.Policy{pol, sched.PolicyDRF} {
+				est := statemodel.New(cfg.Spec, timer, statemodel.Options{
+					Mode:              statemodel.NormalMode,
+					JobSubmitOverhead: cfg.JobSubmitOverhead,
+					Policy:            assume,
+				})
+				plan, err := est.Estimate(flow)
+				if err != nil {
+					return PolicyRow{}, err
+				}
+				acc := metrics.Accuracy(plan.Makespan, res.Makespan)
+				if assume == pol {
+					row.Accuracy = acc
+				}
+				if assume == sched.PolicyDRF {
+					row.CrossAccuracy = acc
+				}
 			}
-			if assume == sched.PolicyDRF {
-				row.CrossAccuracy = acc
-			}
+			return row, nil
 		}
-		out = append(out, row)
 	}
-	return out, nil
+	return runJobs(cfg, "policy-study", jobs)
 }
 
 // RenderPolicyStudy prints the scheduler study.
@@ -240,42 +257,45 @@ type NodeAwareRow struct {
 // and places tasks least-loaded. The residual between the two columns is
 // the modelling error attributable to placement imbalance.
 func NodeAwareStudy(cfg Config, names []string) ([]NodeAwareRow, error) {
-	var out []NodeAwareRow
-	for _, name := range names {
-		flow, err := BuildNamed(name, cfg)
-		if err != nil {
-			return nil, err
+	jobs := make([]func() (NodeAwareRow, error), len(names))
+	for i, name := range names {
+		name := name
+		jobs[i] = func() (NodeAwareRow, error) {
+			flow, err := BuildNamed(name, cfg)
+			if err != nil {
+				return NodeAwareRow{}, err
+			}
+			agg, err := simulator.New(cfg.Spec, cfg.simOptions()).Run(flow)
+			if err != nil {
+				return NodeAwareRow{}, fmt.Errorf("experiments: node study %s: %w", name, err)
+			}
+			opts := cfg.simOptions()
+			opts.NodeAware = true
+			node, err := simulator.New(cfg.Spec, opts).Run(flow)
+			if err != nil {
+				return NodeAwareRow{}, fmt.Errorf("experiments: node study %s (per-node): %w", name, err)
+			}
+			timer := &statemodel.BOETimer{
+				Model:             boe.New(cfg.Spec),
+				TaskStartOverhead: cfg.TaskStartOverhead,
+			}
+			plan, err := statemodel.New(cfg.Spec, timer, statemodel.Options{
+				Mode:              statemodel.NormalMode,
+				JobSubmitOverhead: cfg.JobSubmitOverhead,
+			}).Estimate(flow)
+			if err != nil {
+				return NodeAwareRow{}, err
+			}
+			return NodeAwareRow{
+				Label:        flow.Name,
+				Aggregate:    agg.Makespan,
+				PerNode:      node.Makespan,
+				AccAggregate: metrics.Accuracy(plan.Makespan, agg.Makespan),
+				AccPerNode:   metrics.Accuracy(plan.Makespan, node.Makespan),
+			}, nil
 		}
-		agg, err := simulator.New(cfg.Spec, cfg.simOptions()).Run(flow)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: node study %s: %w", name, err)
-		}
-		opts := cfg.simOptions()
-		opts.NodeAware = true
-		node, err := simulator.New(cfg.Spec, opts).Run(flow)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: node study %s (per-node): %w", name, err)
-		}
-		timer := &statemodel.BOETimer{
-			Model:             boe.New(cfg.Spec),
-			TaskStartOverhead: cfg.TaskStartOverhead,
-		}
-		plan, err := statemodel.New(cfg.Spec, timer, statemodel.Options{
-			Mode:              statemodel.NormalMode,
-			JobSubmitOverhead: cfg.JobSubmitOverhead,
-		}).Estimate(flow)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, NodeAwareRow{
-			Label:        flow.Name,
-			Aggregate:    agg.Makespan,
-			PerNode:      node.Makespan,
-			AccAggregate: metrics.Accuracy(plan.Makespan, agg.Makespan),
-			AccPerNode:   metrics.Accuracy(plan.Makespan, node.Makespan),
-		})
 	}
-	return out, nil
+	return runJobs(cfg, "node-study", jobs)
 }
 
 // RenderNodeAwareStudy prints the node-awareness comparison.

@@ -6,8 +6,8 @@ import (
 
 	"boedag/internal/boe"
 	"boedag/internal/dag"
+	"boedag/internal/evalpool"
 	"boedag/internal/metrics"
-	"boedag/internal/simulator"
 	"boedag/internal/workload"
 )
 
@@ -114,35 +114,71 @@ func (o Figure6Options) withDefaults() Figure6Options {
 // measured task time of each phase against the BOE prediction and the
 // Starfish/MRTuner-style best-case baseline (the measurement at the
 // profiling parallelism, replayed unchanged).
+//
+// The (workload × parallelism) grid is evaluated through the parallel
+// evaluation engine; the baseline measurement is memoized, so the
+// profiling run — which is also one of the sweep points — simulates
+// exactly once.
 func Figure6(cfg Config, opt Figure6Options) ([]Fig6Series, error) {
 	opt = opt.withDefaults()
-	jobs := []workload.JobProfile{
+	profiles := []workload.JobProfile{
 		workload.WordCount(cfg.MicroInput),
 		workload.TeraSort(cfg.MicroInput),
 	}
+	model := boe.New(cfg.Spec)
+	cache := evalpool.NewResultCache().WithMetrics(cfg.Observe.Metrics)
+
+	type point struct {
+		actual, base, est map[Fig6Stage]time.Duration
+	}
+	type coord struct {
+		p       workload.JobProfile
+		perNode int
+	}
+	var coords []coord
+	for _, p := range profiles {
+		for perNode := 1; perNode <= opt.MaxPerNode; perNode++ {
+			coords = append(coords, coord{p: p, perNode: perNode})
+		}
+	}
+	jobs := make([]func() (point, error), len(coords))
+	for i, c := range coords {
+		c := c
+		jobs[i] = func() (point, error) {
+			actual, err := measurePhases(cfg, cache, c.p, c.perNode)
+			if err != nil {
+				return point{}, err
+			}
+			base, err := measurePhases(cfg, cache, c.p, opt.ProfilePerNode)
+			if err != nil {
+				return point{}, err
+			}
+			return point{
+				actual: actual,
+				base:   base,
+				est:    predictPhases(cfg, model, c.p, c.perNode),
+			}, nil
+		}
+	}
+	points, err := runJobs(cfg, "figure6", jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	var out []Fig6Series
-	for _, p := range jobs {
+	for wi, p := range profiles {
 		series := map[Fig6Stage]*Fig6Series{}
 		for _, st := range []Fig6Stage{Fig6Map, Fig6Shuffle, Fig6Reduce} {
 			series[st] = &Fig6Series{Workload: p.Name, Stage: st}
 		}
-		base, err := measurePhases(cfg, p, opt.ProfilePerNode)
-		if err != nil {
-			return nil, err
-		}
-		model := boe.New(cfg.Spec)
 		for perNode := 1; perNode <= opt.MaxPerNode; perNode++ {
-			actual, err := measurePhases(cfg, p, perNode)
-			if err != nil {
-				return nil, err
-			}
-			est := predictPhases(cfg, model, p, perNode)
+			pt := points[wi*opt.MaxPerNode+perNode-1]
 			for _, st := range []Fig6Stage{Fig6Map, Fig6Shuffle, Fig6Reduce} {
 				series[st].Points = append(series[st].Points, Fig6Point{
 					PerNode:  perNode,
-					Actual:   actual[st],
-					BOE:      est[st],
-					Baseline: base[st],
+					Actual:   pt.actual[st],
+					BOE:      pt.est[st],
+					Baseline: pt.base[st],
 				})
 			}
 		}
@@ -153,13 +189,13 @@ func Figure6(cfg Config, opt Figure6Options) ([]Fig6Series, error) {
 	return out, nil
 }
 
-// measurePhases runs the job alone at the given per-node parallelism and
-// returns the median task time per phase.
-func measurePhases(cfg Config, p workload.JobProfile, perNode int) (map[Fig6Stage]time.Duration, error) {
+// measurePhases runs the job alone at the given per-node parallelism —
+// through the memoizing cache, so repeated coordinates simulate once —
+// and returns the median task time per phase.
+func measurePhases(cfg Config, cache *evalpool.ResultCache, p workload.JobProfile, perNode int) (map[Fig6Stage]time.Duration, error) {
 	opts := cfg.simOptions()
 	opts.SlotLimit = perNode * cfg.Spec.Nodes
-	sim := simulator.New(cfg.Spec, opts)
-	res, err := sim.Run(dag.Single(p))
+	res, err := cache.Run(cfg.Spec, opts, dag.Single(p))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: figure6 %s Δ/node=%d: %w", p.Name, perNode, err)
 	}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"context"
+
+	"boedag/internal/evalpool"
+)
+
+// runJobs evaluates independent experiment jobs through the parallel
+// evaluation engine with the configured concurrency (Config.Workers;
+// anything below 2 runs on one worker). Results come back in input
+// order, so every experiment's output — and the tables rendered from it
+// — is byte-identical at any worker count; only the wall clock and the
+// interleaving of observability events vary.
+func runJobs[T any](cfg Config, label string, jobs []func() (T, error)) ([]T, error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return evalpool.RunObserved(context.Background(), jobs, evalpool.Options{
+		Workers: workers,
+		Label:   label,
+		Observe: cfg.Observe,
+	})
+}

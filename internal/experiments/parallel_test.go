@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderAll runs a representative experiment set at the given worker
+// count and renders every table into one buffer. Wall-clock fields
+// (Table III's estimation overhead) are stripped so runs compare
+// byte-for-byte.
+func renderAll(t *testing.T, workers int) string {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Workers = workers
+	var buf bytes.Buffer
+
+	rows1, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable1(&buf, rows1)
+
+	series, err := Figure6(cfg, Figure6Options{MaxPerNode: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderFigure6(&buf, series)
+
+	flows, err := TableIIIWorkflows(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subset []NamedWorkflow
+	for _, f := range flows {
+		switch f.Label {
+		case "TS-Q6", "WC-Q1", "WC-TS":
+			subset = append(subset, f)
+		}
+	}
+	sum, err := Table3For(cfg, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable3(&buf, sum)
+
+	srows, err := SkewSweep(cfg, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSkewSweep(&buf, srows)
+
+	var out []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "max estimation overhead:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestParallelExperimentsDeterministic is the engine's core guarantee:
+// rendered tables are byte-identical at every worker count, because pool
+// results come back in input order and only event interleaving varies.
+func TestParallelExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment suite three times")
+	}
+	serial := renderAll(t, 1)
+	if serial == "" {
+		t.Fatal("serial run rendered nothing")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := renderAll(t, workers); got != serial {
+			t.Errorf("workers=%d rendered different bytes than serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}
+
+// BenchmarkSweepParallel measures the wall-clock of one Figure 6 sweep
+// at 1 and 4 workers — the speedup the parallel engine exists for.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
+			cfg := testConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := Figure6(cfg, Figure6Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

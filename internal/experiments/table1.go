@@ -39,8 +39,8 @@ func (r Table1Row) BottleneckString() string {
 }
 
 // Table1 reproduces Table I for the micro and multi-job workloads: it
-// runs each alone on the simulated cluster and records the bottleneck
-// resources of its stages.
+// runs each alone on the simulated cluster — one pool job per row — and
+// records the bottleneck resources of its stages.
 func Table1(cfg Config) ([]Table1Row, error) {
 	micro := []workload.JobProfile{
 		workload.WordCount(cfg.MicroInput),
@@ -48,17 +48,6 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		workload.TeraSort(cfg.MicroInput),
 		workload.TeraSort3R(cfg.MicroInput),
 	}
-	var rows []Table1Row
-	for _, p := range micro {
-		row, err := measureTable1Row("Micro Single-Job", p.Name, dag.Single(p), cfg)
-		if err != nil {
-			return nil, err
-		}
-		row.Compression = p.Compression.Enabled
-		row.Replicas = fmt.Sprint(effectiveReplicas(p))
-		rows = append(rows, *row)
-	}
-
 	multi := []struct {
 		label string
 		a, b  workload.JobProfile
@@ -66,17 +55,34 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		{"WC+TS", workload.WordCount(cfg.MicroInput), workload.TeraSort(cfg.MicroInput)},
 		{"WC+TS3R", workload.WordCount(cfg.MicroInput), workload.TeraSort3R(cfg.MicroInput)},
 	}
-	for _, m := range multi {
-		flow := dag.Parallel(m.label, dag.Single(m.a), dag.Single(m.b))
-		row, err := measureTable1Row("Micro Multi-Jobs", m.label, flow, cfg)
-		if err != nil {
-			return nil, err
-		}
-		row.Compression = m.a.Compression.Enabled && m.b.Compression.Enabled
-		row.Replicas = fmt.Sprintf("%d, %d", effectiveReplicas(m.a), effectiveReplicas(m.b))
-		rows = append(rows, *row)
+
+	jobs := make([]func() (Table1Row, error), 0, len(micro)+len(multi))
+	for _, p := range micro {
+		p := p
+		jobs = append(jobs, func() (Table1Row, error) {
+			row, err := measureTable1Row("Micro Single-Job", p.Name, dag.Single(p), cfg)
+			if err != nil {
+				return Table1Row{}, err
+			}
+			row.Compression = p.Compression.Enabled
+			row.Replicas = fmt.Sprint(effectiveReplicas(p))
+			return *row, nil
+		})
 	}
-	return rows, nil
+	for _, m := range multi {
+		m := m
+		jobs = append(jobs, func() (Table1Row, error) {
+			flow := dag.Parallel(m.label, dag.Single(m.a), dag.Single(m.b))
+			row, err := measureTable1Row("Micro Multi-Jobs", m.label, flow, cfg)
+			if err != nil {
+				return Table1Row{}, err
+			}
+			row.Compression = m.a.Compression.Enabled && m.b.Compression.Enabled
+			row.Replicas = fmt.Sprintf("%d, %d", effectiveReplicas(m.a), effectiveReplicas(m.b))
+			return *row, nil
+		})
+	}
+	return runJobs(cfg, "table1", jobs)
 }
 
 func measureTable1Row(group, label string, flow *dag.Workflow, cfg Config) (*Table1Row, error) {

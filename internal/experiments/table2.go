@@ -58,13 +58,20 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		{"WC+TS", workload.WordCount(cfg.MicroInput), workload.TeraSort(cfg.MicroInput)},
 		{"WC+TS3R", workload.WordCount(cfg.MicroInput), workload.TeraSort3R(cfg.MicroInput)},
 	}
-	var rows []Table2Row
-	for _, d := range dags {
-		flow := dag.Parallel(d.label, dag.Single(d.a), dag.Single(d.b))
-		got, err := table2ForDAG(cfg, d.label, flow)
-		if err != nil {
-			return nil, err
+	jobs := make([]func() ([]Table2Row, error), len(dags))
+	for i, d := range dags {
+		d := d
+		jobs[i] = func() ([]Table2Row, error) {
+			flow := dag.Parallel(d.label, dag.Single(d.a), dag.Single(d.b))
+			return table2ForDAG(cfg, d.label, flow)
 		}
+	}
+	perDAG, err := runJobs(cfg, "table2", jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, got := range perDAG {
 		rows = append(rows, got...)
 	}
 	return rows, nil

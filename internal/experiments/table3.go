@@ -54,18 +54,26 @@ func Table3(cfg Config) (*Table3Summary, error) {
 }
 
 // Table3For runs the Table III methodology over an arbitrary workflow
-// list (used by tests with reduced inputs).
+// list (used by tests with reduced inputs). Each workflow's
+// simulate-profile-estimate pipeline is one pool job, so the 51-workflow
+// table parallelizes across rows.
 func Table3For(cfg Config, flows []NamedWorkflow) (*Table3Summary, error) {
+	jobs := make([]func() (*Table3Row, error), len(flows))
+	for i, nw := range flows {
+		nw := nw
+		jobs[i] = func() (*Table3Row, error) { return table3Row(cfg, nw) }
+	}
+	rows, err := runJobs(cfg, "table3", jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	sum := &Table3Summary{
 		AvgAccuracy: make(map[statemodel.SkewMode]float64),
 		MinAccuracy: make(map[statemodel.SkewMode]float64),
 	}
 	accs := make(map[statemodel.SkewMode][]float64)
-	for _, nw := range flows {
-		row, err := table3Row(cfg, nw)
-		if err != nil {
-			return nil, err
-		}
+	for _, row := range rows {
 		sum.Rows = append(sum.Rows, *row)
 		for mode, a := range row.Accuracy {
 			accs[mode] = append(accs[mode], a)

@@ -14,7 +14,6 @@ package fairshare
 
 import (
 	"math"
-	"sort"
 
 	"boedag/internal/cluster"
 	"boedag/internal/units"
@@ -118,6 +117,7 @@ func Allocate(capacity [cluster.NumResources]units.Rate, consumers []Consumer) R
 	}
 
 	const maxIters = 200
+	ds := make([]demander, 0, n) // reused across iterations: hot path
 	for iter := 0; iter < maxIters; iter++ {
 		change := 0.0
 		for r := 0; r < cluster.NumResources; r++ {
@@ -125,7 +125,7 @@ func Allocate(capacity [cluster.NumResources]units.Rate, consumers []Consumer) R
 			if cap <= 0 {
 				continue
 			}
-			var ds []demander
+			ds = ds[:0]
 			for i, c := range consumers {
 				if dead[i] || c.Demand[r] <= 0 {
 					continue
@@ -194,7 +194,14 @@ func Allocate(capacity [cluster.NumResources]units.Rate, consumers []Consumer) R
 // when even the full desires fit. Demanders are processed in ascending
 // desired order, peeling off those satisfied below the level.
 func waterfill(capacity float64, consumers []Consumer, ds []demander) float64 {
-	sort.Slice(ds, func(a, b int) bool { return ds[a].desired < ds[b].desired })
+	// Insertion sort: ds is small (one entry per consumer group) and
+	// sort.Slice's reflective swapper would allocate on every call of
+	// this hot path.
+	for i := 1; i < len(ds); i++ {
+		for k := i; k > 0 && ds[k].desired < ds[k-1].desired; k-- {
+			ds[k], ds[k-1] = ds[k-1], ds[k]
+		}
+	}
 	remaining := capacity
 	tasks := 0
 	for _, d := range ds {

@@ -38,6 +38,7 @@ const (
 	statesTID    = 0
 	schedTID     = 1
 	estimatorTID = 2
+	evalpoolTID  = 3
 )
 
 const usPerSec = 1e6
@@ -138,6 +139,13 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Phase: "i", TS: ev.Time * usPerSec,
 				PID: workflowPID, TID: estimatorTID, Scope: "t",
 				Args: map[string]any{"running": ev.Detail},
+			})
+		case EvPoolJob:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("%s[%d]", ev.Detail, ev.Seq), Cat: "evalpool",
+				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
+				PID: workflowPID, TID: evalpoolTID,
+				Args: map[string]any{"index": ev.Seq, "failed": ev.Value > 0},
 			})
 		// EvTaskStart, EvStageStart, EvStateOpen and EvEstimatorIter are
 		// redundant with the span events above in the Chrome view; they

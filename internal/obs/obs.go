@@ -69,6 +69,11 @@ const (
 	// EvEstimatorState marks the estimator opening a predicted workflow
 	// state; Detail lists the running job/stage set.
 	EvEstimatorState
+	// EvPoolJob spans one job executed by the parallel evaluation engine
+	// (Time = start, Dur = span, both wall clock relative to the pool's
+	// start); Seq is the job's input index, Detail the pool label, and
+	// Value 1 when the job returned an error, 0 otherwise.
+	EvPoolJob
 )
 
 // String names the event type as exporters print it.
@@ -98,6 +103,8 @@ func (t EventType) String() string {
 		return "estimator_iter"
 	case EvEstimatorState:
 		return "estimator_state"
+	case EvPoolJob:
+		return "pool_job"
 	}
 	return fmt.Sprintf("event(%d)", uint8(t))
 }

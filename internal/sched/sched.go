@@ -7,8 +7,6 @@
 package sched
 
 import (
-	"sort"
-
 	"boedag/internal/cluster"
 )
 
@@ -102,7 +100,14 @@ func DRF(pool Pool, reqs []Request, held Allocation) Allocation {
 	for i := range reqs {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return reqs[idx[a]].JobID < reqs[idx[b]].JobID })
+	// Insertion sort: reqs is one entry per job and both the estimator and
+	// the simulator call DRF once per state iteration — sort.Slice's
+	// reflective swapper would allocate every time.
+	for i := 1; i < len(idx); i++ {
+		for k := i; k > 0 && reqs[idx[k]].JobID < reqs[idx[k-1]].JobID; k-- {
+			idx[k], idx[k-1] = idx[k-1], idx[k]
+		}
+	}
 
 	dominant := func(r Request, n int) float64 {
 		memShare, cpuShare := 0.0, 0.0

@@ -143,6 +143,8 @@ type simJob struct {
 	// stageOpenAt is when the current stage materialized its tasks — the
 	// baseline for the queue-wait metric.
 	stageOpenAt float64
+	// seenEpoch is the stateTracker's dedup mark (see observe).
+	seenEpoch int
 }
 
 // Run simulates the workflow and returns its measurements.
@@ -184,6 +186,16 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 
 	pool := sched.PoolOf(s.spec).WithSlotLimit(s.opt.SlotLimit)
 
+	// The job set is fixed for the whole run: sort it once and reuse the
+	// scheduling scratch buffers across event-loop iterations. All of this
+	// is call-local, so concurrent Run calls on one Simulator stay safe.
+	ordered := sortedJobs(jobs)
+	scratch := &schedScratch{
+		reqs:   make([]sched.Request, 0, len(ordered)),
+		active: make([]*simJob, 0, len(ordered)),
+		held:   make(sched.Allocation, len(ordered)),
+	}
+
 	var running []*simTask
 	stateTracker := newStateTracker(s.opt.Observe, s.trOn, s.m)
 	nodeLoad := make([]int, s.spec.Nodes)
@@ -199,14 +211,14 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 		}
 
 		// Admit jobs whose submit latency elapsed.
-		for _, j := range sortedJobs(jobs) {
+		for _, j := range ordered {
 			if j.phase == jobSubmitted && j.readyAt <= now+timeEps {
 				s.startStage(j, workload.Map, now)
 			}
 		}
 
 		// Grant free containers via DRF and launch tasks.
-		s.schedule(pool, jobs, &running, now, nodeLoad)
+		s.schedule(pool, ordered, &running, now, nodeLoad, scratch)
 		stateTracker.observe(now, running)
 
 		// Allocate resources among working tasks and find the next event.
@@ -359,7 +371,7 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 	if s.m != nil {
 		s.m.recordFinalUtilization(res.States)
 	}
-	for _, j := range sortedJobs(jobs) {
+	for _, j := range ordered {
 		for _, st := range []workload.Stage{workload.Map, workload.Reduce} {
 			if meta, ok := j.stageMeta[st]; ok {
 				meta.MaxParallelism = j.peak[st]
@@ -431,13 +443,23 @@ func (s *Simulator) startStage(j *simJob, st workload.Stage, now float64) {
 	}
 }
 
+// schedScratch holds the per-event-loop buffers of schedule, reused
+// across iterations to keep the hot loop allocation-free.
+type schedScratch struct {
+	reqs   []sched.Request
+	active []*simJob
+	held   sched.Allocation
+}
+
 // schedule grants containers under the configured policy and launches
 // pending tasks; in NodeAware mode each launch is placed on the
-// least-loaded node.
-func (s *Simulator) schedule(pool sched.Pool, jobs map[string]*simJob, running *[]*simTask, now float64, nodeLoad []int) {
-	var reqs []sched.Request
-	held := sched.Allocation{}
-	for _, j := range sortedJobs(jobs) {
+// least-loaded node. jobs must be sorted by ID (the tie-break order).
+func (s *Simulator) schedule(pool sched.Pool, jobs []*simJob, running *[]*simTask, now float64, nodeLoad []int, sc *schedScratch) {
+	reqs := sc.reqs[:0]
+	active := sc.active[:0]
+	clear(sc.held)
+	held := sc.held
+	for _, j := range jobs {
 		if j.phase != jobMapping && j.phase != jobReducing {
 			continue
 		}
@@ -453,14 +475,16 @@ func (s *Simulator) schedule(pool sched.Pool, jobs map[string]*simJob, running *
 			Cap:      s.opt.ParallelismCaps[j.id],
 			Order:    j.order,
 		})
+		active = append(active, j)
 		held[j.id] = len(j.running)
 	}
+	sc.reqs, sc.active = reqs, active
 	if len(reqs) == 0 {
 		return
 	}
 	grants := sched.GrantObserved(s.opt.Policy, pool, reqs, held, s.opt.Observe, now)
-	for _, r := range reqs {
-		j := jobs[r.JobID]
+	for ri := range reqs {
+		r, j := reqs[ri], active[ri]
 		for g := grants[r.JobID]; g > 0 && len(j.pending) > 0; g-- {
 			t := j.pending[0]
 			j.pending = j.pending[1:]
@@ -610,8 +634,15 @@ func sortedJobs(jobs map[string]*simJob) []*simJob {
 
 // stateTracker turns the evolving set of running (job, stage) pairs into
 // the paper's workflow states: a new state opens whenever the set changes.
+// observe is called every event-loop iteration, so the steady-state path
+// (set unchanged) must not allocate: the running set is deduplicated with
+// a per-call epoch mark on the jobs and compared structurally; label
+// strings are only built when a state actually opens.
 type stateTracker struct {
-	sig      string
+	cur      []jobStage
+	scratch  []jobStage
+	epoch    int
+	virgin   bool
 	start    float64
 	labels   []string
 	states   []StateRecord
@@ -623,26 +654,44 @@ type stateTracker struct {
 	m    *simMetrics
 }
 
+// jobStage is one element of a workflow state's running set.
+type jobStage struct {
+	j  *simJob
+	st workload.Stage
+}
+
 func newStateTracker(o obs.Options, trOn bool, m *simMetrics) *stateTracker {
-	return &stateTracker{sig: "\x00init", o: o, trOn: trOn, m: m}
+	return &stateTracker{virgin: true, o: o, trOn: trOn, m: m}
 }
 
 func (st *stateTracker) observe(now float64, running []*simTask) {
-	set := make(map[string]bool)
+	// A job runs one stage at a time, so deduplicating by job suffices.
+	st.epoch++
+	st.scratch = st.scratch[:0]
 	for _, t := range running {
-		set[t.job.id+"/"+t.stage.String()] = true
+		if t.job.seenEpoch != st.epoch {
+			t.job.seenEpoch = st.epoch
+			st.scratch = append(st.scratch, jobStage{j: t.job, st: t.stage})
+		}
 	}
-	labels := make([]string, 0, len(set))
-	for l := range set {
-		labels = append(labels, l)
+	// Insertion sort by job ID: the set is tiny and almost sorted, and
+	// sort.Slice would allocate its closure every iteration.
+	for i := 1; i < len(st.scratch); i++ {
+		for k := i; k > 0 && st.scratch[k].j.id < st.scratch[k-1].j.id; k-- {
+			st.scratch[k], st.scratch[k-1] = st.scratch[k-1], st.scratch[k]
+		}
 	}
-	sort.Strings(labels)
-	sig := fmt.Sprint(labels)
-	if sig == st.sig {
+	if !st.virgin && jobStagesEqual(st.scratch, st.cur) {
 		return
 	}
+	st.virgin = false
 	st.close(now)
-	st.sig, st.start, st.labels = sig, now, labels
+	st.cur = append(st.cur[:0], st.scratch...)
+	labels := make([]string, len(st.cur))
+	for i, p := range st.cur {
+		labels[i] = p.j.id + "/" + p.st.String()
+	}
+	st.start, st.labels = now, labels
 	st.utilSum = [cluster.NumResources]float64{}
 	st.utilTime = 0
 	if st.trOn && len(labels) > 0 {
@@ -652,6 +701,18 @@ func (st *stateTracker) observe(now float64, running []*simTask) {
 			Detail: strings.Join(labels, ","),
 		})
 	}
+}
+
+func jobStagesEqual(a, b []jobStage) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // accumulate adds a time-weighted utilization sample to the open state.
@@ -666,7 +727,7 @@ func (st *stateTracker) accumulate(util [cluster.NumResources]float64, dt float6
 }
 
 func (st *stateTracker) close(now float64) {
-	if st.sig == "\x00init" || len(st.labels) == 0 {
+	if len(st.labels) == 0 {
 		return
 	}
 	if now-st.start < 1e-6 {

@@ -1,0 +1,41 @@
+package statemodel
+
+import (
+	"testing"
+
+	"boedag/internal/dag"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// benchFlow is a DAG wide and deep enough to exercise many workflow
+// states: two parallel chains feeding the estimator's state loop.
+func benchFlow() *dag.Workflow {
+	return dag.Parallel("bench",
+		dag.Chain("etl",
+			workload.WordCount(40*units.GB),
+			workload.TeraSort(20*units.GB),
+			workload.WordCount(10*units.GB)),
+		dag.Chain("report",
+			workload.TeraSort(40*units.GB),
+			workload.WordCount(20*units.GB)),
+	)
+}
+
+// BenchmarkEstimatorAllocs guards the estimator's hot path: the state
+// loop must reuse its scratch buffers instead of reallocating per
+// iteration. Run with -benchmem and watch allocs/op.
+func BenchmarkEstimatorAllocs(b *testing.B) {
+	flow := benchFlow()
+	est := New(spec(), boeTimer(), Options{})
+	if _, err := est.Estimate(flow); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(flow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

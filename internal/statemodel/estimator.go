@@ -199,7 +199,20 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 	pool := sched.PoolOf(e.Spec).WithSlotLimit(e.Opt.SlotLimit)
 
 	plan := &Plan{Workflow: w.Name}
-	var prevSig string
+	var prevSig stateSig
+
+	// The job set is fixed for the whole run, so sort it once; scratch
+	// buffers below are re-sliced every state iteration instead of
+	// reallocated (this loop dominates batch-evaluation profiles). All
+	// scratch is call-local, keeping Estimate safe for concurrent callers.
+	ordered := orderedJobs(jobs)
+	running := make([]*estJob, 0, len(ordered))
+	reqs := make([]sched.Request, 0, len(ordered))
+	groups := make([]boe.TaskGroup, 0, len(ordered))
+	delta := make([]int, 0, len(ordered))
+	dists := make([]TaskTimeDist, 0, len(ordered))
+	rates := make([]float64, 0, len(ordered))
+	rests := make([]float64, 0, len(ordered))
 
 	trOn := e.Opt.Observe.TracerOn()
 	var iterCount *obs.Counter
@@ -228,12 +241,17 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 			iterCount.Inc()
 		}
 		// Admit submitted jobs.
-		for _, j := range orderedJobs(jobs) {
+		for _, j := range ordered {
 			if j.phase == phaseSubmitted && j.readyAt <= now+1e-9 {
 				e.openStage(j, workload.Map, now)
 			}
 		}
-		running := runningJobs(jobs)
+		running = running[:0]
+		for _, j := range ordered {
+			if j.phase == phaseRunning && j.tasksLeft > 0 {
+				running = append(running, j)
+			}
+		}
 		if trOn {
 			e.Opt.Observe.Tracer.Emit(obs.Event{
 				Type: obs.EvEstimatorIter, Time: now, Task: -1,
@@ -256,7 +274,7 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 		}
 
 		// (1) Degree of parallelism per running job.
-		reqs := make([]sched.Request, len(running))
+		reqs = reqs[:len(running)]
 		for i, j := range running {
 			reqs[i] = sched.Request{
 				JobID:    j.id,
@@ -270,8 +288,8 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 		grants := sched.GrantObserved(e.Opt.Policy, pool, reqs, nil, e.Opt.Observe, now)
 
 		// (2) Task time per running job via the BOE model (or profiles).
-		groups := make([]boe.TaskGroup, len(running))
-		delta := make([]int, len(running))
+		groups = groups[:len(running)]
+		delta = delta[:len(running)]
 		for i, j := range running {
 			d := grants[j.id]
 			if d < 1 {
@@ -281,9 +299,9 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 			j.lastDelta = d
 			groups[i] = groupFor(j.profile, j.stage, d)
 		}
-		dists := make([]TaskTimeDist, len(running))
-		rates := make([]float64, len(running))
-		rests := make([]float64, len(running))
+		dists = dists[:len(running)]
+		rates = rates[:len(running)]
+		rests = rests[:len(running)]
 		for i, j := range running {
 			dists[i] = e.Timer.TaskDist(j.id, groups, i)
 			if p := e.Opt.TaskFailureProb; p > 0 {
@@ -387,7 +405,7 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 	closeState(plan, now)
 	observeClosed()
 	plan.Makespan = units.Seconds(now)
-	for _, j := range orderedJobs(jobs) {
+	for _, j := range ordered {
 		for _, st := range []workload.Stage{workload.Map, workload.Reduce} {
 			if se, ok := j.plan[st]; ok {
 				plan.Stages = append(plan.Stages, *se)
@@ -452,16 +470,6 @@ func (e *Estimator) openStage(j *estJob, st workload.Stage, now float64) {
 	j.plan[st] = &StageEstimate{Job: j.id, Stage: st, Start: units.Seconds(now)}
 }
 
-func runningJobs(jobs map[string]*estJob) []*estJob {
-	var out []*estJob
-	for _, j := range orderedJobs(jobs) {
-		if j.phase == phaseRunning && j.tasksLeft > 0 {
-			out = append(out, j)
-		}
-	}
-	return out
-}
-
 func orderedJobs(jobs map[string]*estJob) []*estJob {
 	out := make([]*estJob, 0, len(jobs))
 	for _, j := range jobs {
@@ -471,12 +479,29 @@ func orderedJobs(jobs map[string]*estJob) []*estJob {
 	return out
 }
 
-func stateSignature(running []*estJob) string {
-	sig := ""
+// stateSig identifies a workflow state without allocating: an FNV-1a
+// hash over the running (job, stage) pairs plus their count. The count
+// guards the (already negligible) hash-collision risk — two states can
+// only alias if they also run the same number of jobs.
+type stateSig struct {
+	h uint64
+	n int
+}
+
+func stateSignature(running []*estJob) stateSig {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
 	for _, j := range running {
-		sig += j.id + "/" + j.stage.String() + ";"
+		for i := 0; i < len(j.id); i++ {
+			h = (h ^ uint64(j.id[i])) * prime
+		}
+		h = (h ^ 0xff) * prime // separator: ids cannot bleed into each other
+		h = (h ^ uint64(j.stage)) * prime
 	}
-	return sig
+	return stateSig{h: h, n: len(running)}
 }
 
 func closeState(plan *Plan, end float64) {

@@ -5,8 +5,6 @@ import (
 	"time"
 
 	"boedag/internal/dag"
-	"boedag/internal/sched"
-	"boedag/internal/statemodel"
 )
 
 // OrderRecommendation is the submission-order optimizer's output.
@@ -49,13 +47,9 @@ func (t *Tuner) OrderJobs(flow *dag.Workflow) (*OrderRecommendation, error) {
 			flow.Name, len(roots))
 	}
 
-	fifoEst := statemodel.New(t.spec, t.est.Timer, statemodel.Options{
-		Mode:   t.opt.Mode,
-		Policy: sched.PolicyFIFO,
-	})
 	score := func(order []string) (time.Duration, error) {
 		t.evals++
-		plan, err := fifoEst.Estimate(reorderRoots(flow, order))
+		plan, err := t.cache.Estimate(t.fifoEst, reorderRoots(flow, order))
 		if err != nil {
 			return 0, err
 		}

@@ -13,6 +13,7 @@
 package tuning
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -20,7 +21,9 @@ import (
 	"boedag/internal/boe"
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
+	"boedag/internal/evalpool"
 	"boedag/internal/obs"
+	"boedag/internal/sched"
 	"boedag/internal/statemodel"
 	"boedag/internal/units"
 	"boedag/internal/workload"
@@ -71,6 +74,11 @@ type Options struct {
 	// Observe attaches observability sinks to the scoring estimator —
 	// every candidate evaluation's iterations and states become events.
 	Observe obs.Options
+	// Workers bounds how many candidate configurations are scored
+	// concurrently within one coordinate (0 or 1 = serial). The estimator
+	// is safe for concurrent calls and each candidate scores its own
+	// workflow clone, so the recommendation is identical at any value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -111,8 +119,11 @@ type Recommendation struct {
 	Changes []Change
 	// Baseline and Estimate are the estimated makespans before and after.
 	Baseline, Estimate time.Duration
-	// Evaluations counts estimator calls spent searching.
+	// Evaluations counts scoring calls spent searching; CacheHits says how
+	// many of them the plan cache answered without running the estimator
+	// (coordinate descent re-visits configurations across passes).
 	Evaluations int
+	CacheHits   int
 }
 
 // Improvement is the overall fractional gain.
@@ -123,12 +134,18 @@ func (r *Recommendation) Improvement() float64 {
 	return 1 - r.Estimate.Seconds()/r.Baseline.Seconds()
 }
 
-// Tuner searches job configurations with the cost models.
+// Tuner searches job configurations with the cost models. The scoring
+// estimator and FIFO-ordering estimator are built once and reused for
+// every candidate; plans are memoized by canonical workflow signature,
+// so re-visited configurations (coordinate descent circles back across
+// passes) cost a cache lookup instead of an estimator run.
 type Tuner struct {
-	spec  cluster.Spec
-	opt   Options
-	est   *statemodel.Estimator
-	evals int
+	spec    cluster.Spec
+	opt     Options
+	est     *statemodel.Estimator
+	fifoEst *statemodel.Estimator
+	cache   *evalpool.PlanCache
+	evals   int
 }
 
 // New returns a tuner for the cluster.
@@ -142,6 +159,11 @@ func New(spec cluster.Spec, opt Options) *Tuner {
 		spec: spec,
 		opt:  opt,
 		est:  statemodel.New(spec, timer, statemodel.Options{Mode: opt.Mode, Observe: opt.Observe}),
+		fifoEst: statemodel.New(spec, timer, statemodel.Options{
+			Mode:   opt.Mode,
+			Policy: sched.PolicyFIFO,
+		}),
+		cache: evalpool.NewPlanCache().WithMetrics(opt.Observe.Metrics),
 	}
 }
 
@@ -154,6 +176,7 @@ func (t *Tuner) Tune(flow *dag.Workflow) (*Recommendation, error) {
 		return nil, err
 	}
 	current := cloneFlow(flow)
+	hits0, _ := t.cache.Stats()
 	base, err := t.score(current)
 	if err != nil {
 		return nil, err
@@ -180,30 +203,57 @@ func (t *Tuner) Tune(flow *dag.Workflow) (*Recommendation, error) {
 	}
 	rec.Tuned = current
 	rec.Evaluations = t.evals
+	hits1, _ := t.cache.Stats()
+	rec.CacheHits = int(hits1 - hits0)
 	return rec, nil
 }
 
 // tuneCoordinate tries every candidate value of one knob on one job,
-// keeping the best. It mutates current in place when it accepts.
+// keeping the best. Candidates are independent, so they are scored
+// through the evaluation pool — each against its own workflow clone —
+// and compared in candidate order: the strictly best score wins and ties
+// go to the earliest candidate, making the outcome identical at any
+// worker count. It mutates current in place when it accepts.
 func (t *Tuner) tuneCoordinate(current *dag.Workflow, ji int, knob Knob, rec *Recommendation) (*Change, error) {
 	job := &current.Jobs[ji]
 	original := job.Profile
 	baseline := rec.Estimate
 
+	cands := candidates(original, knob)
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	jobs := make([]func() (time.Duration, error), len(cands))
+	for i, cand := range cands {
+		cand := cand
+		jobs[i] = func() (time.Duration, error) {
+			trial := cloneFlow(current)
+			trial.Jobs[ji].Profile = cand.profile
+			return t.scoreCached(trial)
+		}
+	}
+	workers := t.opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	scores, err := evalpool.RunObserved(context.Background(), jobs, evalpool.Options{
+		Workers: workers,
+		Label:   "tune",
+		Observe: t.opt.Observe,
+	})
+	t.evals += len(cands)
+	if err != nil {
+		return nil, err
+	}
+
 	bestProfile := original
 	bestScore := baseline
 	bestDesc := ""
-	for _, cand := range candidates(original, knob) {
-		job.Profile = cand.profile
-		score, err := t.score(current)
-		if err != nil {
-			job.Profile = original
-			return nil, err
-		}
+	for i, score := range scores {
 		if score < bestScore {
 			bestScore = score
-			bestProfile = cand.profile
-			bestDesc = cand.desc
+			bestProfile = cands[i].profile
+			bestDesc = cands[i].desc
 		}
 	}
 	job.Profile = bestProfile
@@ -281,10 +331,18 @@ func describe(p workload.JobProfile, knob Knob) string {
 	return "?"
 }
 
-// score estimates the workflow's makespan.
+// score estimates the workflow's makespan, counting the evaluation. Only
+// serial call sites may use it; pool workers go through scoreCached.
 func (t *Tuner) score(flow *dag.Workflow) (time.Duration, error) {
 	t.evals++
-	plan, err := t.est.Estimate(flow)
+	return t.scoreCached(flow)
+}
+
+// scoreCached estimates the workflow's makespan through the plan cache,
+// so configurations the coordinate descent re-visits cost a lookup. It
+// is safe for concurrent use; evaluation counting is the caller's job.
+func (t *Tuner) scoreCached(flow *dag.Workflow) (time.Duration, error) {
+	plan, err := t.cache.Estimate(t.est, flow)
 	if err != nil {
 		return 0, err
 	}

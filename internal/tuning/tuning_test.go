@@ -274,3 +274,57 @@ func TestOrderJobsRejections(t *testing.T) {
 		t.Error("single-root workflow accepted")
 	}
 }
+
+// TestTuneParallelDeterministic is the engine's guarantee applied to the
+// tuner: the recommendation is identical at every worker count, because
+// candidates are compared in enumeration order regardless of completion
+// order.
+func TestTuneParallelDeterministic(t *testing.T) {
+	flow := dag.Parallel("pair",
+		dag.Single(misconfigured()),
+		dag.Single(workload.WordCount(20*units.GB)))
+
+	serial, err := New(spec(), Options{Workers: 1}).Tune(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		rec, err := New(spec(), Options{Workers: workers}).Tune(flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Estimate != serial.Estimate || rec.Baseline != serial.Baseline {
+			t.Errorf("workers=%d: estimate %v/%v, serial %v/%v",
+				workers, rec.Baseline, rec.Estimate, serial.Baseline, serial.Estimate)
+		}
+		if len(rec.Changes) != len(serial.Changes) {
+			t.Fatalf("workers=%d: %d changes, serial %d", workers, len(rec.Changes), len(serial.Changes))
+		}
+		for i, c := range rec.Changes {
+			if c != serial.Changes[i] {
+				t.Errorf("workers=%d change %d: %+v, serial %+v", workers, i, c, serial.Changes[i])
+			}
+		}
+		for i := range rec.Tuned.Jobs {
+			if rec.Tuned.Jobs[i].Profile != serial.Tuned.Jobs[i].Profile {
+				t.Errorf("workers=%d: job %s tuned differently", workers, rec.Tuned.Jobs[i].ID)
+			}
+		}
+	}
+}
+
+// TestTunePlanCacheHits: coordinate descent re-visits configurations
+// across passes (the accepted value is re-scored in the next sweep), so
+// the plan cache must absorb some evaluations.
+func TestTunePlanCacheHits(t *testing.T) {
+	rec, err := New(spec(), Options{}).Tune(dag.Single(misconfigured()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CacheHits == 0 {
+		t.Error("multi-pass descent produced zero cache hits")
+	}
+	if rec.CacheHits >= rec.Evaluations {
+		t.Errorf("cache hits %d ≥ evaluations %d", rec.CacheHits, rec.Evaluations)
+	}
+}

@@ -1,0 +1,35 @@
+package boedag
+
+import (
+	"context"
+
+	"boedag/internal/evalpool"
+)
+
+// Parallel evaluation. The evalpool engine runs independent model
+// evaluations — sweep points, tuning candidates, calibration probes —
+// through a bounded worker pool with deterministic result ordering, and
+// memoizes plans and simulation results by canonical input signature.
+type (
+	// PoolOptions configure a parallel run.
+	PoolOptions = evalpool.Options
+	// PlanCache memoizes estimator plans by workflow signature.
+	PlanCache = evalpool.PlanCache
+	// ResultCache memoizes simulation results by workflow signature.
+	ResultCache = evalpool.ResultCache
+)
+
+// Cache constructors.
+var (
+	// NewPlanCache returns an empty estimator-plan cache.
+	NewPlanCache = evalpool.NewPlanCache
+	// NewResultCache returns an empty simulation-result cache.
+	NewResultCache = evalpool.NewResultCache
+)
+
+// RunParallel executes the jobs on a bounded worker pool and returns
+// their results in input order; errors are aggregated with the failing
+// job's index. Workers < 1 means one worker per available CPU.
+func RunParallel[T any](ctx context.Context, jobs []func() (T, error), workers int) ([]T, error) {
+	return evalpool.Run(ctx, jobs, workers)
+}

@@ -132,6 +132,32 @@ func TestDRFParallelismFacade(t *testing.T) {
 	}
 }
 
+// TestPublicOfflineCalibration drives the trace-driven calibration API
+// against the committed probe-session fixture: a recorded trace alone
+// recovers the cluster that produced it.
+func TestPublicOfflineCalibration(t *testing.T) {
+	cal, err := boedag.CalibrateFromTrace("internal/calibrate/testdata/probe_session.trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Nodes != 3 || cal.Slots != 6 {
+		t.Fatalf("recovered session shape %d nodes/%d slots, want 3/6", cal.Nodes, cal.Slots)
+	}
+	// The fixture's cluster has 50 MB/s cores (see goldenSpec in
+	// internal/calibrate); offline recovery lands within a few percent.
+	got := float64(cal.CoreThroughput) / float64(50*boedag.MB)
+	if got < 0.95 || got > 1.05 {
+		t.Errorf("recovered core throughput %v, want ≈ 50MB/s", cal.CoreThroughput)
+	}
+	var report bytes.Buffer
+	if err := cal.WriteReport(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "samples") {
+		t.Errorf("report lacks confidence info:\n%s", report.String())
+	}
+}
+
 func TestSizeConstants(t *testing.T) {
 	if boedag.GB != 1<<30 || boedag.MB != 1<<20 || boedag.KB != 1<<10 || boedag.TB != 1<<40 {
 		t.Error("size constants wrong")

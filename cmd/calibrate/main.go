@@ -1,13 +1,24 @@
-// Command calibrate probes a (simulated) cluster with the calibration
-// suite and prints the recovered resource throughputs — the θ_X constants
-// the BOE model consumes. Against the built-in simulator it demonstrates
-// the closed loop: probing the simulated paper cluster recovers the paper
-// cluster's specification.
+// Command calibrate recovers a cluster's resource throughputs — the θ_X
+// constants the BOE model consumes — either by probing a simulated
+// cluster live, or offline from a recorded Chrome trace of a probe
+// session. Against the built-in simulator it demonstrates the closed
+// loop: probing the simulated paper cluster recovers the paper cluster's
+// specification.
 //
 // Usage:
 //
 //	calibrate                     # probe the default paper cluster
 //	calibrate -nodes 20 -cores 8  # probe a custom-sized simulated cluster
+//	calibrate -from-trace probes.trace.json            # offline, from a recording
+//	calibrate -from-trace a.json,b.json -spec-out c.json  # multi-probe session
+//
+// Record a probe session with either tool:
+//
+//	calibrate -trace-out probes.trace.json
+//	dagsim -workflow cal-overhead,cal-cpu,cal-read,cal-write,cal-net -trace-out probes.trace.json
+//
+// -spec-out writes the recovered specification as cluster JSON that
+// `dagsim -cluster` accepts.
 package main
 
 import (
@@ -15,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"boedag/internal/calibrate"
 	"boedag/internal/cliobs"
@@ -24,18 +36,29 @@ import (
 
 func main() {
 	var (
-		nodes   = flag.Int("nodes", 11, "cluster node count")
-		cores   = flag.Int("cores", 6, "cores per node")
-		coreMB  = flag.Float64("core-mbps", 50, "true per-core throughput (MB/s) of the simulated cluster")
-		netMB   = flag.Float64("net-mbps", 125, "true NIC rate (MB/s)")
-		diskMB  = flag.Float64("disk-mbps", 100, "true per-disk rate (MB/s)")
-		disks   = flag.Int("disks", 2, "disks per node")
-		slotsPN = flag.Int("slots", 12, "task slots per node")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent probe executions (1 = serial)")
+		nodes     = flag.Int("nodes", 11, "cluster node count")
+		cores     = flag.Int("cores", 6, "cores per node (operator-known; not recoverable from probes)")
+		coreMB    = flag.Float64("core-mbps", 50, "true per-core throughput (MB/s) of the simulated cluster")
+		netMB     = flag.Float64("net-mbps", 125, "true NIC rate (MB/s)")
+		diskMB    = flag.Float64("disk-mbps", 100, "true per-disk rate (MB/s)")
+		disks     = flag.Int("disks", 2, "disks per node")
+		slotsPN   = flag.Int("slots", 12, "task slots per node")
+		memoryMB  = flag.Int("memory-mb", 32*1024, "memory per node (MB; operator-known)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent probe executions (1 = serial)")
+		fromTrace = flag.String("from-trace", "", "calibrate offline from recorded Chrome trace file(s), comma-separated")
+		specOut   = flag.String("spec-out", "", "write the recovered cluster spec as JSON for `dagsim -cluster`")
 	)
 	var ob cliobs.Flags
 	ob.Register(nil)
 	flag.Parse()
+
+	if *fromTrace != "" {
+		if err := runFromTrace(*fromTrace, *specOut, *cores, *memoryMB); err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	observe, err := ob.Options()
 	if err != nil {
@@ -53,7 +76,7 @@ func main() {
 			DiskReadRate:   units.Rate(*diskMB) * units.MBps,
 			DiskWriteRate:  units.Rate(*diskMB) * units.MBps,
 			NetworkRate:    units.Rate(*netMB) * units.MBps,
-			MemoryMB:       32 * 1024,
+			MemoryMB:       *memoryMB,
 		},
 	}
 	if err := spec.Validate(); err != nil {
@@ -80,8 +103,45 @@ func main() {
 	node := est.NodeSpec(spec.Nodes, spec.Node.Cores, spec.Node.MemoryMB)
 	fmt.Printf("\nrecovered per-node spec: %d cores × %v, disk %v/%v, NIC %v\n",
 		node.Cores, node.CoreThroughput, node.DiskReadRate, node.DiskWriteRate, node.NetworkRate)
+	if *specOut != "" {
+		if err := writeRecoveredSpec(*specOut, est.NodeSpec(spec.Nodes, *cores, *memoryMB), spec.Nodes, spec.SlotsPerNode); err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote recovered spec to %s\n", *specOut)
+	}
 	if err := ob.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
 	}
+}
+
+// runFromTrace is the offline path: parse the recorded session(s),
+// replay the inversion, report with per-resource confidence.
+func runFromTrace(files, specOut string, cores, memoryMB int) error {
+	paths := strings.Split(files, ",")
+	for i := range paths {
+		paths[i] = strings.TrimSpace(paths[i])
+	}
+	cal, err := calibrate.FromTraceFiles(paths...)
+	if err != nil {
+		return err
+	}
+	if err := cal.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	if specOut != "" {
+		slotsPerNode := cal.Slots / cal.Nodes
+		if err := writeRecoveredSpec(specOut, cal.NodeSpec(cal.Nodes, cores, memoryMB), cal.Nodes, slotsPerNode); err != nil {
+			return err
+		}
+		fmt.Printf("wrote recovered spec to %s\n", specOut)
+	}
+	return nil
+}
+
+func writeRecoveredSpec(path string, node cluster.NodeSpec, nodes, slotsPerNode int) error {
+	return cluster.WriteSpecFile(path, cluster.Spec{
+		Nodes: nodes, SlotsPerNode: slotsPerNode, Node: node,
+	})
 }

@@ -27,6 +27,7 @@ import (
 
 	"boedag/internal/boe"
 	"boedag/internal/cliobs"
+	"boedag/internal/cluster"
 	"boedag/internal/dag"
 	"boedag/internal/evalpool"
 	"boedag/internal/experiments"
@@ -51,6 +52,7 @@ func main() {
 		stagesCSV = flag.String("stages-csv", "", "write per-stage records to this CSV file")
 		jsonOut   = flag.String("json", "", "write the run summary to this JSON file")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations for a multi-workflow run (1 = serial)")
+		clusterIn = flag.String("cluster", "", "simulate this cluster spec JSON (e.g. from `calibrate -spec-out`) instead of the paper cluster")
 	)
 	var ob cliobs.Flags
 	ob.RegisterLive(nil)
@@ -67,6 +69,14 @@ func main() {
 	cfg.Seed = *seed
 	cfg.TPCHScale = *scale
 	cfg.MicroInput = units.Bytes(*microGB) * units.GB
+	if *clusterIn != "" {
+		spec, err := cluster.ReadSpecFile(*clusterIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagsim:", err)
+			os.Exit(1)
+		}
+		cfg.Spec = spec
+	}
 
 	opt := simulator.Options{Seed: cfg.Seed}
 	if *perNode > 0 {

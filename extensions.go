@@ -1,6 +1,7 @@
 package boedag
 
 import (
+	"io"
 	"time"
 
 	"boedag/internal/calibrate"
@@ -175,6 +176,36 @@ func CalibrateCluster(run CalibrationRunner, slots, nodes int) (*CalibrationEsti
 // SimulatorCalibrationRunner backs calibration probes with the simulator.
 func SimulatorCalibrationRunner(spec ClusterSpec) CalibrationRunner {
 	return calibrate.SimulatorRunner(spec)
+}
+
+// Offline (trace-driven) calibration: recover θ_X from recorded Chrome
+// traces of probe runs instead of a live cluster.
+type (
+	// TraceCalibration is an offline calibration result: the estimate
+	// plus session facts and per-resource confidence.
+	TraceCalibration = calibrate.Calibration
+	// TraceSession is a parsed probe-session trace.
+	TraceSession = calibrate.Session
+)
+
+// CalibrateFromTrace recovers cluster throughputs from one or more
+// recorded Chrome trace files of a probe session (written by
+// `dagsim -trace-out` or `calibrate -trace-out`).
+func CalibrateFromTrace(paths ...string) (*TraceCalibration, error) {
+	return calibrate.FromTraceFiles(paths...)
+}
+
+// ParseProbeTrace parses one Chrome trace_event JSON stream into a
+// session that TraceCalibrationRunner or calibrate.FromSession consume.
+func ParseProbeTrace(r io.Reader) (*TraceSession, error) {
+	return calibrate.ParseChromeTrace(r)
+}
+
+// TraceCalibrationRunner serves a recorded session's measurements to the
+// calibration arithmetic — the offline counterpart of
+// SimulatorCalibrationRunner.
+func TraceCalibrationRunner(s *TraceSession) CalibrationRunner {
+	return calibrate.TraceRunner(s)
 }
 
 // OrderRecommendation is the FIFO submission-order optimizer's output.

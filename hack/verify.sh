@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # verify.sh — the repo's full verification gate:
-#   gofmt cleanliness, go vet, the race-enabled test suite, the
-#   instrumentation-overhead guard (disabled-path observability must stay
-#   within 5% of an uninstrumented run), and the OTLP export shape check.
+#   gofmt cleanliness, go vet, the race-enabled test suite with the
+#   per-package coverage gate (hack/coverage_baseline.txt), the trace
+#   parser fuzz smoke, the instrumentation-overhead guard (disabled-path
+#   observability must stay within 5% of an uninstrumented run), and the
+#   OTLP export shape check.
 #
 # Usage: hack/verify.sh [-quick]
 #   -quick skips the full race detector run and the overhead benchmark
-#   (the streaming-bus tests still run under -race, and the OTLP check
-#   still runs).
+#   (the streaming-bus tests still run under -race, and the coverage,
+#   fuzz and OTLP checks still run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +42,46 @@ otlp_check() {
     rm -rf "$tmp"
 }
 
+# coverage_gate compares the per-package coverage printed by a
+# `go test -cover` run (captured in $1) against the floors in
+# hack/coverage_baseline.txt, printing each package's delta and failing
+# if any package slips under its floor.
+coverage_gate() {
+    echo "== coverage gate (vs hack/coverage_baseline.txt) =="
+    awk '
+        NR==FNR { if ($1 !~ /^#/ && NF == 2) { base[$1] = $2; order[++nb] = $1 }; next }
+        $1 == "ok" {
+            for (i = 3; i <= NF; i++) if ($i == "coverage:") {
+                pct = $(i + 1); sub(/%/, "", pct); cur[$2] = pct
+            }
+        }
+        END {
+            fail = 0
+            for (k = 1; k <= nb; k++) {
+                p = order[k]
+                if (!(p in cur)) {
+                    printf "  %-34s floor %5.1f%%  NO COVERAGE REPORTED\n", p, base[p]
+                    fail = 1; continue
+                }
+                printf "  %-34s %5.1f%%  (floor %5.1f%%, %+5.1f)\n", p, cur[p], base[p], cur[p] - base[p]
+                if (cur[p] + 0 < base[p] + 0) fail = 1
+            }
+            for (p in cur) if (!(p in base))
+                printf "  %-34s %5.1f%%  (new package: add a floor to the baseline)\n", p, cur[p]
+            if (fail) { print "FAIL: coverage fell below baseline"; exit 1 }
+        }
+    ' hack/coverage_baseline.txt "$1"
+}
+
+# fuzz_smoke runs the trace-parser fuzzer briefly: the seed corpus plus a
+# few seconds of mutation must finish without a crasher (the parser's
+# never-panic contract).
+fuzz_smoke() {
+    echo "== trace parser fuzz smoke =="
+    go test ./internal/calibrate -run '^$' \
+        -fuzz '^FuzzParseChromeTrace$' -fuzztime "${FUZZTIME:-5s}"
+}
+
 # bench_smoke compiles and runs the parallel-sweep benchmark once per
 # sub-benchmark — a cheap guard that the evalpool fan-out path stays
 # runnable; real speedup numbers need a longer -benchtime on a
@@ -49,9 +91,13 @@ bench_smoke() {
     go test ./internal/experiments -run '^$' -bench BenchmarkSweepParallel -benchtime 1x
 }
 
+cover_out=$(mktemp)
+trap 'rm -f "$cover_out"' EXIT
+
 if [[ $quick -eq 1 ]]; then
-    echo "== go test (quick) =="
-    go test ./...
+    echo "== go test (quick, with coverage) =="
+    go test -cover ./... | tee "$cover_out"
+    coverage_gate "$cover_out"
     # The streaming bus and the evalpool engine are the genuinely
     # concurrent pieces: even the quick gate runs their tests under the
     # race detector.
@@ -62,15 +108,18 @@ if [[ $quick -eq 1 ]]; then
     go test -race -count=1 ./internal/evalpool
     go test -race -count=1 -run 'Parallel|Cache' \
         ./internal/experiments ./internal/tuning ./internal/calibrate
+    fuzz_smoke
     bench_smoke
     otlp_check
     echo "verify OK (quick)"
     exit 0
 fi
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race (with coverage) =="
+go test -race -cover ./... | tee "$cover_out"
+coverage_gate "$cover_out"
 
+fuzz_smoke
 bench_smoke
 otlp_check
 

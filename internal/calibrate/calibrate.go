@@ -87,6 +87,66 @@ const (
 	heavyCPU   = 4.0
 )
 
+// Probe job names. Trace-driven calibration identifies probe runs inside
+// a recorded session by these names, so they are part of the trace
+// schema contract (see DESIGN.md).
+const (
+	ProbeOverhead  = "cal-overhead"
+	ProbeCPU       = "cal-cpu"
+	ProbeDiskRead  = "cal-read"
+	ProbeDiskWrite = "cal-write"
+	ProbeNetwork   = "cal-net"
+)
+
+// Probe is one calibration job plus the task concurrency it must run at
+// to isolate its resource.
+type Probe struct {
+	Profile workload.JobProfile
+	// Slots is the simultaneous-task limit for the probe run: 1 for the
+	// single-task probes, the cluster's full slot count for the
+	// pool-saturating ones.
+	Slots int
+}
+
+// ProbeSuite returns the five probe jobs calibrating a cluster with the
+// given total task slots: overhead, CPU, disk read, disk write, network
+// — in the order the inversion arithmetic consumes them. The suite is
+// also reachable as dagsim workflows (cal-overhead … cal-net), so a
+// probe session can be recorded to a Chrome trace and calibrated
+// offline.
+func ProbeSuite(slots int) []Probe {
+	return []Probe{
+		// Probe 0 — overhead: a near-empty task is all container launch.
+		{workload.JobProfile{
+			Name: ProbeOverhead, InputBytes: units.MB, SplitBytes: units.MB,
+			MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
+		}, 1},
+		// Probe 1 — CPU: one heavy-compute task; everything else is noise.
+		{workload.JobProfile{
+			Name: ProbeCPU, InputBytes: probeSplit, SplitBytes: probeSplit,
+			MapSelectivity: 0, MapCPUCost: heavyCPU, Replicas: 1,
+		}, 1},
+		// Probe 2 — disk read: slots parallel scan tasks saturate the pool.
+		{workload.JobProfile{
+			Name: ProbeDiskRead, InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
+			MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
+		}, slots},
+		// Probe 3 — disk write: scan + local identity write; with the read
+		// pool known we attribute the slowdown to the write path.
+		{workload.JobProfile{
+			Name: ProbeDiskWrite, InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
+			MapSelectivity: 1, MapCPUCost: tinyCPU, ReduceTasks: 0, Replicas: 1,
+		}, slots},
+		// Probe 4 — network: an identity shuffle; the copy sub-stage's
+		// median isolates the transfer (map output is from page cache).
+		{workload.JobProfile{
+			Name: ProbeNetwork, InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
+			MapSelectivity: 1, ReduceSelectivity: 1, MapCPUCost: tinyCPU, ReduceCPUCost: tinyCPU,
+			ReduceTasks: slots, Replicas: 1,
+		}, slots},
+	}
+}
+
 // Options configure how the probe suite executes.
 type Options struct {
 	// Workers bounds how many probe jobs run concurrently (0 or 1 =
@@ -114,46 +174,14 @@ func ClusterWith(run Runner, slots, nodes int, opt Options) (*Estimate, error) {
 		return nil, fmt.Errorf("calibrate: need positive slots and nodes, got %d/%d", slots, nodes)
 	}
 
-	probes := []struct {
-		p     workload.JobProfile
-		slots int
-	}{
-		// Probe 0 — overhead: a near-empty task is all container launch.
-		{workload.JobProfile{
-			Name: "cal-overhead", InputBytes: units.MB, SplitBytes: units.MB,
-			MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
-		}, 1},
-		// Probe 1 — CPU: one heavy-compute task; everything else is noise.
-		{workload.JobProfile{
-			Name: "cal-cpu", InputBytes: probeSplit, SplitBytes: probeSplit,
-			MapSelectivity: 0, MapCPUCost: heavyCPU, Replicas: 1,
-		}, 1},
-		// Probe 2 — disk read: slots parallel scan tasks saturate the pool.
-		{workload.JobProfile{
-			Name: "cal-read", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
-			MapSelectivity: 0, MapCPUCost: tinyCPU, Replicas: 1,
-		}, slots},
-		// Probe 3 — disk write: scan + local identity write; with the read
-		// pool known we attribute the slowdown to the write path.
-		{workload.JobProfile{
-			Name: "cal-write", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
-			MapSelectivity: 1, MapCPUCost: tinyCPU, ReduceTasks: 0, Replicas: 1,
-		}, slots},
-		// Probe 4 — network: an identity shuffle; the copy sub-stage's
-		// median isolates the transfer (map output is from page cache).
-		{workload.JobProfile{
-			Name: "cal-net", InputBytes: probeSplit * units.Bytes(slots), SplitBytes: probeSplit,
-			MapSelectivity: 1, ReduceSelectivity: 1, MapCPUCost: tinyCPU, ReduceCPUCost: tinyCPU,
-			ReduceTasks: slots, Replicas: 1,
-		}, slots},
-	}
+	probes := ProbeSuite(slots)
 	jobs := make([]func() (*simulator.Result, error), len(probes))
 	for i, pr := range probes {
 		pr := pr
 		jobs[i] = func() (*simulator.Result, error) {
-			res, err := run(pr.p, pr.slots)
+			res, err := run(pr.Profile, pr.Slots)
 			if err != nil {
-				return nil, fmt.Errorf("calibrate: probe %s: %w", pr.p.Name, err)
+				return nil, fmt.Errorf("calibrate: probe %s: %w", pr.Profile.Name, err)
 			}
 			return res, nil
 		}
@@ -174,32 +202,32 @@ func ClusterWith(run Runner, slots, nodes int, opt Options) (*Estimate, error) {
 	// Inversion arithmetic: serial, cheap, order-dependent (probes 1–3
 	// subtract the overhead probe's launch latency).
 	est := &Estimate{}
-	t0, err := medianMapTime(results[0], probes[0].p.Name)
+	t0, err := medianMapTime(results[0], probes[0].Profile.Name)
 	if err != nil {
 		return nil, err
 	}
 	est.TaskOverhead = t0
 
-	t1, err := medianMapTime(results[1], probes[1].p.Name)
+	t1, err := medianMapTime(results[1], probes[1].Profile.Name)
 	if err != nil {
 		return nil, err
 	}
 	work := float64(probeSplit) * heavyCPU
 	est.CoreThroughput = units.Rate(work / effective(t1, t0))
 
-	t2, err := medianMapTime(results[2], probes[2].p.Name)
+	t2, err := medianMapTime(results[2], probes[2].Profile.Name)
 	if err != nil {
 		return nil, err
 	}
 	est.DiskReadPool = units.Rate(float64(slots) * float64(probeSplit) / effective(t2, t0))
 
-	t3, err := medianMapTime(results[3], probes[3].p.Name)
+	t3, err := medianMapTime(results[3], probes[3].Profile.Name)
 	if err != nil {
 		return nil, err
 	}
 	est.DiskWritePool = units.Rate(float64(slots) * float64(probeSplit) / effective(t3, t0))
 
-	shuffle, err := medianShuffleTime(results[4], probes[4].p.Name)
+	shuffle, err := medianShuffleTime(results[4], probes[4].Profile.Name)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,87 @@
+package calibrate
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"boedag/internal/cluster"
+)
+
+// FuzzParseChromeTrace holds the parser's contract under arbitrary
+// input: it must either return an error or a structurally sane session —
+// never panic, never fabricate NaN/negative measurements. The seed
+// corpus covers the boundary shapes the edge-case tests exercise plus a
+// genuine recorded probe session, so mutations explore realistic traces
+// rather than only random bytes.
+func FuzzParseChromeTrace(f *testing.F) {
+	seeds := []string{
+		"",
+		"{",
+		"[1,2,3]",
+		`{"traceEvents":[]}`,
+		`{"traceEvents":[{"name":"map[0]","cat":"task","ph":"X","ts":0,"dur":1}]}`,
+		`{"traceEvents":[{"name":"run","cat":"meta","ph":"i","ts":0,"args":{"nodes":2,"slots":4}}]}`,
+		`{"traceEvents":[{"name":"run","cat":"meta","ph":"i","ts":0,"args":{"nodes":2,"slots":4,"skew":true}},` +
+			`{"name":"map[0]","cat":"task","ph":"X","ts":0,"dur":1e6,"args":{"job":"j","stage":"map","task":0}},` +
+			`{"name":"map","cat":"substage","ph":"X","ts":0,"dur":1e6,"args":{"job":"j","stage":"map","task":0,"sub":"map","bytes":{"cpu":5}}}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	// One real recorded session (truncated: a fuzz seed does not need all
+	// five probes, and the full trace would bloat the corpus).
+	real := recordProbeTrace(f, cluster.PaperCluster())
+	if len(real) > 1<<16 {
+		real = real[:1<<16]
+	}
+	f.Add(real)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseChromeTrace(bytes.NewReader(data))
+		if err != nil {
+			if s != nil {
+				t.Fatal("non-nil session alongside error")
+			}
+			return
+		}
+		if s.Nodes <= 0 || s.Slots <= 0 {
+			t.Fatalf("accepted session with nodes=%d slots=%d", s.Nodes, s.Slots)
+		}
+		for _, job := range s.Jobs() {
+			res, err := s.Result(job)
+			if err != nil {
+				continue // a job can lack completed tasks; that is an error, not a panic
+			}
+			for _, task := range res.Tasks {
+				if task.End < task.Start {
+					t.Fatalf("task %s[%d] ends before it starts", task.Job, task.Index)
+				}
+				for _, d := range task.SubStages {
+					if d < 0 {
+						t.Fatalf("negative sub-stage duration in %s[%d]", task.Job, task.Index)
+					}
+				}
+			}
+		}
+		// Calibration on an accepted session may fail (missing probes) but
+		// must not panic or emit non-finite numbers.
+		cal, err := FromSession(s)
+		if err != nil {
+			return
+		}
+		for _, v := range []float64{
+			float64(cal.CoreThroughput), float64(cal.DiskReadPool),
+			float64(cal.DiskWritePool), float64(cal.NetworkPool),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("non-finite recovered throughput %v", v)
+			}
+		}
+		for _, cf := range cal.Confidence {
+			if math.IsNaN(cf.Spread) || math.IsInf(cf.Spread, 0) || cf.Spread < 0 {
+				t.Fatalf("non-finite confidence spread %v", cf.Spread)
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package calibrate
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"boedag/internal/cluster"
+	"boedag/internal/obs"
+	"boedag/internal/units"
+)
+
+// recordProbeTrace runs the full probe suite against the simulated spec
+// with a tracer attached and returns the session exported as Chrome
+// trace JSON — exactly what `dagsim -workflow cal-... -trace-out` or
+// `calibrate -trace-out` writes to disk.
+func recordProbeTrace(t testing.TB, spec cluster.Spec) []byte {
+	t.Helper()
+	rec := obs.NewRecorder()
+	run := SimulatorRunner(spec, obs.Options{Tracer: rec})
+	for _, pr := range ProbeSuite(spec.TotalSlots()) {
+		if _, err := run(pr.Profile, pr.Slots); err != nil {
+			t.Fatalf("probe %s: %v", pr.Profile.Name, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceRoundTrip is the PR's load-bearing property: simulate the
+// probe suite on a known cluster, export the Chrome trace, calibrate
+// offline from nothing but that trace, and recover the originating θ_X
+// within 1%. Three specs guard against the paper cluster being a lucky
+// special case; each perturbed spec keeps the probe suite's isolation
+// preconditions (write pool ≤ read pool, NIC-bound shuffle, CPU-bound
+// compute probe).
+func TestTraceRoundTrip(t *testing.T) {
+	dense := cluster.Spec{
+		Nodes: 5, SlotsPerNode: 8,
+		Node: cluster.NodeSpec{
+			Cores: 4, CoreThroughput: 80 * units.MBps,
+			Disks: 1, DiskReadRate: 150 * units.MBps, DiskWriteRate: 120 * units.MBps,
+			NetworkRate: 90 * units.MBps, MemoryMB: 16 * 1024,
+		},
+	}
+	wide := cluster.Spec{
+		Nodes: 16, SlotsPerNode: 6,
+		Node: cluster.NodeSpec{
+			Cores: 6, CoreThroughput: 40 * units.MBps,
+			Disks: 2, DiskReadRate: 120 * units.MBps, DiskWriteRate: 100 * units.MBps,
+			NetworkRate: 110 * units.MBps, MemoryMB: 24 * 1024,
+		},
+	}
+	cases := []struct {
+		name string
+		spec cluster.Spec
+	}{
+		{"paper", cluster.PaperCluster()},
+		{"dense-small", dense},
+		{"wide-slow-core", wide},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			raw := recordProbeTrace(t, tc.spec)
+
+			sess, err := ParseChromeTrace(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sess.Nodes != tc.spec.Nodes {
+				t.Fatalf("session nodes = %d, want %d", sess.Nodes, tc.spec.Nodes)
+			}
+			if sess.Slots != tc.spec.TotalSlots() {
+				t.Fatalf("session slots = %d, want %d", sess.Slots, tc.spec.TotalSlots())
+			}
+			if sess.Skewed {
+				t.Error("probe runs disable skew; session claims skewed")
+			}
+
+			cal, err := FromSession(sess)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			within := func(name string, got, want units.Rate, tol float64) {
+				t.Helper()
+				g, w := float64(got), float64(want)
+				if math.Abs(g-w)/w > tol {
+					t.Errorf("%s = %v, want %v (±%.1f%%)", name, got, want, 100*tol)
+				}
+			}
+			within("core throughput", cal.CoreThroughput, tc.spec.Node.CoreThroughput, 0.01)
+			within("disk read pool", cal.DiskReadPool, tc.spec.TotalCapacity(cluster.DiskRead), 0.01)
+			within("disk write pool", cal.DiskWritePool, tc.spec.TotalCapacity(cluster.DiskWrite), 0.01)
+			within("network pool", cal.NetworkPool, tc.spec.TotalCapacity(cluster.Network), 0.01)
+			if d := cal.TaskOverhead - time.Second; d < -50*time.Millisecond || d > 50*time.Millisecond {
+				t.Errorf("task overhead = %v, want ≈ 1s", cal.TaskOverhead)
+			}
+
+			// Offline must agree with live calibration on the same cluster:
+			// identical arithmetic fed identical measurements, modulo the
+			// microsecond granularity of the trace format.
+			live, err := Cluster(SimulatorRunner(tc.spec), tc.spec.TotalSlots(), tc.spec.Nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			within("trace vs live core", cal.CoreThroughput, live.CoreThroughput, 0.001)
+			within("trace vs live read", cal.DiskReadPool, live.DiskReadPool, 0.001)
+			within("trace vs live write", cal.DiskWritePool, live.DiskWritePool, 0.001)
+			within("trace vs live net", cal.NetworkPool, live.NetworkPool, 0.001)
+
+			// The recorded D_X byte counts independently imply the same
+			// throughputs, with one sample per probe task and no dissent.
+			slots := tc.spec.TotalSlots()
+			wantSamples := [cluster.NumResources]int{
+				cluster.CPU:       1,
+				cluster.DiskRead:  slots,
+				cluster.DiskWrite: slots,
+				cluster.Network:   slots,
+			}
+			for _, r := range cluster.Resources() {
+				cf := cal.Confidence[r]
+				if cf.Samples != wantSamples[r] {
+					t.Errorf("%s confidence samples = %d, want %d", r, cf.Samples, wantSamples[r])
+				}
+				if cf.Samples > 0 && cf.Spread > 0.01 {
+					t.Errorf("%s confidence spread = %.4f, want ≈ 0", r, cf.Spread)
+				}
+			}
+			within("implied cpu", cal.Confidence[cluster.CPU].Implied,
+				tc.spec.Node.CoreThroughput, 0.01)
+			within("implied network", cal.Confidence[cluster.Network].Implied,
+				tc.spec.TotalCapacity(cluster.Network), 0.01)
+		})
+	}
+}
+
+// TestMergeMultiProbeSessions covers the multi-file path: two recordings
+// of the same cluster merge into one session with doubled samples and an
+// unchanged estimate.
+func TestMergeMultiProbeSessions(t *testing.T) {
+	spec := cluster.PaperCluster()
+	raw := recordProbeTrace(t, spec)
+	s1, err := ParseChromeTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseChromeTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := FromSession(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cal.Confidence[cluster.DiskRead].Samples, 2*spec.TotalSlots(); got != want {
+		t.Errorf("merged disk-read samples = %d, want %d", got, want)
+	}
+	single, err := FromSession(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(float64(cal.DiskReadPool)-float64(single.DiskReadPool)) /
+		float64(single.DiskReadPool); diff > 0.001 {
+		t.Errorf("merged estimate drifted %.4f%% from single-session", diff*100)
+	}
+
+	other := spec
+	other.Nodes = 7
+	rawOther := recordProbeTrace(t, other)
+	s3, err := ParseChromeTrace(bytes.NewReader(rawOther))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(s1, s3); err == nil {
+		t.Error("merging sessions from different clusters must fail")
+	}
+}

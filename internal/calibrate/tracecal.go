@@ -1,0 +1,177 @@
+package calibrate
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"boedag/internal/cluster"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// Confidence qualifies one resource's recovered throughput: how many
+// recorded sub-stage samples carried usable (D_X, t) pairs, the median
+// θ_X those samples imply on their own, and how far the worst sample
+// strays from that median. A large spread means the probe did not
+// isolate the resource cleanly (interference, skew, or a truncated
+// trace) and the estimate deserves suspicion.
+type Confidence struct {
+	// Samples counts sub-stage records with positive bytes and duration.
+	Samples int
+	// Implied is the median throughput implied by the samples alone
+	// (bytes/duration, scaled to the pool). Zero when the trace carries
+	// no byte counts for the resource.
+	Implied units.Rate
+	// Spread is max|θ_i − median|/median over the samples (0 = unanimous).
+	Spread float64
+}
+
+// Calibration is the outcome of offline, trace-driven calibration: the
+// recovered estimate plus the session facts and per-resource confidence
+// that a live calibration gets for free but a recorded one must carry.
+type Calibration struct {
+	Estimate
+	// Nodes and Slots are read back from the trace's run metadata.
+	Nodes, Slots int
+	// Skewed reports that the recorded runs had task-size skew enabled;
+	// the inversion uses medians, which resist skew, and the report says
+	// so explicitly.
+	Skewed bool
+	// Confidence is indexed by cluster.Resource.
+	Confidence [cluster.NumResources]Confidence
+}
+
+// FromSession calibrates from a parsed trace session: the recorded probe
+// measurements replay through the same inversion arithmetic as a live
+// run (via TraceRunner), then the recorded D_X byte counts cross-check
+// each recovered throughput.
+func FromSession(s *Session) (*Calibration, error) {
+	if s == nil {
+		return nil, fmt.Errorf("calibrate: nil session")
+	}
+	est, err := Cluster(TraceRunner(s), s.Slots, s.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	cal := &Calibration{Estimate: *est, Nodes: s.Nodes, Slots: s.Slots, Skewed: s.Skewed}
+	slots := float64(s.Slots)
+	// Each resource's confidence comes from the probe that isolates it:
+	// per-sample implied θ is D_X/t scaled to the pool (the saturating
+	// probes split the pool across slots concurrent tasks; the CPU probe
+	// runs one task on one core).
+	type probeSrc struct {
+		res   cluster.Resource
+		job   string
+		stage workload.Stage
+		sub   string
+		scale float64
+	}
+	for _, src := range []probeSrc{
+		{cluster.CPU, ProbeCPU, workload.Map, "map", 1},
+		{cluster.DiskRead, ProbeDiskRead, workload.Map, "map", slots},
+		{cluster.DiskWrite, ProbeDiskWrite, workload.Map, "map", slots},
+		{cluster.Network, ProbeNetwork, workload.Reduce, "shuffle", slots},
+	} {
+		var implied []float64
+		for _, sample := range s.samples(src.job, src.stage, src.sub) {
+			b := sample.Bytes[src.res]
+			if b <= 0 || sample.Dur <= 0 {
+				continue // zero-byte or degenerate sample: no information
+			}
+			implied = append(implied, src.scale*b/sample.Dur)
+		}
+		cal.Confidence[src.res] = summarize(implied)
+	}
+	return cal, nil
+}
+
+// summarize reduces per-sample implied throughputs to a Confidence.
+func summarize(implied []float64) Confidence {
+	c := Confidence{Samples: len(implied)}
+	if len(implied) == 0 {
+		return c
+	}
+	sort.Float64s(implied)
+	med := implied[len(implied)/2]
+	if len(implied)%2 == 0 {
+		med = (implied[len(implied)/2-1] + implied[len(implied)/2]) / 2
+	}
+	c.Implied = units.Rate(med)
+	if med > 0 {
+		for _, v := range implied {
+			if d := math.Abs(v-med) / med; d > c.Spread {
+				c.Spread = d
+			}
+		}
+	}
+	return c
+}
+
+// FromTraceFiles parses one or more recorded trace files (a multi-file
+// probe session), merges them, and calibrates.
+func FromTraceFiles(paths ...string) (*Calibration, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("calibrate: no trace files given")
+	}
+	sessions := make([]*Session, len(paths))
+	for i, p := range paths {
+		s, err := ParseChromeTraceFile(p)
+		if err != nil {
+			return nil, err
+		}
+		sessions[i] = s
+	}
+	s, err := Merge(sessions...)
+	if err != nil {
+		return nil, err
+	}
+	return FromSession(s)
+}
+
+// WriteReport renders the calibration for an operator: recovered
+// throughputs, the session shape, and the per-resource confidence table.
+func (c *Calibration) WriteReport(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("Recovered cluster estimate (from trace, %d nodes, %d slots):\n", c.Nodes, c.Slots); err != nil {
+		return err
+	}
+	rows := []struct {
+		label string
+		rate  units.Rate
+		res   cluster.Resource
+		has   bool
+	}{
+		{"core throughput", c.CoreThroughput, cluster.CPU, true},
+		{"disk read pool", c.DiskReadPool, cluster.DiskRead, true},
+		{"disk write pool", c.DiskWritePool, cluster.DiskWrite, true},
+		{"network pool", c.NetworkPool, cluster.Network, true},
+	}
+	if err := p("  task overhead     %v\n", c.TaskOverhead); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		cf := c.Confidence[r.res]
+		line := fmt.Sprintf("  %-17s %v", r.label, r.rate)
+		if cf.Samples > 0 {
+			line += fmt.Sprintf("  (%d samples, implied %v, spread %.2f%%)",
+				cf.Samples, cf.Implied, cf.Spread*100)
+		} else {
+			line += "  (no byte counts in trace; duration-only estimate)"
+		}
+		if err := p("%s\n", line); err != nil {
+			return err
+		}
+	}
+	if c.Skewed {
+		if err := p("note: trace recorded with task-size skew enabled; " +
+			"estimates use median task times, which resist skew\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,456 @@
+// Trace ingestion: offline calibration consumes the Chrome trace_event
+// JSON that obs.WriteChromeTrace emits instead of a rerunnable cluster.
+// A recorded probe session (dagsim -trace-out or calibrate -trace-out)
+// is parsed back into per-task sub-stage durations and D_X byte counts,
+// and a TraceRunner serves the reconstructed measurements to the same
+// model-inversion arithmetic the live path uses — the Starfish-style
+// job-profile workflow: profile once, calibrate offline, forever after.
+//
+// The parser is strict about the fields it consumes (the load-bearing
+// schema contract, documented in DESIGN.md) and returns errors — never
+// panics — on malformed, truncated, or arg-less input; FuzzParseChromeTrace
+// holds that line.
+package calibrate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"boedag/internal/cluster"
+	"boedag/internal/simulator"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// SubSample is one recorded sub-stage execution: its duration and the
+// bytes it moved per resource class — a (t, D_X) pair ready for θ_X
+// inversion.
+type SubSample struct {
+	// Name is the sub-stage label ("map", "shuffle", "reduce", …).
+	Name string
+	// Start and Dur are model-time seconds (Dur excludes the container
+	// launch delay; the simulator resets the sub-stage clock after it).
+	Start, Dur float64
+	// Bytes holds D_X per resource, indexed by cluster.Resource. Zero for
+	// resources the sub-stage did not touch, and all-zero when the trace
+	// predates byte-count recording.
+	Bytes [cluster.NumResources]float64
+	// Bottleneck is the recorded resolved bottleneck name ("" if absent).
+	Bottleneck string
+}
+
+// traceTask accumulates one task's spans while parsing.
+type traceTask struct {
+	start, dur float64
+	seen       bool // a task span was recorded (not just sub-stages)
+	subs       []SubSample
+}
+
+// traceStage is the per-(job, stage) slice of a session.
+type traceStage struct {
+	tasks map[int]*traceTask
+}
+
+// traceJob groups a recorded job's stages.
+type traceJob struct {
+	stages map[workload.Stage]*traceStage
+}
+
+// Session is a parsed trace: everything offline calibration needs,
+// reconstructed from the recorded spans. Build one with ParseChromeTrace
+// and combine several with Merge.
+type Session struct {
+	// Nodes and Slots describe the recorded cluster: node count and the
+	// largest effective slot capacity seen across the session's runs
+	// (single-task probes record their own 1-slot limit; the saturating
+	// probes record the full pool).
+	Nodes, Slots int
+	// Skewed reports whether any recorded run had task-size skew active;
+	// calibration then leans on its medians and says so in the report.
+	Skewed bool
+	// Workflows lists the recorded run names, sorted.
+	Workflows []string
+	jobs      map[string]*traceJob
+}
+
+// Jobs returns the recorded job names, sorted.
+func (s *Session) Jobs() []string {
+	names := make([]string, 0, len(s.jobs))
+	for j := range s.jobs {
+		names = append(names, j)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// chromeInEvent mirrors the subset of the trace_event JSON the parser
+// consumes. Args stays raw JSON so malformed payloads fail with a typed
+// error at the field that broke, not a panic.
+type chromeInEvent struct {
+	Name  string          `json:"name"`
+	Cat   string          `json:"cat"`
+	Phase string          `json:"ph"`
+	TS    float64         `json:"ts"`
+	Dur   float64         `json:"dur"`
+	Args  json.RawMessage `json:"args"`
+}
+
+type chromeInFile struct {
+	TraceEvents []chromeInEvent `json:"traceEvents"`
+}
+
+// ParseChromeTrace reads Chrome trace_event JSON produced by
+// obs.WriteChromeTrace and reconstructs the recorded session. It
+// consumes the "meta"/"task"/"substage" categories and ignores the rest;
+// missing run metadata, spans without their identifying args, or
+// non-finite timings are errors.
+func ParseChromeTrace(r io.Reader) (*Session, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxTraceBytes))
+	var file chromeInFile
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("calibrate: parse trace: %w", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		return nil, fmt.Errorf("calibrate: parse trace: no traceEvents")
+	}
+	s := &Session{jobs: make(map[string]*traceJob)}
+	for i, ev := range file.TraceEvents {
+		var err error
+		switch {
+		case ev.Cat == "meta" && ev.Name == "run":
+			err = s.addRunInfo(ev)
+		case ev.Cat == "task" && ev.Phase == "X":
+			err = s.addTaskSpan(ev)
+		case ev.Cat == "substage" && ev.Phase == "X":
+			err = s.addSubStageSpan(ev)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: parse trace: event %d (%s/%s): %w",
+				i, ev.Cat, ev.Name, err)
+		}
+	}
+	if s.Nodes <= 0 || s.Slots <= 0 {
+		return nil, fmt.Errorf("calibrate: parse trace: no run metadata " +
+			"(nodes/slots); record the trace with this version's -trace-out")
+	}
+	sort.Strings(s.Workflows)
+	return s, nil
+}
+
+// maxTraceBytes bounds one trace file (256 MB decoded JSON) so a
+// malicious or corrupt input cannot exhaust memory.
+const maxTraceBytes = 256 << 20
+
+// runArgs / taskArgs / subArgs are the load-bearing halves of the three
+// span kinds. Absent optional fields decode to their zero values;
+// mandatory ones are validated by the add* methods.
+type runArgs struct {
+	Workflow string `json:"workflow"`
+	Nodes    int    `json:"nodes"`
+	Slots    int    `json:"slots"`
+	Skew     bool   `json:"skew"`
+}
+
+type taskArgs struct {
+	Job   string `json:"job"`
+	Stage string `json:"stage"`
+	Task  *int   `json:"task"`
+	Sub   string `json:"sub"`
+	// Bytes maps resource names (cluster.Resource.String()) to D_X.
+	Bytes      map[string]float64 `json:"bytes"`
+	Bottleneck string             `json:"bottleneck"`
+}
+
+func decodeArgs(raw json.RawMessage, into any) error {
+	if len(raw) == 0 {
+		return fmt.Errorf("missing args")
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		return fmt.Errorf("bad args: %w", err)
+	}
+	return nil
+}
+
+func (s *Session) addRunInfo(ev chromeInEvent) error {
+	var a runArgs
+	if err := decodeArgs(ev.Args, &a); err != nil {
+		return err
+	}
+	if a.Nodes <= 0 || a.Slots <= 0 {
+		return fmt.Errorf("run metadata needs positive nodes/slots, got %d/%d", a.Nodes, a.Slots)
+	}
+	if s.Nodes != 0 && s.Nodes != a.Nodes {
+		return fmt.Errorf("conflicting node counts %d and %d", s.Nodes, a.Nodes)
+	}
+	s.Nodes = a.Nodes
+	if a.Slots > s.Slots {
+		s.Slots = a.Slots
+	}
+	s.Skewed = s.Skewed || a.Skew
+	if a.Workflow != "" {
+		s.Workflows = append(s.Workflows, a.Workflow)
+	}
+	return nil
+}
+
+// span validates and locates the task a task/sub-stage span belongs to.
+func (s *Session) span(ev chromeInEvent, a *taskArgs) (*traceTask, error) {
+	if a.Job == "" {
+		return nil, fmt.Errorf("span without job arg")
+	}
+	var st workload.Stage
+	switch a.Stage {
+	case "map":
+		st = workload.Map
+	case "reduce":
+		st = workload.Reduce
+	default:
+		return nil, fmt.Errorf("span with unknown stage %q", a.Stage)
+	}
+	if a.Task == nil || *a.Task < 0 {
+		return nil, fmt.Errorf("span without a valid task index")
+	}
+	if ev.Dur < 0 || math.IsInf(ev.TS, 0) || math.IsInf(ev.Dur, 0) ||
+		math.IsNaN(ev.TS) || math.IsNaN(ev.Dur) {
+		return nil, fmt.Errorf("span with invalid timing ts=%v dur=%v", ev.TS, ev.Dur)
+	}
+	j := s.jobs[a.Job]
+	if j == nil {
+		j = &traceJob{stages: make(map[workload.Stage]*traceStage)}
+		s.jobs[a.Job] = j
+	}
+	sg := j.stages[st]
+	if sg == nil {
+		sg = &traceStage{tasks: make(map[int]*traceTask)}
+		j.stages[st] = sg
+	}
+	t := sg.tasks[*a.Task]
+	if t == nil {
+		t = &traceTask{}
+		sg.tasks[*a.Task] = t
+	}
+	return t, nil
+}
+
+func (s *Session) addTaskSpan(ev chromeInEvent) error {
+	var a taskArgs
+	if err := decodeArgs(ev.Args, &a); err != nil {
+		return err
+	}
+	t, err := s.span(ev, &a)
+	if err != nil {
+		return err
+	}
+	t.start, t.dur, t.seen = ev.TS/1e6, ev.Dur/1e6, true
+	return nil
+}
+
+func (s *Session) addSubStageSpan(ev chromeInEvent) error {
+	var a taskArgs
+	if err := decodeArgs(ev.Args, &a); err != nil {
+		return err
+	}
+	t, err := s.span(ev, &a)
+	if err != nil {
+		return err
+	}
+	sub := SubSample{
+		Name:       a.Sub,
+		Start:      ev.TS / 1e6,
+		Dur:        ev.Dur / 1e6,
+		Bottleneck: a.Bottleneck,
+	}
+	if sub.Name == "" {
+		sub.Name = ev.Name // pre-args traces carried the label as the span name
+	}
+	for name, b := range a.Bytes {
+		r, ok := resourceByName(name)
+		if !ok {
+			return fmt.Errorf("sub-stage with unknown resource %q in bytes", name)
+		}
+		if b < 0 || math.IsInf(b, 0) || math.IsNaN(b) {
+			return fmt.Errorf("sub-stage with invalid %s byte count %v", name, b)
+		}
+		sub.Bytes[r] = b
+	}
+	t.subs = append(t.subs, sub)
+	return nil
+}
+
+func resourceByName(name string) (cluster.Resource, bool) {
+	for _, r := range cluster.Resources() {
+		if r.String() == name {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Merge combines several parsed sessions (multi-file probe recordings)
+// into one: jobs contribute their task samples side by side, with task
+// indices from later sessions offset past the earlier ones so repeated
+// probes widen the sample set instead of overwriting it. Node counts
+// must agree; Slots takes the maximum.
+func Merge(sessions ...*Session) (*Session, error) {
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("calibrate: merge: no sessions")
+	}
+	out := &Session{jobs: make(map[string]*traceJob)}
+	for _, in := range sessions {
+		if in == nil {
+			return nil, fmt.Errorf("calibrate: merge: nil session")
+		}
+		if out.Nodes != 0 && in.Nodes != out.Nodes {
+			return nil, fmt.Errorf("calibrate: merge: sessions recorded on different clusters (%d vs %d nodes)",
+				out.Nodes, in.Nodes)
+		}
+		out.Nodes = in.Nodes
+		if in.Slots > out.Slots {
+			out.Slots = in.Slots
+		}
+		out.Skewed = out.Skewed || in.Skewed
+		out.Workflows = append(out.Workflows, in.Workflows...)
+		for name, j := range in.jobs {
+			oj := out.jobs[name]
+			if oj == nil {
+				oj = &traceJob{stages: make(map[workload.Stage]*traceStage)}
+				out.jobs[name] = oj
+			}
+			for st, sg := range j.stages {
+				osg := oj.stages[st]
+				if osg == nil {
+					osg = &traceStage{tasks: make(map[int]*traceTask)}
+					oj.stages[st] = osg
+				}
+				base := 0
+				for idx := range osg.tasks {
+					if idx >= base {
+						base = idx + 1
+					}
+				}
+				for idx, t := range sg.tasks {
+					osg.tasks[base+idx] = t
+				}
+			}
+		}
+	}
+	sort.Strings(out.Workflows)
+	return out, nil
+}
+
+// Result reconstructs the named job's measurements as a simulator.Result,
+// the shape the inversion arithmetic consumes. Only tasks whose task
+// span completed are included (a truncated trace loses in-flight tasks);
+// sub-stage durations are ordered by their recorded start times.
+func (s *Session) Result(job string) (*simulator.Result, error) {
+	j := s.jobs[job]
+	if j == nil {
+		return nil, fmt.Errorf("trace session has no job %q (recorded: %s)",
+			job, strings.Join(s.Jobs(), ", "))
+	}
+	res := &simulator.Result{Workflow: job}
+	for _, st := range []workload.Stage{workload.Map, workload.Reduce} {
+		sg := j.stages[st]
+		if sg == nil {
+			continue
+		}
+		idxs := make([]int, 0, len(sg.tasks))
+		for idx, t := range sg.tasks {
+			if t.seen {
+				idxs = append(idxs, idx)
+			}
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		sort.Ints(idxs)
+		meta := simulator.StageRecord{Job: job, Stage: st}
+		for _, idx := range idxs {
+			t := sg.tasks[idx]
+			rec := simulator.TaskRecord{
+				Job: job, Stage: st, Index: idx,
+				Start: units.Seconds(t.start),
+				End:   units.Seconds(t.start + t.dur),
+			}
+			subs := append([]SubSample(nil), t.subs...)
+			sort.Slice(subs, func(a, b int) bool { return subs[a].Start < subs[b].Start })
+			for _, sub := range subs {
+				rec.SubStages = append(rec.SubStages, units.Seconds(sub.Dur))
+			}
+			res.Tasks = append(res.Tasks, rec)
+			meta.TaskTimes = append(meta.TaskTimes, rec.Duration())
+			if meta.Start == 0 || rec.Start < meta.Start {
+				meta.Start = rec.Start
+			}
+			if rec.End > meta.End {
+				meta.End = rec.End
+			}
+		}
+		res.Stages = append(res.Stages, meta)
+		if meta.End > res.Makespan {
+			res.Makespan = meta.End
+		}
+	}
+	if len(res.Tasks) == 0 {
+		return nil, fmt.Errorf("trace session recorded no completed tasks for job %q", job)
+	}
+	return res, nil
+}
+
+// TraceRunner adapts a parsed session into a Runner: instead of
+// executing a probe it serves the recorded measurements of the job with
+// the same name — the offline counterpart of SimulatorRunner. The slot
+// limit is ignored; the recorded session already fixed the concurrency.
+func TraceRunner(s *Session) Runner {
+	return func(p workload.JobProfile, slotLimit int) (*simulator.Result, error) {
+		return s.Result(p.Name)
+	}
+}
+
+// samples returns the recorded sub-stage samples of (job, stage, sub),
+// one per completed task, in task order.
+func (s *Session) samples(job string, st workload.Stage, sub string) []SubSample {
+	j := s.jobs[job]
+	if j == nil {
+		return nil
+	}
+	sg := j.stages[st]
+	if sg == nil {
+		return nil
+	}
+	idxs := make([]int, 0, len(sg.tasks))
+	for idx, t := range sg.tasks {
+		if t.seen {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	var out []SubSample
+	for _, idx := range idxs {
+		for _, ss := range sg.tasks[idx].subs {
+			if ss.Name == sub {
+				out = append(out, ss)
+			}
+		}
+	}
+	return out
+}
+
+// ParseChromeTraceFile parses one trace file from disk.
+func ParseChromeTraceFile(path string) (*Session, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: %w", err)
+	}
+	defer f.Close()
+	s, err := ParseChromeTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return s, nil
+}

@@ -1,0 +1,280 @@
+package calibrate
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"boedag/internal/cluster"
+	"boedag/internal/obs"
+	"boedag/internal/workload"
+)
+
+// editTrace round-trips a recorded trace through a JSON transform,
+// letting edge-case tests corrupt one aspect of an otherwise valid
+// session.
+func editTrace(t *testing.T, raw []byte, edit func(events []map[string]any) []map[string]any) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := doc["traceEvents"].([]any)
+	maps := make([]map[string]any, 0, len(evs))
+	for _, e := range evs {
+		m, ok := e.(map[string]any)
+		if !ok {
+			t.Fatalf("trace event is not an object: %v", e)
+		}
+		maps = append(maps, m)
+	}
+	edited := edit(maps)
+	out := make([]any, len(edited))
+	for i, m := range edited {
+		out[i] = m
+	}
+	doc["traceEvents"] = out
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func dropEvents(keep func(m map[string]any) bool) func([]map[string]any) []map[string]any {
+	return func(events []map[string]any) []map[string]any {
+		var out []map[string]any
+		for _, m := range events {
+			if keep(m) {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+}
+
+func argsOf(m map[string]any) map[string]any {
+	a, _ := m["args"].(map[string]any)
+	return a
+}
+
+func TestParseRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"truncated", `{"traceEvents":[{"name":"run","cat":"meta"`},
+		{"not json", "makespan: 14.1s"},
+		{"no events", `{"traceEvents":[]}`},
+		{"wrong shape", `[1,2,3]`},
+		{"no run metadata", `{"traceEvents":[{"name":"map[0]","cat":"task","ph":"X","ts":0,"dur":1,"args":{"job":"j","stage":"map","task":0}}]}`},
+		{"task span without args", `{"traceEvents":[{"name":"map[0]","cat":"task","ph":"X","ts":0,"dur":1}]}`},
+		{"task span without index", `{"traceEvents":[{"name":"map[0]","cat":"task","ph":"X","ts":0,"dur":1,"args":{"job":"j","stage":"map"}}]}`},
+		{"negative task index", `{"traceEvents":[{"name":"map[0]","cat":"task","ph":"X","ts":0,"dur":1,"args":{"job":"j","stage":"map","task":-2}}]}`},
+		{"negative duration", `{"traceEvents":[{"name":"map[0]","cat":"task","ph":"X","ts":0,"dur":-5,"args":{"job":"j","stage":"map","task":0}}]}`},
+		{"unknown stage", `{"traceEvents":[{"name":"x","cat":"substage","ph":"X","ts":0,"dur":1,"args":{"job":"j","stage":"combine","task":0,"sub":"x"}}]}`},
+		{"bad run metadata", `{"traceEvents":[{"name":"run","cat":"meta","ph":"i","ts":0,"args":{"nodes":-1,"slots":0}}]}`},
+		{"unknown bytes resource", `{"traceEvents":[{"name":"run","cat":"meta","ph":"i","ts":0,"args":{"nodes":1,"slots":1}},{"name":"map","cat":"substage","ph":"X","ts":0,"dur":1,"args":{"job":"j","stage":"map","task":0,"sub":"map","bytes":{"gpu":5}}}]}`},
+		{"negative bytes", `{"traceEvents":[{"name":"run","cat":"meta","ph":"i","ts":0,"args":{"nodes":1,"slots":1}},{"name":"map","cat":"substage","ph":"X","ts":0,"dur":1,"args":{"job":"j","stage":"map","task":0,"sub":"map","bytes":{"cpu":-7}}}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseChromeTrace(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("parse accepted %q: %+v", tc.name, s)
+			}
+		})
+	}
+}
+
+// TestMissingProbeNamesProbe: a trace that recorded only four of the
+// five probes must fail calibration with an error naming the absent one.
+func TestMissingProbeNamesProbe(t *testing.T) {
+	raw := recordProbeTrace(t, cluster.PaperCluster())
+	noNet := editTrace(t, raw, dropEvents(func(m map[string]any) bool {
+		if a := argsOf(m); a != nil {
+			if j, _ := a["job"].(string); j == ProbeNetwork {
+				return false
+			}
+			if w, _ := a["workflow"].(string); w == ProbeNetwork {
+				return false
+			}
+		}
+		name, _ := m["name"].(string)
+		return !strings.Contains(name, ProbeNetwork)
+	}))
+	sess, err := ParseChromeTrace(bytes.NewReader(noNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = FromSession(sess)
+	if err == nil || !strings.Contains(err.Error(), ProbeNetwork) {
+		t.Fatalf("err = %v, want mention of %s", err, ProbeNetwork)
+	}
+}
+
+// TestReduceTasksWithoutSubStages: task spans present but sub-stage
+// spans stripped (a filtered or partial export) must produce the
+// shuffle-specific error, not a wrong estimate.
+func TestReduceTasksWithoutSubStages(t *testing.T) {
+	raw := recordProbeTrace(t, cluster.PaperCluster())
+	noSubs := editTrace(t, raw, dropEvents(func(m map[string]any) bool {
+		cat, _ := m["cat"].(string)
+		return cat != "substage"
+	}))
+	sess, err := ParseChromeTrace(bytes.NewReader(noSubs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = FromSession(sess)
+	if err == nil || !strings.Contains(err.Error(), "shuffle") {
+		t.Fatalf("err = %v, want shuffle sub-stage error", err)
+	}
+}
+
+// TestZeroByteSamplesSkipped: sub-stage spans whose byte counts are
+// missing or zero contribute nothing to confidence — no NaN, no sample —
+// while the duration-based estimate still works.
+func TestZeroByteSamplesSkipped(t *testing.T) {
+	raw := recordProbeTrace(t, cluster.PaperCluster())
+	stripped := editTrace(t, raw, func(events []map[string]any) []map[string]any {
+		for _, m := range events {
+			if a := argsOf(m); a != nil {
+				delete(a, "bytes")
+			}
+		}
+		return events
+	})
+	sess, err := ParseChromeTrace(bytes.NewReader(stripped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := FromSession(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cluster.Resources() {
+		cf := cal.Confidence[r]
+		if cf.Samples != 0 || cf.Implied != 0 || cf.Spread != 0 {
+			t.Errorf("%s confidence = %+v, want zero (no byte counts)", r, cf)
+		}
+	}
+	if cal.DiskReadPool <= 0 {
+		t.Error("duration-based estimate lost without byte counts")
+	}
+	var buf bytes.Buffer
+	if err := cal.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "duration-only") {
+		t.Errorf("report does not flag byte-free trace:\n%s", buf.String())
+	}
+}
+
+// TestSkewedTraceFlagged: a session recorded with skew enabled is
+// calibrated from medians and the report says so.
+func TestSkewedTraceFlagged(t *testing.T) {
+	raw := recordProbeTrace(t, cluster.PaperCluster())
+	skewed := editTrace(t, raw, func(events []map[string]any) []map[string]any {
+		for _, m := range events {
+			if cat, _ := m["cat"].(string); cat == "meta" {
+				argsOf(m)["skew"] = true
+			}
+		}
+		return events
+	})
+	sess, err := ParseChromeTrace(bytes.NewReader(skewed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Skewed {
+		t.Fatal("session did not pick up skew flag")
+	}
+	cal, err := FromSession(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cal.Skewed {
+		t.Fatal("calibration lost skew flag")
+	}
+	var buf bytes.Buffer
+	if err := cal.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "median") {
+		t.Errorf("skewed report does not mention medians:\n%s", buf.String())
+	}
+}
+
+// TestTruncatedTraceDropsInFlightTasks: a sub-stage span without its
+// enclosing task span (the run was cut off mid-task) is excluded from
+// the reconstruction rather than fabricating a zero-length task.
+func TestTruncatedTraceDropsInFlightTasks(t *testing.T) {
+	raw := recordProbeTrace(t, cluster.PaperCluster())
+	// Drop the task spans (not sub-stages) of half the read probe's tasks.
+	cut := editTrace(t, raw, dropEvents(func(m map[string]any) bool {
+		cat, _ := m["cat"].(string)
+		if cat != "task" {
+			return true
+		}
+		a := argsOf(m)
+		if j, _ := a["job"].(string); j != ProbeDiskRead {
+			return true
+		}
+		idx, _ := a["task"].(float64)
+		return int(idx)%2 == 0
+	}))
+	sess, err := ParseChromeTrace(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Result(ProbeDiskRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cluster.PaperCluster().TotalSlots()
+	if got := len(res.TasksOf(ProbeDiskRead, workload.Map)); got != (full+1)/2 {
+		t.Errorf("reconstructed %d tasks, want %d (in-flight dropped)", got, (full+1)/2)
+	}
+	// The estimate still lands within 1%: the surviving tasks are
+	// homogeneous, so the median is unmoved.
+	cal, err := FromSession(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.PaperCluster()
+	want := float64(spec.TotalCapacity(cluster.DiskRead))
+	if got := float64(cal.DiskReadPool); got < want*0.99 || got > want*1.01 {
+		t.Errorf("disk read pool from truncated trace = %v, want ≈ %v", cal.DiskReadPool, want)
+	}
+}
+
+// TestSessionResultUnknownJob lists what the session does hold, guiding
+// an operator who pointed the tool at the wrong trace.
+func TestSessionResultUnknownJob(t *testing.T) {
+	raw := recordProbeTrace(t, cluster.PaperCluster())
+	sess, err := ParseChromeTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Result("wordcount")
+	if err == nil || !strings.Contains(err.Error(), ProbeOverhead) {
+		t.Fatalf("err = %v, want listing of recorded jobs", err)
+	}
+}
+
+// TestDemandNamesMatchClusterResources pins the cross-package schema:
+// the obs byte-count keys must be exactly the cluster resource names, in
+// index order, or offline calibration cannot map them back.
+func TestDemandNamesMatchClusterResources(t *testing.T) {
+	if obs.NumDemandResources != cluster.NumResources {
+		t.Fatalf("obs.NumDemandResources = %d, cluster.NumResources = %d",
+			obs.NumDemandResources, cluster.NumResources)
+	}
+	for _, r := range cluster.Resources() {
+		if got := obs.DemandResourceNames[r]; got != r.String() {
+			t.Errorf("DemandResourceNames[%d] = %q, want %q", int(r), got, r.String())
+		}
+	}
+}

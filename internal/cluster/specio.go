@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteSpec marshals a cluster specification as indented JSON — the
+// interchange format between `calibrate -spec-out` (which recovers a
+// spec from probe runs or recorded traces) and `dagsim -cluster` (which
+// simulates against it).
+func WriteSpec(w io.Writer, s Spec) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("cluster: refusing to write invalid spec: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("cluster: write spec: %w", err)
+	}
+	return nil
+}
+
+// ReadSpec parses a JSON cluster specification and validates it, so a
+// hand-edited or machine-recovered file fails loudly at load time rather
+// than as nonsense simulation output. Unknown fields are rejected to
+// catch typos like "DiskReadRat".
+func ReadSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("cluster: read spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("cluster: read spec: %w", err)
+	}
+	return s, nil
+}
+
+// WriteSpecFile writes the spec to a file (0644).
+func WriteSpecFile(path string, s Spec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	defer f.Close()
+	if err := WriteSpec(f, s); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSpecFile reads and validates a spec from a file.
+func ReadSpecFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("cluster: %w", err)
+	}
+	defer f.Close()
+	s, err := ReadSpec(f)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return s, nil
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpecRoundTripsThroughJSON(t *testing.T) {
+	want := PaperCluster()
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip changed spec:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSpecFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	want := PaperCluster()
+	if err := WriteSpecFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("file round trip changed spec: got %+v", got)
+	}
+}
+
+func TestReadSpecRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"not json", "nodes: 11"},
+		{"typoed field", `{"Nodes":3,"DiskReadRat":5}`},
+		{"invalid spec", `{"Nodes":0}`},
+		{"negative slots", `{"Nodes":3,"SlotsPerNode":-1,"Node":{"Cores":2,"CoreThroughput":1,"Disks":1,"DiskReadRate":1,"DiskWriteRate":1,"NetworkRate":1,"MemoryMB":1}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadSpec(strings.NewReader(tc.input)); err == nil {
+				t.Errorf("ReadSpec accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestWriteSpecRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, Spec{}); err == nil {
+		t.Error("WriteSpec accepted the zero spec")
+	}
+}
+
+func TestReadSpecFileMissing(t *testing.T) {
+	if _, err := ReadSpecFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

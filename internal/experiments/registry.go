@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"boedag/internal/calibrate"
 	"boedag/internal/dag"
 	"boedag/internal/hibench"
 	"boedag/internal/spark"
@@ -19,6 +20,9 @@ func WorkflowNames() []string {
 		"wc+ts", "wc+ts2r", "wc+ts3r", "webanalytics", "kmeans", "pagerank",
 		"wc+kmeans", "wc+pagerank", "ts+kmeans", "ts+pagerank",
 		"hbsort", "hbagg", "hbjoin", "bayes", "sparkwc", "sparkpr",
+	}
+	for _, pr := range calibrate.ProbeSuite(1) {
+		names = append(names, pr.Profile.Name)
 	}
 	for q := 1; q <= tpch.NumQueries; q++ {
 		names = append(names,
@@ -64,6 +68,16 @@ func BuildNamed(name string, cfg Config) (*dag.Workflow, error) {
 	}
 	if build, ok := single[lower]; ok {
 		return build(), nil
+	}
+	// Calibration probes run as ordinary workflows so `dagsim -workflow
+	// cal-read -trace-out` records a probe session that `calibrate
+	// -from-trace` can invert offline. Sized for the configured cluster.
+	if strings.HasPrefix(lower, "cal-") {
+		for _, pr := range calibrate.ProbeSuite(cfg.Spec.TotalSlots()) {
+			if pr.Profile.Name == lower {
+				return dag.Single(pr.Profile), nil
+			}
+		}
 	}
 	if q, ok := parseQueryName(lower); ok {
 		return tpch.Query(q, schema)

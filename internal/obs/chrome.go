@@ -39,7 +39,27 @@ const (
 	schedTID     = 1
 	estimatorTID = 2
 	evalpoolTID  = 3
+	runMetaTID   = 4
 )
+
+// demandArgs renders a non-zero Event.Demand as a bytes-by-resource map,
+// nil when the event moved no data. The keys are DemandResourceNames —
+// the load-bearing half of the trace schema contract: offline
+// calibration (internal/calibrate) reads these fields back to recover
+// θ_X from recorded runs.
+func demandArgs(ev Event) map[string]any {
+	var out map[string]any
+	for i, b := range ev.Demand {
+		if b <= 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]any, NumDemandResources)
+		}
+		out[DemandResourceNames[i]] = b
+	}
+	return out
+}
 
 const usPerSec = 1e6
 
@@ -53,7 +73,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	// Deterministic pid per job: sorted job names, starting at 1.
 	jobSet := make(map[string]bool)
 	for _, ev := range events {
-		if ev.Job != "" {
+		// EvRunStart's Job is the workflow name, not a job: it renders on
+		// the workflow track, not a per-job one.
+		if ev.Job != "" && ev.Type != EvRunStart {
 			jobSet[ev.Job] = true
 		}
 	}
@@ -87,14 +109,24 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Name: fmt.Sprintf("%s[%d]", ev.Stage, ev.Task), Cat: "task",
 				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
 				PID: jobPID[ev.Job], TID: ev.Task,
-				Args: map[string]any{"bottleneck": ev.Resource, "node": int(ev.Value)},
+				Args: map[string]any{
+					"bottleneck": ev.Resource, "node": int(ev.Value),
+					"job": ev.Job, "stage": ev.Stage, "task": ev.Task,
+				},
 			})
 		case EvSubStageFinish:
+			args := map[string]any{
+				"bottleneck": ev.Resource,
+				"job":        ev.Job, "stage": ev.Stage, "task": ev.Task, "sub": ev.Sub,
+			}
+			if d := demandArgs(ev); d != nil {
+				args["bytes"] = d
+			}
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 				Name: ev.Sub, Cat: "substage",
 				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
 				PID: jobPID[ev.Job], TID: ev.Task,
-				Args: map[string]any{"bottleneck": ev.Resource},
+				Args: args,
 			})
 		case EvStageFinish:
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
@@ -139,6 +171,18 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Phase: "i", TS: ev.Time * usPerSec,
 				PID: workflowPID, TID: estimatorTID, Scope: "t",
 				Args: map[string]any{"running": ev.Detail},
+			})
+		case EvRunStart:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "run", Cat: "meta",
+				Phase: "i", TS: ev.Time * usPerSec,
+				PID: workflowPID, TID: runMetaTID, Scope: "g",
+				Args: map[string]any{
+					"workflow": ev.Job,
+					"nodes":    ev.Seq,
+					"slots":    int(ev.Value),
+					"skew":     ev.Detail == "skew",
+				},
 			})
 		case EvPoolJob:
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{

@@ -74,6 +74,12 @@ const (
 	// start); Seq is the job's input index, Detail the pool label, and
 	// Value 1 when the job returned an error, 0 otherwise.
 	EvPoolJob
+	// EvRunStart is emitted once when a producer begins a run, making the
+	// trace self-describing for offline consumers (trace-driven
+	// calibration reads it back): Job carries the workflow name, Seq the
+	// cluster's node count, Value its effective total task slots, and
+	// Detail is "skew" when task-size skew is active for the run.
+	EvRunStart
 )
 
 // String names the event type as exporters print it.
@@ -105,6 +111,8 @@ func (t EventType) String() string {
 		return "estimator_state"
 	case EvPoolJob:
 		return "pool_job"
+	case EvRunStart:
+		return "run_start"
 	}
 	return fmt.Sprintf("event(%d)", uint8(t))
 }
@@ -138,6 +146,27 @@ type Event struct {
 	Value float64
 	// Detail is a generic string payload (state member sets, policy name).
 	Detail string
+	// Demand carries the bytes an EvSubStageFinish moved per resource
+	// class — the D_X the sub-stage was derived from, post skew scaling.
+	// Indices follow internal/cluster.Resource declaration order (see
+	// DemandResourceNames); zero for events that move no data. Recording
+	// demands alongside durations makes traces invertible: offline
+	// calibration recovers θ_X = D_X/duration without rerunning anything.
+	Demand [NumDemandResources]float64
+}
+
+// NumDemandResources sizes Event.Demand. It must equal
+// internal/cluster.NumResources (asserted at compile time in
+// internal/simulator); obs stays standard-library-only, so the constant
+// is mirrored here rather than imported.
+const NumDemandResources = 4
+
+// DemandResourceNames names each Event.Demand slot, in index order,
+// matching internal/cluster.Resource.String(). Exporters use these names
+// so trace consumers can key byte counts by resource without importing
+// the cluster package.
+var DemandResourceNames = [NumDemandResources]string{
+	"cpu", "disk-read", "disk-write", "network",
 }
 
 // Tracer receives structured events. Implementations must be safe for

@@ -266,6 +266,15 @@ func buildSpans(events []Event, opt OTLPOptions) []otlpSpan {
 				intAttr("boedag.task", int64(ev.Task)),
 				strAttr("boedag.bottleneck", ev.Resource),
 			}
+			// The D_X byte counts ride along (index order, zeros omitted)
+			// so OTLP consumers see the same self-describing sub-stages as
+			// the Chrome trace.
+			for i, b := range ev.Demand {
+				if b > 0 {
+					sp.Attributes = append(sp.Attributes,
+						floatAttr("boedag.bytes."+DemandResourceNames[i], b))
+				}
+			}
 		case EvStageFinish:
 			sp.SpanID = stageSpan(ev.Job, ev.Stage)
 			sp.Name = ev.Job + "/" + ev.Stage

@@ -5,6 +5,10 @@ import (
 	"boedag/internal/obs"
 )
 
+// Event.Demand is indexed by cluster.Resource; obs mirrors the size
+// instead of importing cluster, so pin the two constants together here.
+var _ [obs.NumDemandResources]float64 = [cluster.NumResources]float64{}
+
 // simMetrics holds the simulator's pre-resolved metric instruments so the
 // hot loop never pays the registry's name lookup. Nil when metrics are
 // off; every update site guards on that.

@@ -167,6 +167,28 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 
 	res := &Result{Workflow: w.Name}
 	now := 0.0
+	if s.trOn {
+		// Run metadata makes the trace self-describing: offline consumers
+		// (trace-driven calibration) read back the node count, the
+		// effective slot capacity, and whether task-size skew was live.
+		slots := s.spec.TotalSlots()
+		if s.opt.SlotLimit > 0 {
+			slots = s.opt.SlotLimit
+		}
+		skew := ""
+		if !s.opt.DisableSkew {
+			for _, j := range w.Jobs {
+				if j.Profile.SkewCV > 0 {
+					skew = "skew"
+					break
+				}
+			}
+		}
+		s.opt.Observe.Tracer.Emit(obs.Event{
+			Type: obs.EvRunStart, Time: now, Job: w.Name, Task: -1,
+			Seq: s.spec.Nodes, Value: float64(slots), Detail: skew,
+		})
+	}
 	submitSeq := 0
 	eligible := func(j *simJob) {
 		j.phase = jobSubmitted
@@ -306,13 +328,19 @@ func (s *Simulator) Run(w *dag.Workflow) (*Result, error) {
 			}
 			if t.delay == 0 && t.remaining <= timeEps*math.Max(1, t.rate) {
 				if s.trOn {
-					s.opt.Observe.Tracer.Emit(obs.Event{
+					ev := obs.Event{
 						Type: obs.EvSubStageFinish,
 						Time: t.subStart, Dur: now - t.subStart,
 						Job: t.job.id, Stage: t.stage.String(),
 						Sub: t.subStages[t.cur].Name, Task: t.index,
 						Resource: t.bottleneck.String(),
-					})
+					}
+					// Carry the sub-stage's D_X byte counts (post skew
+					// scaling) so the trace alone suffices to invert θ_X.
+					for _, op := range t.subStages[t.cur].Ops {
+						ev.Demand[op.Resource] = float64(op.Bytes)
+					}
+					s.opt.Observe.Tracer.Emit(ev)
 				}
 				t.subDurs = append(t.subDurs, now-t.subStart)
 				t.cur++

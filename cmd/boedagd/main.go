@@ -1,0 +1,127 @@
+// Command boedagd is the prediction daemon: a long-running HTTP/JSON
+// service answering DAG makespan queries with the state-based BOE
+// estimator. Identical concurrent requests coalesce onto one estimator
+// run; a bounded admission queue sheds overload with 503 + Retry-After;
+// SIGTERM drains gracefully.
+//
+// Usage:
+//
+//	boedagd                               # serve :8080, paper cluster
+//	boedagd -addr :9000 -cluster spec.json  # serve a calibrated cluster
+//	boedagd -max-concurrent 16 -queue 64  # tighter admission control
+//	boedagd -quiet                        # suppress per-request log lines
+//
+//	curl -s localhost:8080/v1/estimate -d '{"workflow":"wc+ts"}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"boedag/internal/cliobs"
+	"boedag/internal/cluster"
+	"boedag/internal/obs"
+	"boedag/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		clusterIn = flag.String("cluster", "", "serve this cluster spec JSON (e.g. from `calibrate -spec-out`) instead of the paper cluster")
+		workers   = flag.Int("workers", 0, "evalpool fan-out per batch request (0 = GOMAXPROCS)")
+		maxConc   = flag.Int("max-concurrent", 0, "max concurrently executing /v1 requests (0 = default 64)")
+		queue     = flag.Int("queue", 0, "admission queue depth before 503 (0 = default 128)")
+		maxBatch  = flag.Int("max-batch", 0, "max scenarios per batch request (0 = default 256)")
+		timeout   = flag.Duration("timeout", 0, "per-request deadline ceiling (0 = default 30s)")
+		drain     = flag.Duration("drain-timeout", 0, "graceful drain deadline on SIGTERM (0 = default 10s)")
+		maxBody   = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 1 MiB)")
+		quiet     = flag.Bool("quiet", false, "suppress per-request log lines")
+	)
+	var ob cliobs.Flags
+	ob.Register(nil)
+	flag.Parse()
+
+	observe, err := ob.Options()
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		MaxConcurrent:  *maxConc,
+		QueueDepth:     *queue,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		MaxBodyBytes:   *maxBody,
+		// Share the cliobs registry when one exists so -metrics-out /
+		// -otlp-out snapshots written at shutdown include the server's
+		// runtime counters.
+		Observe: obs.Options{Metrics: ob.Registry()},
+	}
+	if *clusterIn != "" {
+		spec, err := cluster.ReadSpecFile(*clusterIn)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Spec = spec
+	}
+
+	// Structured request logging: the server emits one EvRequest event per
+	// served request into a stream; a subscriber prints them. The stream
+	// tees with any tracer the observability flags configured.
+	var logDone chan struct{}
+	if !*quiet {
+		stream := obs.NewStream()
+		sub := stream.Subscribe(0)
+		logDone = make(chan struct{})
+		go func() {
+			defer close(logDone)
+			for ev := range sub.Events() {
+				if ev.Type != obs.EvRequest {
+					continue
+				}
+				fmt.Printf("%s %s %d %.1fms\n",
+					time.Now().Format(time.RFC3339), ev.Detail, int(ev.Value), ev.Dur*1000)
+			}
+		}()
+		cfg.Observe.Tracer = obs.Tee(observe.Tracer, stream)
+		defer func() {
+			stream.Close()
+			<-logDone
+		}()
+	} else {
+		cfg.Observe.Tracer = observe.Tracer
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	// SIGTERM/SIGINT cancels the serving context; Serve then drains
+	// in-flight requests (readiness flips, new requests get 503) before
+	// closing the listener.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	fmt.Printf("boedagd listening on %s\n", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		fatal(err)
+	}
+	fmt.Println("boedagd drained cleanly")
+	if err := ob.Finish(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "boedagd:", err)
+	os.Exit(1)
+}

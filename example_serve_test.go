@@ -1,0 +1,71 @@
+package boedag_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+
+	"boedag"
+)
+
+// ExampleNewServer runs the prediction daemon on an ephemeral port,
+// submits a batch of what-if scenarios over plain HTTP, and prints the
+// predicted makespans. This is the whole client protocol: one POST, JSON
+// in, JSON out.
+func ExampleNewServer() {
+	srv, err := boedag.NewServer(boedag.ServerConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+
+	batch := `{"scenarios": [
+		{"workflow": "wc",    "options": {"micro_gb": 5}},
+		{"workflow": "ts",    "options": {"micro_gb": 5}},
+		{"workflow": "wc+ts", "options": {"micro_gb": 5}}
+	]}`
+	resp, err := http.Post("http://"+ln.Addr().String()+"/v1/batch",
+		"application/json", strings.NewReader(batch))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+
+	var out struct {
+		Results []struct {
+			Estimate struct {
+				Workflow  string  `json:"workflow"`
+				MakespanS float64 `json:"makespan_s"`
+			} `json:"estimate"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range out.Results {
+		fmt.Printf("%-5s %.3fs\n", r.Estimate.Workflow, r.Estimate.MakespanS)
+	}
+
+	cancel() // drain and stop
+	if err := <-done; err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// WC    12.903s
+	// TS    14.856s
+	// WC-TS 17.878s
+}

@@ -1,0 +1,117 @@
+// Predictclient demonstrates the prediction daemon's client protocol: it
+// starts a boedagd-equivalent server in-process on an ephemeral port
+// (swap in -addr to talk to a real daemon), submits a batch of what-if
+// scenarios — the paper's micro benchmarks at growing input sizes — and
+// tabulates the predicted makespans, then asks for the server's cache
+// metrics to show the duplicated scenarios coalesced.
+//
+// Run it with:
+//
+//	go run ./examples/predictclient
+//	go run ./examples/predictclient -addr localhost:8080   # against boedagd
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"boedag"
+)
+
+func main() {
+	addr := flag.String("addr", "", "talk to a running boedagd at this address instead of starting one in-process")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		// No daemon given: run one in-process, exactly as cmd/boedagd would.
+		srv, err := boedag.NewServer(boedag.ServerConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ctx, ln) }()
+		defer func() {
+			cancel()
+			if err := <-done; err != nil {
+				log.Fatal(err)
+			}
+		}()
+		base = ln.Addr().String()
+		fmt.Printf("started in-process prediction server on %s\n\n", base)
+	}
+
+	// A what-if sweep: Word Count and TeraSort at growing input sizes.
+	// The 5 GB scenarios appear twice — the server answers the duplicates
+	// from its coalescing cache.
+	var scenarios []string
+	for _, gb := range []int{5, 20, 100, 5} {
+		scenarios = append(scenarios,
+			fmt.Sprintf(`{"workflow": "wc", "options": {"micro_gb": %d}}`, gb),
+			fmt.Sprintf(`{"workflow": "ts", "options": {"micro_gb": %d}}`, gb))
+	}
+	body := `{"scenarios": [` + strings.Join(scenarios, ",") + `]}`
+
+	resp, err := http.Post("http://"+base+"/v1/batch", "application/json",
+		strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("batch request failed: %s", resp.Status)
+	}
+	var batch struct {
+		Results []struct {
+			Estimate *struct {
+				Workflow  string  `json:"workflow"`
+				MakespanS float64 `json:"makespan_s"`
+			} `json:"estimate"`
+			Error *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("predicted makespans (batch results, input order):")
+	for i, r := range batch.Results {
+		switch {
+		case r.Error != nil:
+			fmt.Printf("  %2d  ERROR %s: %s\n", i, r.Error.Code, r.Error.Message)
+		default:
+			fmt.Printf("  %2d  %-6s %8.1fs\n", i, r.Estimate.Workflow, r.Estimate.MakespanS)
+		}
+	}
+
+	// The metrics endpoint shows the coalescing at work.
+	mresp, err := http.Get("http://" + base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver ran the estimator %d times for %d scenarios "+
+		"(%d answered from the coalescing cache)\n",
+		metrics.Counters["estimates_computed"], len(batch.Results),
+		metrics.Counters["estimate_cache_hits"])
+}

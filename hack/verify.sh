@@ -73,13 +73,17 @@ coverage_gate() {
     ' hack/coverage_baseline.txt "$1"
 }
 
-# fuzz_smoke runs the trace-parser fuzzer briefly: the seed corpus plus a
-# few seconds of mutation must finish without a crasher (the parser's
-# never-panic contract).
+# fuzz_smoke runs the input-boundary fuzzers briefly: the seed corpus
+# plus a few seconds of mutation must finish without a crasher (the
+# never-panic contracts of the trace parser and the serve request
+# decoder).
 fuzz_smoke() {
     echo "== trace parser fuzz smoke =="
     go test ./internal/calibrate -run '^$' \
         -fuzz '^FuzzParseChromeTrace$' -fuzztime "${FUZZTIME:-5s}"
+    echo "== serve request decoder fuzz smoke =="
+    go test ./internal/serve -run '^$' \
+        -fuzz '^FuzzDecodeEstimateRequest$' -fuzztime "${FUZZTIME:-5s}"
 }
 
 # bench_smoke compiles and runs the parallel-sweep benchmark once per
@@ -108,6 +112,11 @@ if [[ $quick -eq 1 ]]; then
     go test -race -count=1 ./internal/evalpool
     go test -race -count=1 -run 'Parallel|Cache' \
         ./internal/experiments ./internal/tuning ./internal/calibrate
+    # The prediction daemon is concurrency all the way down (coalescing,
+    # admission queue, drain): its whole suite runs under -race even in
+    # quick mode.
+    echo "== serve race check =="
+    go test -race -count=1 ./internal/serve
     fuzz_smoke
     bench_smoke
     otlp_check

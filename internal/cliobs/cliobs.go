@@ -113,6 +113,11 @@ func (f *Flags) Options() (obs.Options, error) {
 	return o, nil
 }
 
+// Registry returns the metrics registry allocated by Options, or nil when
+// no metrics-consuming output was requested. Long-running servers share
+// it so their runtime counters appear in -metrics-out / OTLP artifacts.
+func (f *Flags) Registry() *obs.Registry { return f.registry }
+
 // Stream returns the live event stream, or nil when -live-progress was
 // not requested (or Options has not run yet). Subscribe before the run
 // starts: producers snapshot Enabled at startup.

@@ -1,6 +1,8 @@
 package evalpool
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -12,7 +14,9 @@ import (
 // single-flight: when several workers request the same key at once, the
 // computation runs exactly once and everyone shares the result. Errors
 // are cached alongside values — a deterministic computation that failed
-// once will fail identically again.
+// once will fail identically again. Panics are not cached: the panic is
+// re-thrown to the caller that ran the computation, concurrent waiters
+// get an error, and the entry is dropped so a later request retries.
 type Cache[V any] struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry[V]
@@ -65,8 +69,62 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
 			c.missC.Inc()
 		}
 	}
-	e.once.Do(func() { e.val, e.err = compute() })
+	var panicked any
+	e.once.Do(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = p
+				e.err = fmt.Errorf("evalpool: computation panicked: %v", p)
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+			}
+		}()
+		e.val, e.err = compute()
+	})
+	if panicked != nil {
+		panic(panicked)
+	}
 	return e.val, e.err
+}
+
+// DoContext is Do with a deadline on the wait, not on the work: when ctx
+// ends while the key's single-flight computation is still running —
+// whether this caller started it or joined another's — DoContext returns
+// ctx's error immediately and the computation keeps going in the
+// background, so its result still lands in the cache for the next
+// request. Hit/miss accounting is identical to Do.
+func (c *Cache[V]) DoContext(ctx context.Context, key string, compute func() (V, error)) (V, error) {
+	var zero V
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	type outcome struct {
+		val      V
+		err      error
+		panicked any
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- outcome{panicked: p}
+			}
+		}()
+		v, err := c.Do(key, compute)
+		done <- outcome{val: v, err: err}
+	}()
+	select {
+	case o := <-done:
+		if o.panicked != nil {
+			// Re-throw in the caller's goroutine so its recovery middleware
+			// (not this helper goroutine) owns the panic.
+			panic(o.panicked)
+		}
+		return o.val, o.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
 }
 
 // Len reports how many distinct keys are cached (including in-flight).

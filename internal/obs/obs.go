@@ -80,6 +80,10 @@ const (
 	// cluster's node count, Value its effective total task slots, and
 	// Detail is "skew" when task-size skew is active for the run.
 	EvRunStart
+	// EvRequest spans one HTTP request served by the prediction daemon
+	// (Time = seconds since server start, Dur = handling span); Detail is
+	// "METHOD /path" and Value the response status code.
+	EvRequest
 )
 
 // String names the event type as exporters print it.
@@ -113,6 +117,8 @@ func (t EventType) String() string {
 		return "pool_job"
 	case EvRunStart:
 		return "run_start"
+	case EvRequest:
+		return "request"
 	}
 	return fmt.Sprintf("event(%d)", uint8(t))
 }

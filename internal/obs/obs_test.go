@@ -65,6 +65,7 @@ func TestEventTypeStrings(t *testing.T) {
 		EvJobSubmit, EvStageStart, EvStageFinish, EvTaskStart, EvTaskFinish,
 		EvTaskRetry, EvSubStageFinish, EvStateOpen, EvStateClose,
 		EvAllocGrant, EvEstimatorIter, EvEstimatorState,
+		EvPoolJob, EvRunStart, EvRequest,
 	}
 	seen := make(map[string]bool)
 	for _, tt := range types {

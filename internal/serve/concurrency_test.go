@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pollUntil spins until cond holds or the deadline passes.
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// counter reads one counter from the server registry via its JSON dump,
+// keeping the test on the same path /metrics consumers use.
+func counter(t *testing.T, s *Server, name string) int64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Metrics().WriteJSON(&buf); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var out struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("metrics parse: %v", err)
+	}
+	return out.Counters[name]
+}
+
+// TestCoalescing is the coalescing proof: N identical concurrent requests
+// run the estimator exactly once — asserted via the cache counters and
+// the estimates_computed counter — and every caller observes the same
+// response bytes.
+func TestCoalescing(t *testing.T) {
+	const n = 32
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{MaxConcurrent: n, QueueDepth: n})
+	s.testHookEstimate = func() { <-release }
+
+	body := readRequest(t, "estimate_wc_ts")
+	var wg sync.WaitGroup
+	statuses := make([]int, n)
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], bodies[i], _, errs[i] = tryPost(ts.URL+"/v1/estimate", body)
+		}(i)
+	}
+
+	// Every request must reach the cache (one will be computing, the rest
+	// waiting on its single-flight entry) before we let the computation
+	// finish; that closes the "requests arrived sequentially" loophole.
+	pollUntil(t, "all requests in the cache", func() bool {
+		hits, misses := s.CacheStats()
+		return hits+misses == n
+	})
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, statuses[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d observed different bytes than request 0", i)
+		}
+	}
+	hits, misses := s.CacheStats()
+	if misses != 1 || hits != n-1 {
+		t.Errorf("cache stats = %d hits / %d misses, want %d / 1", hits, misses, n-1)
+	}
+	if got := counter(t, s, "estimates_computed"); got != 1 {
+		t.Errorf("estimator ran %d times, want exactly 1", got)
+	}
+	if got := counter(t, s, "estimate_cache_misses"); got != 1 {
+		t.Errorf("estimate_cache_misses metric = %d, want 1", got)
+	}
+}
+
+// TestHammer drives 100 goroutines with a mix of identical and distinct
+// scenarios (run under -race). Every scenario's responses must be
+// byte-identical across goroutines, the estimator must run once per
+// distinct scenario, and no request may be dropped.
+func TestHammer(t *testing.T) {
+	scenarios := []string{
+		`{"workflow":"wc","options":{"micro_gb":2}}`,
+		`{"workflow":"ts","options":{"micro_gb":2}}`,
+		`{"workflow":"wc+ts","options":{"micro_gb":2}}`,
+		`{"workflow":"wc","options":{"micro_gb":2,"mode":"median"}}`,
+	}
+	const n = 100
+	s, ts := newTestServer(t, Config{MaxConcurrent: 16, QueueDepth: n})
+
+	var wg sync.WaitGroup
+	type result struct {
+		scenario int
+		status   int
+		body     []byte
+		err      error
+	}
+	results := make([]result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := i % len(scenarios)
+			status, body, _, err := tryPost(ts.URL+"/v1/estimate", []byte(scenarios[sc]))
+			results[i] = result{sc, status, body, err}
+		}(i)
+	}
+	wg.Wait()
+
+	first := make(map[int][]byte)
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, r.status, r.body)
+		}
+		if prev, ok := first[r.scenario]; ok {
+			if !bytes.Equal(r.body, prev) {
+				t.Errorf("scenario %d: divergent response bytes across goroutines", r.scenario)
+			}
+		} else {
+			first[r.scenario] = r.body
+		}
+	}
+	if got := counter(t, s, "http_requests"); got != n {
+		t.Errorf("http_requests = %d, want %d", got, n)
+	}
+	if got := counter(t, s, "estimates_computed"); got != int64(len(scenarios)) {
+		t.Errorf("estimator ran %d times for %d distinct scenarios", got, len(scenarios))
+	}
+	hits, misses := s.CacheStats()
+	if hits+misses != n || misses != int64(len(scenarios)) {
+		t.Errorf("cache stats = %d hits / %d misses, want %d total with %d misses",
+			hits, misses, n, len(scenarios))
+	}
+}
+
+// TestBatchDeterminism proves /v1/batch is byte-deterministic in the
+// worker count: the same request against a 1-worker and an 8-worker
+// server yields identical bodies, in input order.
+func TestBatchDeterminism(t *testing.T) {
+	var reqs []string
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs,
+			fmt.Sprintf(`{"workflow":"wc","options":{"micro_gb":%d}}`, i+1),
+			fmt.Sprintf(`{"workflow":"ts","options":{"micro_gb":%d}}`, i+1),
+			`{"workflow":"wc+ts","options":{"micro_gb":3}}`, // repeated: exercises the cache
+		)
+	}
+	reqs = append(reqs, `{"spec":{"name":"solo","jobs":[{"id":"a","input_mb":1024}]}}`)
+	body := []byte(`{"scenarios":[` + joinJSON(reqs) + `]}`)
+
+	var bodies [][]byte
+	for _, workers := range []int{1, 8} {
+		_, ts := newTestServer(t, Config{Workers: workers})
+		status, got, _ := post(t, ts.URL+"/v1/batch", body)
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, status, got)
+		}
+		bodies = append(bodies, got)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Errorf("batch response differs between 1 and 8 workers:\n1: %s\n8: %s",
+			bodies[0], bodies[1])
+	}
+
+	// Input order: result i must be exactly what /v1/estimate answers for
+	// scenario i on its own.
+	var out BatchResponse
+	if err := json.Unmarshal(bodies[0], &out); err != nil {
+		t.Fatalf("parse batch: %v", err)
+	}
+	if len(out.Results) != len(reqs) {
+		t.Fatalf("%d results for %d scenarios", len(out.Results), len(reqs))
+	}
+	_, single := newTestServer(t, Config{})
+	for i, req := range reqs {
+		status, want, _ := post(t, single.URL+"/v1/estimate", []byte(req))
+		if status != http.StatusOK {
+			t.Fatalf("scenario %d alone: status %d: %s", i, status, want)
+		}
+		// Indentation depth differs between the nested and standalone
+		// renderings; compare the compacted JSON.
+		if !bytes.Equal(compactJSON(t, out.Results[i].Estimate), compactJSON(t, want)) {
+			t.Errorf("result %d differs from a standalone estimate of scenario %d", i, i)
+		}
+	}
+}
+
+func compactJSON(t *testing.T, in []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, in); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func joinJSON(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}
+
+// TestBatchCoalescesWithinRequest: duplicated scenarios inside one batch
+// share one estimator run and identical estimate bytes.
+func TestBatchCoalescesWithinRequest(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	body := []byte(`{"scenarios":[
+		{"workflow":"wc","options":{"micro_gb":2}},
+		{"workflow":"wc","options":{"micro_gb":2}},
+		{"workflow":"wc","options":{"micro_gb":2}}
+	]}`)
+	status, got, _ := post(t, ts.URL+"/v1/batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(got, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results", len(out.Results))
+	}
+	for i := 1; i < 3; i++ {
+		if !bytes.Equal(out.Results[i].Estimate, out.Results[0].Estimate) {
+			t.Errorf("result %d diverged from result 0", i)
+		}
+	}
+	if got := counter(t, s, "estimates_computed"); got != 1 {
+		t.Errorf("estimator ran %d times for 3 identical scenarios", got)
+	}
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The conformance suite pins the daemon's wire contract black-box: every
+// request goes over a real httptest listener and the response bytes are
+// compared against the golden files in testdata/ (regenerate with
+// `go test ./internal/serve -run TestConformance -update`).
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// newTestServer builds a server plus its HTTP front end. The returned
+// *Server gives tests in-process access to metrics and cache counters;
+// everything else goes over the wire.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON body and returns status + body bytes.
+func post(t *testing.T, url string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	status, b, hdr, err := tryPost(url, body)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return status, b, hdr
+}
+
+// tryPost is post without the test dependency, safe from any goroutine.
+func tryPost(url string, body []byte) (int, []byte, http.Header, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, b, resp.Header, nil
+}
+
+func get(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+// checkGolden compares got against testdata/<name>.golden.json,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: response diverged from golden.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// readRequest loads a canned request body from testdata; these files
+// double as the fuzz seed corpus.
+func readRequest(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name+".req.json"))
+	if err != nil {
+		t.Fatalf("read request %s: %v", name, err)
+	}
+	return b
+}
+
+func TestConformance(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	cases := []struct {
+		name     string // testdata basename
+		path     string
+		status   int
+		wantCode string // expected error code for non-200s
+	}{
+		{"estimate_wc_ts", "/v1/estimate", http.StatusOK, ""},
+		{"estimate_inline_spec", "/v1/estimate", http.StatusOK, ""},
+		{"estimate_options", "/v1/estimate", http.StatusOK, ""},
+		{"estimate_cluster_override", "/v1/estimate", http.StatusOK, ""},
+		{"batch_mixed", "/v1/batch", http.StatusOK, ""},
+		{"estimate_unknown_workflow", "/v1/estimate", http.StatusBadRequest, CodeUnknownWorkflow},
+		{"estimate_unknown_field", "/v1/estimate", http.StatusBadRequest, CodeBadRequest},
+		{"estimate_bad_json", "/v1/estimate", http.StatusBadRequest, CodeBadRequest},
+		{"estimate_no_target", "/v1/estimate", http.StatusBadRequest, CodeBadRequest},
+		{"estimate_both_targets", "/v1/estimate", http.StatusBadRequest, CodeBadRequest},
+		{"estimate_bad_mode", "/v1/estimate", http.StatusBadRequest, CodeBadRequest},
+		{"batch_empty", "/v1/batch", http.StatusBadRequest, CodeBadRequest},
+		{"batch_bad_scenario", "/v1/batch", http.StatusBadRequest, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, hdr := post(t, ts.URL+tc.path, readRequest(t, tc.name))
+			if status != tc.status {
+				t.Fatalf("status = %d, want %d; body: %s", status, tc.status, body)
+			}
+			if ct := hdr.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			if tc.wantCode != "" {
+				var env errorEnvelope
+				if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+					t.Fatalf("error body does not parse: %s", body)
+				}
+				if env.Error.Code != tc.wantCode {
+					t.Errorf("error code = %q, want %q", env.Error.Code, tc.wantCode)
+				}
+			}
+			checkGolden(t, tc.name, body)
+		})
+	}
+}
+
+func TestConformanceGET(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	t.Run("cluster", func(t *testing.T) {
+		status, body, _ := get(t, ts.URL+"/v1/cluster")
+		if status != http.StatusOK {
+			t.Fatalf("status = %d", status)
+		}
+		checkGolden(t, "cluster", body)
+	})
+	t.Run("workflows", func(t *testing.T) {
+		status, body, _ := get(t, ts.URL+"/v1/workflows")
+		if status != http.StatusOK {
+			t.Fatalf("status = %d", status)
+		}
+		var out WorkflowsResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if len(out.Workflows) < 20 {
+			t.Errorf("only %d workflows listed", len(out.Workflows))
+		}
+		for _, want := range []string{"wc", "ts", "wc+ts", "q21", "webanalytics"} {
+			found := false
+			for _, n := range out.Workflows {
+				if n == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("registry listing misses %q", want)
+			}
+		}
+	})
+	t.Run("healthz", func(t *testing.T) {
+		status, body, _ := get(t, ts.URL+"/healthz")
+		if status != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+			t.Errorf("healthz = %d %s", status, body)
+		}
+	})
+	t.Run("readyz", func(t *testing.T) {
+		status, body, _ := get(t, ts.URL+"/readyz")
+		if status != http.StatusOK || !strings.Contains(string(body), `"ready"`) {
+			t.Errorf("readyz = %d %s", status, body)
+		}
+	})
+	t.Run("metrics_json", func(t *testing.T) {
+		status, body, _ := get(t, ts.URL+"/metrics")
+		if status != http.StatusOK {
+			t.Fatalf("status = %d", status)
+		}
+		var out struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("metrics do not parse: %v", err)
+		}
+		for _, name := range []string{"http_requests", "estimate_cache_hits", "estimate_cache_misses"} {
+			if _, ok := out.Counters[name]; !ok {
+				t.Errorf("metrics miss counter %q", name)
+			}
+		}
+	})
+	t.Run("metrics_text", func(t *testing.T) {
+		status, body, _ := get(t, ts.URL+"/metrics?format=text")
+		if status != http.StatusOK || !strings.Contains(string(body), "http_requests") {
+			t.Errorf("text metrics = %d %s", status, body)
+		}
+	})
+	t.Run("method_not_allowed", func(t *testing.T) {
+		status, body, hdr := get(t, ts.URL+"/v1/estimate")
+		if status != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d", status)
+		}
+		if hdr.Get("Allow") != "POST" {
+			t.Errorf("Allow = %q, want POST", hdr.Get("Allow"))
+		}
+		checkGolden(t, "method_not_allowed", body)
+	})
+}
+
+// TestBodyTooLarge pins the 413 path with a tiny body limit.
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	big := []byte(`{"workflow":"` + strings.Repeat("x", 256) + `"}`)
+	status, body, _ := post(t, ts.URL+"/v1/estimate", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == nil || env.Error.Code != CodeBodyTooLarge {
+		t.Errorf("error body = %s", body)
+	}
+}
+
+// TestEstimateMatchesLibrary ties the wire numbers to the library: the
+// served makespan must equal a direct estimator run byte-for-float.
+func TestEstimateMatchesLibrary(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	status, body, _ := post(t, ts.URL+"/v1/estimate", readRequest(t, "estimate_wc_ts"))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var got EstimateResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	req, apiErr := DecodeEstimateRequest(bytes.NewReader(readRequest(t, "estimate_wc_ts")))
+	if apiErr != nil {
+		t.Fatalf("decode: %v", apiErr)
+	}
+	flow, est, apiErr := s.scenario(req)
+	if apiErr != nil {
+		t.Fatalf("scenario: %v", apiErr)
+	}
+	plan, err := est.Estimate(flow)
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	if got.MakespanS != plan.Makespan.Seconds() {
+		t.Errorf("served makespan %v != library %v", got.MakespanS, plan.Makespan.Seconds())
+	}
+	if got.Workflow != plan.Workflow {
+		t.Errorf("served workflow %q != library %q", got.Workflow, plan.Workflow)
+	}
+	if len(got.Stages) != len(plan.Stages) || len(got.States) != len(plan.States) {
+		t.Errorf("served breakdown %d stages/%d states != library %d/%d",
+			len(got.Stages), len(got.States), len(plan.Stages), len(plan.States))
+	}
+}

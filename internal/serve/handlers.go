@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"boedag/internal/boe"
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/evalpool"
+	"boedag/internal/experiments"
+	"boedag/internal/statemodel"
+	"boedag/internal/units"
+	"time"
+)
+
+// handleEstimate serves POST /v1/estimate.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	req, apiErr := DecodeEstimateRequest(r.Body)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	ctx, cancel := scenarioContext(r.Context(), req)
+	defer cancel()
+	body, apiErr := s.estimate(ctx, req)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// handleBatch serves POST /v1/batch: every scenario goes through the
+// evalpool worker pool and the same coalescing cache as /v1/estimate,
+// and results come back in input order — the response bytes are
+// identical at any worker count.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	req, apiErr := DecodeBatchRequest(r.Body, s.cfg.MaxBatch)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	jobs := make([]func() (BatchResult, error), len(req.Scenarios))
+	for i := range req.Scenarios {
+		sc := &req.Scenarios[i]
+		jobs[i] = func() (BatchResult, error) {
+			ctx, cancel := scenarioContext(r.Context(), sc)
+			defer cancel()
+			body, apiErr := s.estimate(ctx, sc)
+			if apiErr != nil {
+				return BatchResult{Error: apiErr}, nil
+			}
+			return BatchResult{Estimate: json.RawMessage(body)}, nil
+		}
+	}
+	results, err := evalpool.Run(r.Context(), jobs, s.cfg.Workers)
+	if err != nil {
+		// Jobs never fail; only a done request context reaches here, marking
+		// undispatched scenarios. Report those as per-scenario timeouts.
+		for i := range results {
+			if results[i].Estimate == nil && results[i].Error == nil {
+				results[i].Error = timeoutError(r.Context())
+			}
+		}
+	}
+	body, merr := marshalBody(BatchResponse{Results: results})
+	if merr != nil {
+		writeError(w, &APIError{Status: http.StatusInternalServerError,
+			Code: CodeInternal, Message: merr.Error()})
+		return
+	}
+	writeJSON(w, body)
+}
+
+// estimate resolves one scenario to its response bytes, coalescing
+// identical scenarios through the single-flight cache: the canonical
+// evalpool plan signature (cluster spec + estimator options + timer +
+// full workflow) keys the computation, so N concurrent identical
+// requests run the estimator once and share the same bytes.
+func (s *Server) estimate(ctx context.Context, req *EstimateRequest) ([]byte, *APIError) {
+	flow, est, apiErr := s.scenario(req)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	compute := func() ([]byte, error) {
+		if s.testHookEstimate != nil {
+			s.testHookEstimate()
+		}
+		s.computed.Inc()
+		plan, err := est.Estimate(flow)
+		if err != nil {
+			return nil, err
+		}
+		return encodeEstimateResponse(plan)
+	}
+	var body []byte
+	var err error
+	if key, ok := evalpool.PlanKey(est, flow); ok {
+		body, err = s.cache.DoContext(ctx, key, compute)
+	} else {
+		body, err = compute()
+	}
+	switch {
+	case err == nil:
+		return body, nil
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return nil, timeoutError(ctx)
+	default:
+		return nil, &APIError{Status: http.StatusInternalServerError,
+			Code: CodeInternal, Message: err.Error()}
+	}
+}
+
+// scenario materializes a validated request into its workflow and
+// estimator, mirroring the boepredict CLI's defaults (the paper's
+// overheads, BOE task timer).
+func (s *Server) scenario(req *EstimateRequest) (*dag.Workflow, *statemodel.Estimator, *APIError) {
+	spec := s.cfg.Spec
+	if req.spec != nil {
+		spec = *req.spec
+	}
+	cfg := experiments.Default()
+	cfg.Spec = spec
+	if req.Options.MicroGB > 0 {
+		cfg.MicroInput = units.Bytes(req.Options.MicroGB) * units.GB
+	}
+	if req.Options.TPCHScale > 0 {
+		cfg.TPCHScale = req.Options.TPCHScale
+	}
+	flow := req.flow
+	if flow == nil {
+		var err error
+		flow, err = experiments.BuildNamed(req.Workflow, cfg)
+		if err != nil {
+			return nil, nil, &APIError{Status: http.StatusBadRequest,
+				Code: CodeUnknownWorkflow, Message: err.Error()}
+		}
+	}
+	opt := statemodel.Options{Mode: req.mode, JobSubmitOverhead: cfg.JobSubmitOverhead}
+	if req.Options.PerNode > 0 {
+		opt.SlotLimit = req.Options.PerNode * spec.Nodes
+	}
+	timer := &statemodel.BOETimer{Model: boe.New(spec), TaskStartOverhead: cfg.TaskStartOverhead}
+	return flow, statemodel.New(spec, timer, opt), nil
+}
+
+// scenarioContext tightens the request context by the scenario's own
+// timeout_ms, when set.
+func scenarioContext(ctx context.Context, req *EstimateRequest) (context.Context, context.CancelFunc) {
+	if req.Options.TimeoutMS > 0 {
+		return context.WithTimeout(ctx, time.Duration(req.Options.TimeoutMS)*time.Millisecond)
+	}
+	return context.WithCancel(ctx)
+}
+
+// handleWorkflows serves GET /v1/workflows.
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	body, err := marshalBody(WorkflowsResponse{Workflows: experiments.WorkflowNames()})
+	if err != nil {
+		writeError(w, &APIError{Status: http.StatusInternalServerError,
+			Code: CodeInternal, Message: err.Error()})
+		return
+	}
+	writeJSON(w, body)
+}
+
+// handleCluster serves GET /v1/cluster: the serving cluster spec in the
+// calibrate -spec-out interchange format.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	cluster.WriteSpec(w, s.cfg.Spec)
+}
+
+// handleHealthz serves GET /healthz: alive as long as it answers.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body, _ := marshalBody(map[string]string{"status": "ok"})
+	writeJSON(w, body)
+}
+
+// handleReadyz serves GET /readyz: ready until the drain starts, so load
+// balancers stop routing before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, &APIError{Status: http.StatusServiceUnavailable,
+			Code: CodeDraining, Message: "server is draining"})
+		return
+	}
+	body, _ := marshalBody(map[string]string{"status": "ready"})
+	writeJSON(w, body)
+}
+
+// handleMetrics serves GET /metrics from the obs registry: JSON by
+// default, aligned text with ?format=text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.reg.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.reg.WriteJSON(w)
+}

@@ -1,0 +1,455 @@
+// Package serve is the concurrent prediction service: a long-running
+// HTTP/JSON daemon that answers "how long will this DAG take on this
+// cluster?" with the state-based BOE estimator — the paper's cheap
+// analytic model exposed as an online primitive for schedulers and
+// what-if tuning, in the spirit of Starfish's what-if engine.
+//
+// Endpoints:
+//
+//	POST /v1/estimate   one scenario → makespan, per-state breakdown,
+//	                    per-job stage times
+//	POST /v1/batch      many scenarios fanned out through the evalpool
+//	                    worker pool, results in input order
+//	GET  /v1/workflows  the workflow registry names
+//	GET  /v1/cluster    the serving cluster specification
+//	GET  /healthz       liveness (200 while the process runs)
+//	GET  /readyz        readiness (503 once draining)
+//	GET  /metrics       the obs metrics registry (JSON; ?format=text)
+//
+// Identical scenarios coalesce: responses are cached by the canonical
+// evalpool signature of (cluster, options, workflow), and concurrent
+// requests for the same key share one single-flight estimator run. The
+// server protects itself with a bounded admission queue (503 +
+// Retry-After on overload), per-request timeouts, a body-size limit, and
+// panic-to-500 recovery; SIGTERM handling in cmd/boedagd drains
+// gracefully through Shutdown.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"boedag/internal/cluster"
+	"boedag/internal/evalpool"
+	"boedag/internal/obs"
+)
+
+// Config tunes a Server. The zero value serves the paper cluster with
+// sensible production defaults.
+type Config struct {
+	// Spec is the serving cluster (default: the paper's eleven nodes).
+	// Per-request "cluster" bodies override it scenario by scenario.
+	Spec cluster.Spec
+	// Workers bounds the evalpool fan-out of one /v1/batch request
+	// (default GOMAXPROCS). Results are input-ordered at any value.
+	Workers int
+	// MaxConcurrent bounds how many /v1/* requests execute at once
+	// (default 64).
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted requests may wait for an
+	// execution slot before the server answers 503 (default 128).
+	QueueDepth int
+	// MaxBatch bounds the scenarios of one batch request (default 256).
+	MaxBatch int
+	// RequestTimeout is the per-request deadline ceiling (default 30s);
+	// a scenario's timeout_ms can only tighten it.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful drain on shutdown (default 10s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes bounds a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After hint on 503 responses (default 1s).
+	RetryAfter time.Duration
+	// Observe wires the observability layer: Tracer receives one
+	// EvRequest event per served request (point a TraceStream here for
+	// structured request logging); Metrics receives the server's
+	// counters, gauges, and histograms and backs GET /metrics. A nil
+	// registry is allocated internally so /metrics always works.
+	Observe obs.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Spec.Nodes == 0 {
+		c.Spec = cluster.PaperCluster()
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = 64
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 128
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Observe.Metrics == nil {
+		c.Observe.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the prediction daemon. Create one with New; it serves via
+// Handler (for tests and embedding) or Serve/ListenAndServe (which add
+// graceful drain).
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	reg   *obs.Registry
+	cache *evalpool.Cache[[]byte]
+	start time.Time
+
+	// Admission: slots bounds concurrent execution, queue bounds waiters.
+	slots chan struct{}
+	queue chan struct{}
+
+	// Drain state: once draining, /v1/* requests are refused with 503
+	// while requests already past admission run to completion.
+	mu       sync.Mutex
+	inflight int
+	draining bool
+	drained  chan struct{}
+
+	// Instruments, resolved once.
+	requests, errors, rejected, queued, panics, computed *obs.Counter
+	reqDur, queueWait                                    *obs.Histogram
+	inflightG, queueG                                    *obs.Gauge
+
+	// testHookEstimate, when set, runs inside every estimator execution —
+	// the test seam that makes computations observably slow or faulty
+	// without touching the wire contract.
+	testHookEstimate func()
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	reg := cfg.Observe.Metrics
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		cache: evalpool.NewCache[[]byte]().WithMetrics(reg, "estimate_cache"),
+		start: time.Now(),
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		queue: make(chan struct{}, cfg.QueueDepth),
+
+		requests:  reg.Counter("http_requests"),
+		errors:    reg.Counter("http_errors"),
+		rejected:  reg.Counter("http_rejected"),
+		queued:    reg.Counter("http_queued"),
+		panics:    reg.Counter("http_panics"),
+		computed:  reg.Counter("estimates_computed"),
+		reqDur:    reg.Histogram("request_duration_s"),
+		queueWait: reg.Histogram("queue_wait_s"),
+		inflightG: reg.Gauge("requests_inflight"),
+		queueG:    reg.Gauge("requests_queued"),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST", "/v1/estimate", true, s.handleEstimate)
+	s.route("POST", "/v1/batch", true, s.handleBatch)
+	s.route("GET", "/v1/workflows", false, s.handleWorkflows)
+	s.route("GET", "/v1/cluster", false, s.handleCluster)
+	s.route("GET", "/healthz", false, s.handleHealthz)
+	s.route("GET", "/readyz", false, s.handleReadyz)
+	s.route("GET", "/metrics", false, s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler, middleware included.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's registry (the /metrics backing store).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// CacheStats reports how many estimate lookups hit respectively missed
+// the coalescing cache.
+func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// route registers one endpoint under the middleware chain: method
+// dispatch (JSON 405 with Allow set), panic recovery, request logging
+// and metrics, then — for the heavy /v1 endpoints — admission control,
+// body limiting, and the per-request timeout.
+func (s *Server) route(method, path string, admitted bool, h http.HandlerFunc) {
+	wrapped := h
+	if admitted {
+		wrapped = s.withTimeout(s.withAdmission(wrapped))
+	}
+	wrapped = s.withObserved(s.withRecovery(wrapped))
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, &APIError{Status: http.StatusMethodNotAllowed,
+				Code: CodeMethodNotAllowed, Message: method + " only"})
+			return
+		}
+		if admitted {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		wrapped(w, r)
+	})
+}
+
+// statusWriter records the response status for logging and recovery.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withObserved counts, times, and (when a tracer listens) logs every
+// request as one EvRequest event.
+func (s *Server) withObserved(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next(sw, r)
+		dur := time.Since(t0)
+		s.requests.Inc()
+		if sw.status >= 400 {
+			s.errors.Inc()
+		}
+		s.reqDur.Observe(dur.Seconds())
+		if s.cfg.Observe.TracerOn() {
+			s.cfg.Observe.Tracer.Emit(obs.Event{
+				Type:   obs.EvRequest,
+				Time:   t0.Sub(s.start).Seconds(),
+				Dur:    dur.Seconds(),
+				Detail: r.Method + " " + r.URL.Path,
+				Task:   -1,
+				Value:  float64(sw.status),
+			})
+		}
+	}
+}
+
+// withRecovery converts a handler panic into a JSON 500 instead of
+// killing the connection (and, under http.Server, only the connection —
+// the daemon itself must outlive any one bad request).
+func (s *Server) withRecovery(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				if sw, ok := w.(*statusWriter); !ok || sw.status == 0 {
+					writeError(w, &APIError{Status: http.StatusInternalServerError,
+						Code: CodeInternal, Message: fmt.Sprintf("panic: %v", p)})
+				}
+			}
+		}()
+		next(w, r)
+	}
+}
+
+// withAdmission implements the bounded admission queue. A request either
+// takes an execution slot immediately, waits in the bounded queue for
+// one, or — queue full — is refused with 503 and a Retry-After hint.
+// Draining servers refuse before queuing so in-flight work can finish.
+func (s *Server) withAdmission(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.enter() {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			writeError(w, &APIError{Status: http.StatusServiceUnavailable,
+				Code: CodeDraining, Message: "server is draining"})
+			return
+		}
+		defer s.leave()
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			select {
+			case s.queue <- struct{}{}:
+			default:
+				s.rejected.Inc()
+				w.Header().Set("Retry-After", s.retryAfterSeconds())
+				writeError(w, &APIError{Status: http.StatusServiceUnavailable,
+					Code: CodeOverloaded, Message: "admission queue full"})
+				return
+			}
+			s.queued.Inc()
+			s.queueG.Set(float64(len(s.queue)))
+			t0 := time.Now()
+			select {
+			case s.slots <- struct{}{}:
+				<-s.queue
+				s.queueWait.Observe(time.Since(t0).Seconds())
+			case <-r.Context().Done():
+				<-s.queue
+				writeError(w, timeoutError(r.Context()))
+				return
+			}
+			s.queueG.Set(float64(len(s.queue)))
+		}
+		defer func() { <-s.slots }()
+		s.inflightG.Set(float64(len(s.slots)))
+		next(w, r)
+	}
+}
+
+// withTimeout applies the server-wide request deadline ceiling.
+func (s *Server) withTimeout(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next(w, r.WithContext(ctx))
+	}
+}
+
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// enter registers one admitted request; false once draining.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// leave retires one admitted request, completing the drain when it was
+// the last.
+func (s *Server) leave() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	if s.draining && s.inflight == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+}
+
+// Shutdown starts the graceful drain: new /v1 requests are refused with
+// 503 immediately, requests already admitted run to completion, and
+// Shutdown returns once the last finishes — or with an error when ctx
+// expires first. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+	}
+	done := s.drained
+	if done == nil {
+		if s.inflight == 0 {
+			s.mu.Unlock()
+			return nil
+		}
+		done = make(chan struct{})
+		s.drained = done
+	}
+	s.mu.Unlock()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		return fmt.Errorf("serve: drain deadline exceeded with %d requests in flight", n)
+	}
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then drains:
+// readiness flips, new /v1 requests get 503 while in-flight ones finish
+// (bounded by DrainTimeout), and finally the listener closes. The
+// returned error is the drain outcome (nil on a clean drain).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	drainErr := s.Shutdown(dctx)
+	// The drain already ran (or timed out): close the listener and any
+	// remaining connections promptly.
+	hctx, hcancel := context.WithTimeout(context.Background(), time.Second)
+	defer hcancel()
+	if err := srv.Shutdown(hctx); err != nil {
+		srv.Close()
+	}
+	<-errCh // http.ErrServerClosed
+	return drainErr
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return s.Serve(ctx, ln)
+}
+
+// writeJSON writes a 200 response body produced by marshalBody.
+func writeJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// writeError writes the typed error envelope.
+func writeError(w http.ResponseWriter, e *APIError) {
+	body, err := marshalBody(errorEnvelope{Error: e})
+	if err != nil { // cannot happen: APIError marshals cleanly
+		http.Error(w, e.Message, e.Status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	w.Write(body)
+}
+
+// timeoutError maps a done context to the wire error.
+func timeoutError(ctx context.Context) *APIError {
+	msg := "request deadline exceeded"
+	if ctx.Err() == context.Canceled {
+		msg = "request cancelled"
+	}
+	return &APIError{Status: http.StatusGatewayTimeout, Code: CodeTimeout, Message: msg}
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startServing runs srv.Serve on an ephemeral listener and returns the
+// base URL, the cancel that triggers the drain, and the channel carrying
+// Serve's return value.
+func startServing(t *testing.T, s *Server) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(ctx, ln) }()
+	t.Cleanup(cancel)
+	return "http://" + ln.Addr().String(), cancel, errCh
+}
+
+func errCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+		t.Fatalf("not an error envelope: %s", body)
+	}
+	return env.Error.Code
+}
+
+// TestGracefulDrain exercises the full shutdown choreography over a real
+// listener: cancelling the serve context flips readiness and refuses new
+// /v1 requests with 503 while the in-flight request — still blocked in
+// its estimator — runs to completion, and only then does the listener
+// close, within the drain deadline.
+func TestGracefulDrain(t *testing.T) {
+	s, err := New(Config{DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	s.testHookEstimate = func() { <-release }
+	url, cancel, errCh := startServing(t, s)
+
+	// One request in flight, blocked inside the estimator.
+	type outcome struct {
+		status int
+		body   []byte
+		err    error
+	}
+	body := readRequest(t, "estimate_wc_ts")
+	inflight := make(chan outcome, 1)
+	go func() {
+		status, b, _, err := tryPost(url+"/v1/estimate", body)
+		inflight <- outcome{status, b, err}
+	}()
+	pollUntil(t, "in-flight request to reach the estimator", func() bool {
+		_, misses := s.CacheStats()
+		return misses == 1
+	})
+
+	// Start the drain; wait for readiness to flip.
+	cancel()
+	pollUntil(t, "readiness to flip", func() bool {
+		resp, err := http.Get(url + "/readyz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+
+	// New prediction requests are refused — over a fresh connection, since
+	// the listener stays open through the drain.
+	status, resp, hdr := post(t, url+"/v1/estimate", body)
+	if status != http.StatusServiceUnavailable || errCode(t, resp) != CodeDraining {
+		t.Fatalf("during drain: status %d body %s", status, resp)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("draining 503 misses Retry-After")
+	}
+
+	// The in-flight request must still complete once unblocked...
+	close(release)
+	res := <-inflight
+	if res.err != nil || res.status != http.StatusOK {
+		t.Fatalf("in-flight request: status %d err %v body %s", res.status, res.err, res.body)
+	}
+
+	// ...and Serve must return cleanly within the drain deadline, after
+	// which the listener is gone.
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after the drain completed")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("listener still accepting connections after drain")
+	}
+}
+
+// TestDrainDeadline: a request that never finishes forces Shutdown to
+// give up at the drain deadline and report the stuck request.
+func TestDrainDeadline(t *testing.T) {
+	s, err := New(Config{DrainTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	s.testHookEstimate = func() { <-release }
+	url, cancel, errCh := startServing(t, s)
+	defer close(release)
+
+	body := readRequest(t, "estimate_wc_ts")
+	go tryPost(url+"/v1/estimate", body)
+	pollUntil(t, "request to reach the estimator", func() bool {
+		_, misses := s.CacheStats()
+		return misses == 1
+	})
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "drain deadline exceeded") {
+			t.Fatalf("Serve returned %v, want drain deadline error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after the drain deadline")
+	}
+}
+
+// TestQueueFull pins the admission queue: with one execution slot and a
+// one-deep queue, a third concurrent request is refused with 503
+// overloaded + Retry-After, while the admitted two eventually succeed.
+func TestQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1,
+		RetryAfter: 2 * time.Second})
+	s.testHookEstimate = func() { <-release }
+
+	// Distinct scenarios so the second admitted request cannot ride the
+	// first one's cache entry while queued.
+	first := []byte(`{"workflow":"wc","options":{"micro_gb":2}}`)
+	second := []byte(`{"workflow":"ts","options":{"micro_gb":2}}`)
+
+	done := make(chan int, 2)
+	go func() {
+		status, _, _, _ := tryPost(ts.URL+"/v1/estimate", first)
+		done <- status
+	}()
+	pollUntil(t, "first request to hold the slot", func() bool {
+		_, misses := s.CacheStats()
+		return misses == 1
+	})
+	go func() {
+		status, _, _, _ := tryPost(ts.URL+"/v1/estimate", second)
+		done <- status
+	}()
+	pollUntil(t, "second request to queue", func() bool {
+		return counter(t, s, "http_queued") == 1
+	})
+
+	status, body, hdr := post(t, ts.URL+"/v1/estimate", second)
+	if status != http.StatusServiceUnavailable || errCode(t, body) != CodeOverloaded {
+		t.Fatalf("third request: status %d body %s", status, body)
+	}
+	if got := hdr.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if got := counter(t, s, "http_rejected"); got != 1 {
+		t.Errorf("http_rejected = %d, want 1", got)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if status := <-done; status != http.StatusOK {
+			t.Errorf("admitted request finished with status %d", status)
+		}
+	}
+}
+
+// TestRequestTimeout covers both deadline sources: the server-wide
+// ceiling and a scenario's own timeout_ms. The estimator is made slow;
+// the caller must get its 504 at the deadline, not at completion.
+func TestRequestTimeout(t *testing.T) {
+	t.Run("per_scenario", func(t *testing.T) {
+		release := make(chan struct{})
+		defer close(release)
+		s, ts := newTestServer(t, Config{})
+		s.testHookEstimate = func() { <-release }
+		body := []byte(`{"workflow":"wc","options":{"timeout_ms":50}}`)
+		t0 := time.Now()
+		status, resp, _ := post(t, ts.URL+"/v1/estimate", body)
+		if status != http.StatusGatewayTimeout || errCode(t, resp) != CodeTimeout {
+			t.Fatalf("status %d body %s", status, resp)
+		}
+		if waited := time.Since(t0); waited > 3*time.Second {
+			t.Errorf("timeout answered after %v, deadline was 50ms", waited)
+		}
+	})
+	t.Run("server_ceiling", func(t *testing.T) {
+		release := make(chan struct{})
+		defer close(release)
+		s, ts := newTestServer(t, Config{RequestTimeout: 50 * time.Millisecond})
+		s.testHookEstimate = func() { <-release }
+		status, resp, _ := post(t, ts.URL+"/v1/estimate", readRequest(t, "estimate_wc_ts"))
+		if status != http.StatusGatewayTimeout || errCode(t, resp) != CodeTimeout {
+			t.Fatalf("status %d body %s", status, resp)
+		}
+	})
+	t.Run("batch_scenario_timeout", func(t *testing.T) {
+		release := make(chan struct{})
+		defer close(release)
+		s, ts := newTestServer(t, Config{Workers: 2})
+		s.testHookEstimate = func() { <-release }
+		body := []byte(`{"scenarios":[{"workflow":"wc","options":{"timeout_ms":50}}]}`)
+		status, resp, _ := post(t, ts.URL+"/v1/batch", body)
+		if status != http.StatusOK {
+			t.Fatalf("status %d body %s", status, resp)
+		}
+		var out BatchResponse
+		if err := json.Unmarshal(resp, &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Results) != 1 || out.Results[0].Error == nil ||
+			out.Results[0].Error.Code != CodeTimeout {
+			t.Fatalf("batch result = %s", resp)
+		}
+	})
+}
+
+// TestPanicRecovery: a panicking estimator yields a JSON 500 on that
+// request only; the daemon keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	var calls atomic.Int64
+	s, ts := newTestServer(t, Config{})
+	s.testHookEstimate = func() {
+		if calls.Add(1) == 1 {
+			panic("estimator exploded")
+		}
+	}
+	status, body, _ := post(t, ts.URL+"/v1/estimate", readRequest(t, "estimate_wc_ts"))
+	if status != http.StatusInternalServerError || errCode(t, body) != CodeInternal {
+		t.Fatalf("panicking request: status %d body %s", status, body)
+	}
+	if got := counter(t, s, "http_panics"); got != 1 {
+		t.Errorf("http_panics = %d, want 1", got)
+	}
+	// Same scenario again: the failed computation must not have poisoned
+	// the cache.
+	status, body, _ = post(t, ts.URL+"/v1/estimate", readRequest(t, "estimate_wc_ts"))
+	if status != http.StatusOK {
+		t.Fatalf("request after panic: status %d body %s", status, body)
+	}
+}

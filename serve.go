@@ -1,0 +1,43 @@
+package boedag
+
+import (
+	"context"
+
+	"boedag/internal/serve"
+)
+
+// Prediction service. The serve engine turns the estimator into a
+// long-running HTTP/JSON daemon (see cmd/boedagd): POST /v1/estimate and
+// /v1/batch answer makespan queries, identical concurrent requests
+// coalesce onto one single-flight estimator run, and a bounded admission
+// queue sheds overload with 503 + Retry-After.
+type (
+	// PredictionServer is the HTTP prediction daemon.
+	PredictionServer = serve.Server
+	// ServerConfig tunes a PredictionServer; the zero value serves the
+	// paper cluster with production defaults.
+	ServerConfig = serve.Config
+	// EstimateRequest is the JSON body of POST /v1/estimate.
+	EstimateRequest = serve.EstimateRequest
+	// EstimateResponse is the JSON body of a successful estimate.
+	EstimateResponse = serve.EstimateResponse
+	// BatchRequest is the JSON body of POST /v1/batch.
+	BatchRequest = serve.BatchRequest
+	// BatchResponse is the JSON body of a batch result.
+	BatchResponse = serve.BatchResponse
+)
+
+// NewServer returns a prediction server ready to serve via its Handler
+// or ListenAndServe.
+func NewServer(cfg ServerConfig) (*PredictionServer, error) { return serve.New(cfg) }
+
+// ListenAndServe runs a prediction server on addr until ctx is
+// cancelled, then drains gracefully: in-flight requests finish (bounded
+// by the configured drain timeout) while new ones are refused with 503.
+func ListenAndServe(ctx context.Context, addr string, cfg ServerConfig) error {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(ctx, addr)
+}

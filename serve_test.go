@@ -1,0 +1,27 @@
+package boedag_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"boedag"
+)
+
+func TestListenAndServe(t *testing.T) {
+	// A pre-cancelled context makes ListenAndServe bind, drain (nothing in
+	// flight) and return immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := boedag.ListenAndServe(ctx, "127.0.0.1:0", boedag.ServerConfig{}); err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+}
+
+func TestListenAndServeRejectsBadConfig(t *testing.T) {
+	cfg := boedag.ServerConfig{Spec: boedag.ClusterSpec{Nodes: 3}} // no node capacities
+	err := boedag.ListenAndServe(context.Background(), "127.0.0.1:0", cfg)
+	if err == nil || !strings.Contains(err.Error(), "cluster") {
+		t.Fatalf("err = %v, want cluster validation error", err)
+	}
+}

@@ -1,0 +1,255 @@
+// Command boedagbench is the service load harness: it drives a
+// prediction server — a live boedagd or an in-process instance — with a
+// deterministic seeded request mix, measures throughput and exact
+// latency percentiles, and writes the result as a versioned BENCH_*.json
+// perf ledger (internal/perfledger) so the repository's performance
+// trajectory is recorded data.
+//
+// The request mix is a pure function of (seed, workflows, sizes): two
+// runs with the same seed issue the identical request sequence, so a
+// committed ledger is reproducible — only the wall-clock numbers vary,
+// and hack/verify.sh holds them inside a tolerance band.
+//
+// Usage:
+//
+//	boedagbench -inprocess -duration 5s              # no daemon needed
+//	boedagbench -addr http://localhost:8080 -conns 8 -duration 30s
+//	boedagbench -inprocess -rate 200 -duration 10s   # open loop
+//	boedagbench -inprocess -out BENCH_today.json -label pr6
+//	go test -bench . -run '^$' . | boedagbench -gobench - -out BENCH_micro.json
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"boedag/internal/loadgen"
+	"boedag/internal/perfledger"
+	"boedag/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "target server base URL (e.g. http://localhost:8080)")
+		inprocess = flag.Bool("inprocess", false, "serve in-process over a loopback listener instead of targeting -addr")
+		workers   = flag.Int("workers", 0, "in-process server worker pool (0 = GOMAXPROCS)")
+		conns     = flag.Int("conns", 4, "closed-loop connections")
+		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		duration  = flag.Duration("duration", 10*time.Second, "measured window (0 with -gobench = parse only, no load run)")
+		warmup    = flag.Duration("warmup", time.Second, "unmeasured warmup before the window")
+		seed      = flag.Int64("seed", 1, "request-mix seed")
+		mix       = flag.String("mix", "wc,ts,wc+ts", "comma-separated workflow mix")
+		sizes     = flag.String("sizes", "10,100", "comma-separated input sizes in GB (empty = server default)")
+		gobench   = flag.String("gobench", "", "parse `go test -bench` output from this file (- = stdin) into the ledger")
+		out       = flag.String("out", "", "write the BENCH_*.json ledger here")
+		label     = flag.String("label", "", "ledger label (\"pr6-baseline\", …)")
+	)
+	flag.Parse()
+
+	ledger := perfledger.Ledger{
+		Schema:    perfledger.SchemaVersion,
+		Label:     *label,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Build:     perfledger.CurrentBuild(),
+	}
+
+	var sources []string
+	if *gobench != "" {
+		benches, err := parseGoBenchArg(*gobench)
+		if err != nil {
+			fatal(err)
+		}
+		ledger.Benchmarks = benches
+		sources = append(sources, "go-bench")
+	}
+
+	if *duration > 0 {
+		run, err := loadRun(loadCfg{
+			addr: *addr, inprocess: *inprocess, workers: *workers,
+			conns: *conns, rate: *rate, duration: *duration, warmup: *warmup,
+			seed: *seed, mix: *mix, sizes: *sizes,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ledger.Service = run
+		sources = append([]string{"boedagbench"}, sources...)
+	}
+
+	if len(sources) == 0 {
+		fatal(fmt.Errorf("nothing to do: -duration 0 and no -gobench"))
+	}
+	ledger.Source = strings.Join(sources, "+")
+	if err := perfledger.Validate(ledger); err != nil {
+		fatal(err)
+	}
+	report(os.Stdout, ledger)
+	if *out != "" {
+		if err := perfledger.Write(*out, ledger); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ledger written to %s\n", *out)
+	}
+}
+
+type loadCfg struct {
+	addr             string
+	inprocess        bool
+	workers, conns   int
+	rate             float64
+	duration, warmup time.Duration
+	seed             int64
+	mix, sizes       string
+}
+
+// loadRun executes the service half: resolve the target (spinning up an
+// in-process server when asked), tag it via GET /version, drive the
+// seeded mix, and summarize.
+func loadRun(c loadCfg) (*perfledger.ServiceRun, error) {
+	target := c.addr
+	targetLabel := c.addr
+	if c.inprocess {
+		if c.addr != "" {
+			return nil, fmt.Errorf("-inprocess and -addr are mutually exclusive")
+		}
+		s, err := serve.New(serve.Config{Workers: c.workers})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		target = ts.URL
+		targetLabel = "in-process"
+	} else if target == "" {
+		return nil, fmt.Errorf("no target: set -addr or -inprocess")
+	}
+
+	workflows := splitList(c.mix)
+	if len(workflows) == 0 {
+		return nil, fmt.Errorf("empty -mix")
+	}
+	sizesGB, err := splitFloats(c.sizes)
+	if err != nil {
+		return nil, fmt.Errorf("bad -sizes: %w", err)
+	}
+
+	mode := "closed"
+	if c.rate > 0 {
+		mode = "open"
+	}
+	cfg := loadgen.Config{
+		BaseURL: target, Mode: mode,
+		Connections: c.conns, RatePerSec: c.rate,
+		Warmup: c.warmup, Duration: c.duration,
+		Seed: c.seed, Workflows: workflows, SizesGB: sizesGB,
+	}
+	fmt.Printf("driving %s: %s loop, %s mix seed %d, warmup %s, window %s\n",
+		targetLabel, mode, c.mix, c.seed, c.warmup, c.duration)
+	res, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	run := loadgen.Summarize(cfg, res)
+	run.Target = targetLabel
+	run.TargetBuild = fetchBuild(target)
+	return &run, nil
+}
+
+// fetchBuild asks the target for its build identity; nil when the
+// endpoint is missing (an older daemon) or unreachable.
+func fetchBuild(base string) *perfledger.BuildInfo {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(base + "/version")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	var v serve.VersionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil
+	}
+	return &v.Build
+}
+
+func parseGoBenchArg(arg string) ([]perfledger.Benchmark, error) {
+	var r io.Reader = os.Stdin
+	if arg != "-" {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return perfledger.ParseGoBench(bufio.NewReader(r))
+}
+
+// report prints the human summary of everything the ledger records.
+func report(w io.Writer, l perfledger.Ledger) {
+	if s := l.Service; s != nil {
+		fmt.Fprintf(w, "requests %d (%d errors) in %.1fs — %.1f req/s\n",
+			s.Requests, s.Errors, s.DurationS, s.ThroughputRPS)
+		lat := s.Latency
+		fmt.Fprintf(w, "latency mean %s p50 %s p90 %s p99 %s max %s\n",
+			ms(lat.MeanS), ms(lat.P50S), ms(lat.P90S), ms(lat.P99S), ms(lat.MaxS))
+		names := make([]string, 0, len(s.MixCounts))
+		for name := range s.MixCounts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var parts []string
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s×%d", name, s.MixCounts[name]))
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(w, "mix %s\n", strings.Join(parts, " "))
+		}
+	}
+	for _, b := range l.Benchmarks {
+		fmt.Fprintf(w, "bench %-40s %12.0f ns/op %8.0f allocs/op\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp)
+	}
+}
+
+func ms(s float64) string { return fmt.Sprintf("%.2fms", s*1000) }
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "boedagbench:", err)
+	os.Exit(1)
+}

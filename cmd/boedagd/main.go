@@ -10,6 +10,7 @@
 //	boedagd -addr :9000 -cluster spec.json  # serve a calibrated cluster
 //	boedagd -max-concurrent 16 -queue 64  # tighter admission control
 //	boedagd -quiet                        # suppress per-request log lines
+//	boedagd -debug-pprof                  # live profiles at /debug/pprof/
 //
 //	curl -s localhost:8080/v1/estimate -d '{"workflow":"wc+ts"}'
 //	curl -s localhost:8080/metrics
@@ -42,6 +43,7 @@ func main() {
 		drain     = flag.Duration("drain-timeout", 0, "graceful drain deadline on SIGTERM (0 = default 10s)")
 		maxBody   = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 1 MiB)")
 		quiet     = flag.Bool("quiet", false, "suppress per-request log lines")
+		debugProf = flag.Bool("debug-pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving mux (bypasses admission control)")
 	)
 	var ob cliobs.Flags
 	ob.Register(nil)
@@ -60,6 +62,7 @@ func main() {
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
 		MaxBodyBytes:   *maxBody,
+		EnablePprof:    *debugProf,
 		// Share the cliobs registry when one exists so -metrics-out /
 		// -otlp-out snapshots written at shutdown include the server's
 		// runtime counters.

@@ -1,0 +1,107 @@
+// Command benchgate is the perf-ledger gate behind hack/verify.sh: it
+// validates BENCH_*.json files and compares a fresh ledger against the
+// committed baseline with a relative tolerance band, benchstat-style —
+// every tracked quantity is printed with its delta, and any regression
+// (or vanished benchmark) fails the run.
+//
+// Usage:
+//
+//	benchgate -validate FILE...
+//	benchgate -base hack/bench_baseline.json -new /tmp/BENCH_fresh.json -tol 0.75
+//	benchgate -base ... -new ... -inject 2.0   # self-test: must fail
+//
+// -inject multiplies the fresh ledger's latencies and ns/op (and divides
+// its throughput) by the given factor before comparing. verify.sh uses
+// it to prove the gate actually fires: a run with -inject 2.0 must exit
+// non-zero, or the gate is decorative.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"boedag/internal/perfledger"
+)
+
+func main() {
+	var (
+		validate = flag.Bool("validate", false, "validate the ledger files given as arguments")
+		base     = flag.String("base", "", "baseline ledger (the committed trajectory point)")
+		fresh    = flag.String("new", "", "fresh ledger to hold against the baseline")
+		tol      = flag.Float64("tol", 0.75, "relative tolerance band (0.75 = fail beyond 1.75x slowdown)")
+		inject   = flag.Float64("inject", 1, "multiply fresh latencies and ns/op by this factor first (gate self-test)")
+	)
+	flag.Parse()
+
+	switch {
+	case *validate:
+		if flag.NArg() == 0 {
+			fatal(fmt.Errorf("-validate needs ledger files as arguments"))
+		}
+		for _, path := range flag.Args() {
+			l, err := perfledger.Read(path)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: valid (schema %d, source %s)\n", path, l.Schema, l.Source)
+		}
+	case *base != "" && *fresh != "":
+		b, err := perfledger.Read(*base)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := perfledger.Read(*fresh)
+		if err != nil {
+			fatal(err)
+		}
+		if *inject != 1 {
+			slowDown(&f, *inject)
+			fmt.Printf("injected a synthetic %.2fx slowdown into %s\n", *inject, *fresh)
+		}
+		deltas := perfledger.Compare(b, f, *tol)
+		if len(deltas) == 0 {
+			fatal(fmt.Errorf("nothing to compare between %s and %s", *base, *fresh))
+		}
+		fmt.Printf("%-44s %12s %12s %8s\n", "quantity", "base", "new", "ratio")
+		for _, d := range deltas {
+			mark := ""
+			if d.Missing {
+				mark = "  MISSING"
+			} else if d.Regressed {
+				mark = "  REGRESSED"
+			}
+			fmt.Printf("%-44s %12.4g %12.4g %7.2fx%s\n", d.Name, d.Old, d.New, d.Ratio, mark)
+		}
+		if regs := perfledger.Regressions(deltas); len(regs) > 0 {
+			fmt.Printf("FAIL: %d quantities regressed beyond the %.0f%% band\n",
+				len(regs), *tol*100)
+			os.Exit(1)
+		}
+		fmt.Printf("gate OK: all quantities within the %.0f%% band\n", *tol*100)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// slowDown degrades a ledger in place: the synthetic regression the
+// gate's self-test injects.
+func slowDown(l *perfledger.Ledger, factor float64) {
+	if s := l.Service; s != nil {
+		s.ThroughputRPS /= factor
+		s.Latency.MeanS *= factor
+		s.Latency.P50S *= factor
+		s.Latency.P90S *= factor
+		s.Latency.P99S *= factor
+		s.Latency.MaxS *= factor
+	}
+	for i := range l.Benchmarks {
+		l.Benchmarks[i].NsPerOp *= factor
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -2,14 +2,16 @@
 # verify.sh — the repo's full verification gate:
 #   gofmt cleanliness, go vet, the race-enabled test suite with the
 #   per-package coverage gate (hack/coverage_baseline.txt), the trace
-#   parser fuzz smoke, the instrumentation-overhead guard (disabled-path
+#   parser fuzz smoke, the boedagbench ledger smoke, the perf regression
+#   gate (hack/bench_baseline.json, with an injected-slowdown
+#   self-check), the instrumentation-overhead guard (disabled-path
 #   observability must stay within 5% of an uninstrumented run), and the
 #   OTLP export shape check.
 #
 # Usage: hack/verify.sh [-quick]
-#   -quick skips the full race detector run and the overhead benchmark
-#   (the streaming-bus tests still run under -race, and the coverage,
-#   fuzz and OTLP checks still run).
+#   -quick skips the full race detector run, the regression gate, and
+#   the overhead benchmark (the streaming-bus tests still run under
+#   -race, and the coverage, fuzz, ledger and OTLP checks still run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -95,6 +97,56 @@ bench_smoke() {
     go test ./internal/experiments -run '^$' -bench BenchmarkSweepParallel -benchtime 1x
 }
 
+# ledger_smoke runs a short boedagbench load against an in-process
+# server, checks the written BENCH_*.json validates, and validates the
+# committed ledgers too (baseline and the repo-root trajectory points).
+ledger_smoke() {
+    echo "== boedagbench ledger smoke =="
+    local tmp
+    tmp=$(mktemp -d)
+    go run ./cmd/boedagbench -inprocess -duration 2s -warmup 500ms -seed 1 \
+        -label smoke -out "$tmp/BENCH_smoke.json"
+    go run ./hack/benchgate -validate "$tmp/BENCH_smoke.json" \
+        hack/bench_baseline.json BENCH_*.json
+    rm -rf "$tmp"
+}
+
+# fresh_ledger produces a gate-comparable ledger at $1: the same seeded
+# service load and the same micro-benchmarks the committed baseline
+# records (see hack/bench_baseline.json — regenerate both the same way).
+fresh_ledger() {
+    local tmp
+    tmp=$(dirname "$1")
+    go test -run '^$' -bench 'BenchmarkEstimatorAllocs$' -benchtime 100x \
+        ./internal/statemodel > "$tmp/gobench.txt"
+    go test -run '^$' -bench 'BenchmarkFigure4BOEExample$' -benchtime 100x \
+        . >> "$tmp/gobench.txt"
+    go run ./cmd/boedagbench -inprocess -duration 3s -warmup 1s -seed 1 \
+        -gobench "$tmp/gobench.txt" -label verify -out "$1"
+}
+
+# regression_gate holds a fresh measurement against the committed
+# baseline with a generous tolerance band (machine-to-machine noise is
+# real; sustained regressions are not), then proves the gate can fail at
+# all by injecting a synthetic 2x slowdown and requiring a non-zero exit.
+regression_gate() {
+    echo "== perf regression gate (vs hack/bench_baseline.json) =="
+    local tmp
+    tmp=$(mktemp -d)
+    fresh_ledger "$tmp/BENCH_fresh.json"
+    go run ./hack/benchgate -base hack/bench_baseline.json \
+        -new "$tmp/BENCH_fresh.json" -tol 0.75
+    echo "== regression gate self-check (injected 2x slowdown must fail) =="
+    if go run ./hack/benchgate -base hack/bench_baseline.json \
+        -new "$tmp/BENCH_fresh.json" -tol 0.75 -inject 2.0 > /dev/null; then
+        echo "FAIL: the gate passed an injected 2x regression" >&2
+        rm -rf "$tmp"
+        exit 1
+    fi
+    echo "  gate correctly rejected the injected regression"
+    rm -rf "$tmp"
+}
+
 cover_out=$(mktemp)
 trap 'rm -f "$cover_out"' EXIT
 
@@ -119,6 +171,7 @@ if [[ $quick -eq 1 ]]; then
     go test -race -count=1 ./internal/serve
     fuzz_smoke
     bench_smoke
+    ledger_smoke
     otlp_check
     echo "verify OK (quick)"
     exit 0
@@ -130,7 +183,9 @@ coverage_gate "$cover_out"
 
 fuzz_smoke
 bench_smoke
+ledger_smoke
 otlp_check
+regression_gate
 
 echo "== instrumentation overhead guard =="
 # The observability layer must be ~free when disabled: the disabled-path

@@ -1,0 +1,340 @@
+// Package loadgen is the deterministic load half of boedagbench: it
+// drives a prediction server (a live boedagd or an in-process httptest
+// front end) with a seeded request mix and measures throughput and
+// exact latency percentiles.
+//
+// Determinism is the design center. The i-th request of a run is a pure
+// function of (seed, i, workflows, sizes) — no generator state, no
+// dependence on timing or on how many requests earlier workers got
+// through — so two runs with the same seed issue the identical request
+// sequence even when they complete different prefixes of it. That is
+// what makes committed BENCH_*.json ledgers reproducible: the mix is
+// replayable from four recorded fields, and only the wall-clock numbers
+// vary within tolerance.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boedag/internal/obs"
+	"boedag/internal/perfledger"
+	"boedag/internal/serve"
+)
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL is the server to drive (e.g. "http://127.0.0.1:8080").
+	BaseURL string
+	// Client is the HTTP client (default: a dedicated client with an
+	// idle-connection pool sized to the run's concurrency).
+	Client *http.Client
+	// Mode is "closed" (Connections workers, next request on completion)
+	// or "open" (requests dispatched at RatePerSec regardless of
+	// completions). Default "closed"; "open" requires RatePerSec > 0.
+	Mode string
+	// Connections is the closed-loop concurrency (default 4).
+	Connections int
+	// RatePerSec is the open-loop target arrival rate.
+	RatePerSec float64
+	// Warmup requests are issued but not measured (default 0).
+	Warmup time.Duration
+	// Duration is the measured window (required).
+	Duration time.Duration
+	// Seed keys the request mix.
+	Seed int64
+	// Workflows and SizesGB span the mix: request i runs
+	// Pick(Seed, i, Workflows, SizesGB). Workflows is required; an empty
+	// SizesGB leaves every scenario at the server's default input size.
+	Workflows []string
+	SizesGB   []float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Mode == "" {
+		c.Mode = "closed"
+	}
+	switch {
+	case c.BaseURL == "":
+		return c, errors.New("loadgen: no BaseURL")
+	case c.Mode != "closed" && c.Mode != "open":
+		return c, fmt.Errorf("loadgen: mode %q (closed | open)", c.Mode)
+	case c.Mode == "open" && c.RatePerSec <= 0:
+		return c, errors.New("loadgen: open loop requires RatePerSec > 0")
+	case c.Duration <= 0:
+		return c, errors.New("loadgen: no Duration")
+	case len(c.Workflows) == 0:
+		return c, errors.New("loadgen: no Workflows")
+	}
+	if c.Connections < 1 {
+		c.Connections = 4
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: c.Connections + 4,
+		}}
+	}
+	return c, nil
+}
+
+// splitmix64 is the mix hash: cheap, stateless, and identical across
+// platforms and Go versions — unlike math/rand, whose stream is not a
+// compatibility promise.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Pick returns the i-th request of the seeded mix: which workflow to
+// ask about and at what input size (0 when sizes is empty). Pure in all
+// arguments.
+func Pick(seed, i int64, workflows []string, sizes []float64) (workflow string, sizeGB float64) {
+	h := splitmix64(uint64(seed)*0x2545f4914f6cdd1d + splitmix64(uint64(i)))
+	workflow = workflows[int(h%uint64(len(workflows)))]
+	if len(sizes) > 0 {
+		sizeGB = sizes[int((h>>32)%uint64(len(sizes)))]
+	}
+	return workflow, sizeGB
+}
+
+// Body renders the i-th request as a /v1/estimate JSON body, via the
+// server's own wire types so the harness can never drift from the
+// contract.
+func Body(seed, i int64, workflows []string, sizes []float64) (workflow string, body []byte) {
+	workflow, sizeGB := Pick(seed, i, workflows, sizes)
+	req := serve.EstimateRequest{Workflow: workflow}
+	if sizeGB > 0 {
+		req.Options.MicroGB = sizeGB
+	}
+	b, err := json.Marshal(req)
+	if err != nil { // cannot happen: the request is plain data
+		panic(err)
+	}
+	return workflow, b
+}
+
+// Result is one run's measured outcome. Only requests issued inside the
+// measured window (after warmup) are counted.
+type Result struct {
+	// Requests counts measured requests that completed; Errors the
+	// subset that failed (non-2xx status or transport error).
+	Requests int64
+	Errors   int64
+	// MeasuredS is the actual measured-window length.
+	MeasuredS float64
+	// ThroughputRPS is Requests / MeasuredS.
+	ThroughputRPS float64
+	// Latencies holds every measured request's wall time in seconds, in
+	// no particular order — raw samples for exact percentiles.
+	Latencies []float64
+	// StatusCounts tallies by HTTP status ("200", …; transport errors
+	// count under "error"). MixCounts tallies by workflow name.
+	StatusCounts map[string]int64
+	MixCounts    map[string]int64
+}
+
+// worker-local tallies, merged once at the end so the hot path is
+// lock-free.
+type tally struct {
+	requests, errors int64
+	latencies        []float64
+	status           map[string]int64
+	mix              map[string]int64
+}
+
+func newTally() *tally {
+	return &tally{status: make(map[string]int64), mix: make(map[string]int64)}
+}
+
+// Run drives the server until warmup+duration elapse (or ctx is
+// cancelled, which ends the run early but still reports what was
+// measured).
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	deadline := measureFrom.Add(cfg.Duration)
+	// In-flight requests get a grace period past the dispatch deadline so
+	// a request issued at the window's edge is measured, not cancelled
+	// into a spurious error.
+	rctx, cancel := context.WithDeadline(ctx, deadline.Add(10*time.Second))
+	defer cancel()
+
+	var next atomic.Int64
+	shoot := func(t *tally) {
+		i := next.Add(1) - 1
+		workflow, body := Body(cfg.Seed, i, cfg.Workflows, cfg.SizesGB)
+		t0 := time.Now()
+		status, err := fire(rctx, cfg.Client, cfg.BaseURL+"/v1/estimate", body)
+		lat := time.Since(t0).Seconds()
+		if t0.Before(measureFrom) {
+			return // warmup request: issued, not measured
+		}
+		t.requests++
+		t.latencies = append(t.latencies, lat)
+		t.mix[workflow]++
+		if err != nil {
+			t.errors++
+			t.status["error"]++
+			return
+		}
+		t.status[strconv.Itoa(status)]++
+		if status < 200 || status > 299 {
+			t.errors++
+		}
+	}
+
+	tallies := make([]*tally, 0, cfg.Connections)
+	var wg sync.WaitGroup
+	switch cfg.Mode {
+	case "closed":
+		for c := 0; c < cfg.Connections; c++ {
+			t := newTally()
+			tallies = append(tallies, t)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) && rctx.Err() == nil {
+					shoot(t)
+				}
+			}()
+		}
+	case "open":
+		// One dispatcher paces arrivals; each request gets its own
+		// goroutine so a slow response never stalls the arrival process.
+		t := newTally()
+		tallies = append(tallies, t)
+		var mu sync.Mutex
+		interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for time.Now().Before(deadline) && rctx.Err() == nil {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					local := newTally()
+					shoot(local)
+					mu.Lock()
+					merge(t, local)
+					mu.Unlock()
+				}()
+				select {
+				case <-tick.C:
+				case <-rctx.Done():
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := newTally()
+	for _, t := range tallies {
+		merge(out, t)
+	}
+	measured := time.Since(measureFrom).Seconds()
+	if until := deadline.Sub(measureFrom).Seconds(); measured > until {
+		measured = until
+	}
+	res := Result{
+		Requests:     out.requests,
+		Errors:       out.errors,
+		MeasuredS:    measured,
+		Latencies:    out.latencies,
+		StatusCounts: out.status,
+		MixCounts:    out.mix,
+	}
+	if measured > 0 {
+		res.ThroughputRPS = float64(res.Requests) / measured
+	}
+	return res, nil
+}
+
+func merge(dst, src *tally) {
+	dst.requests += src.requests
+	dst.errors += src.errors
+	dst.latencies = append(dst.latencies, src.latencies...)
+	for k, v := range src.status {
+		dst.status[k] += v
+	}
+	for k, v := range src.mix {
+		dst.mix[k] += v
+	}
+}
+
+// fire sends one estimate request and drains the response.
+func fire(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// Summarize folds a run into the perfledger interchange shape, with
+// exact nearest-rank percentiles over the raw samples.
+func Summarize(cfg Config, res Result) perfledger.ServiceRun {
+	run := perfledger.ServiceRun{
+		Target:        cfg.BaseURL,
+		Mode:          cfg.Mode,
+		Seed:          cfg.Seed,
+		Workflows:     cfg.Workflows,
+		SizesGB:       cfg.SizesGB,
+		Connections:   cfg.Connections,
+		RatePerSec:    cfg.RatePerSec,
+		WarmupS:       cfg.Warmup.Seconds(),
+		DurationS:     res.MeasuredS,
+		Requests:      res.Requests,
+		Errors:        res.Errors,
+		ThroughputRPS: res.ThroughputRPS,
+		StatusCounts:  res.StatusCounts,
+		MixCounts:     res.MixCounts,
+	}
+	if run.Mode == "" {
+		run.Mode = "closed"
+	}
+	if n := len(res.Latencies); n > 0 {
+		var sum, max float64
+		for _, v := range res.Latencies {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		run.Latency = perfledger.LatencySummary{
+			Count: int64(n),
+			MeanS: sum / float64(n),
+			P50S:  obs.Percentile(res.Latencies, 0.50),
+			P90S:  obs.Percentile(res.Latencies, 0.90),
+			P99S:  obs.Percentile(res.Latencies, 0.99),
+			MaxS:  max,
+		}
+	}
+	return run
+}

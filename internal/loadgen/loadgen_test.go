@@ -1,0 +1,196 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"boedag/internal/perfledger"
+	"boedag/internal/serve"
+)
+
+var mixWorkflows = []string{"wc", "ts", "wc+ts"}
+var mixSizes = []float64{10, 100}
+
+// TestPickDeterministic pins the reproducibility contract: the request
+// mix is a pure function of (seed, i), so two runs with the same seed
+// issue the identical sequence no matter how far each gets.
+func TestPickDeterministic(t *testing.T) {
+	for i := int64(0); i < 1000; i++ {
+		w1, s1 := Pick(42, i, mixWorkflows, mixSizes)
+		w2, s2 := Pick(42, i, mixWorkflows, mixSizes)
+		if w1 != w2 || s1 != s2 {
+			t.Fatalf("Pick(42, %d) not pure: %s/%v vs %s/%v", i, w1, s1, w2, s2)
+		}
+	}
+	diff := 0
+	for i := int64(0); i < 1000; i++ {
+		w1, _ := Pick(1, i, mixWorkflows, mixSizes)
+		w2, _ := Pick(2, i, mixWorkflows, mixSizes)
+		if w1 != w2 {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seeds 1 and 2 generated the identical 1000-request mix")
+	}
+}
+
+// TestPickCoversMix checks the hash spreads over both mix dimensions.
+func TestPickCoversMix(t *testing.T) {
+	workflows := make(map[string]int)
+	sizes := make(map[float64]int)
+	for i := int64(0); i < 1000; i++ {
+		w, s := Pick(7, i, mixWorkflows, mixSizes)
+		workflows[w]++
+		sizes[s]++
+	}
+	for _, w := range mixWorkflows {
+		if workflows[w] < 100 {
+			t.Errorf("workflow %q drawn %d/1000 times — mix badly skewed", w, workflows[w])
+		}
+	}
+	for _, s := range mixSizes {
+		if sizes[s] < 100 {
+			t.Errorf("size %v drawn %d/1000 times — mix badly skewed", s, sizes[s])
+		}
+	}
+}
+
+// TestBodyIsValidRequest round-trips generated bodies through the
+// server's strict decoder: the harness can never drift from the wire
+// contract it exercises.
+func TestBodyIsValidRequest(t *testing.T) {
+	for i := int64(0); i < 50; i++ {
+		workflow, body := Body(3, i, mixWorkflows, mixSizes)
+		req, apiErr := serve.DecodeEstimateRequest(bytes.NewReader(body))
+		if apiErr != nil {
+			t.Fatalf("request %d rejected: %v\n%s", i, apiErr, body)
+		}
+		if req.Workflow != workflow {
+			t.Errorf("request %d: workflow %q, Body reported %q", i, req.Workflow, workflow)
+		}
+	}
+}
+
+// TestRunClosedLoop drives a stub server and checks the accounting
+// invariants: every measured request has a latency sample and a status
+// tally, errors are the non-2xx subset, and the summary validates as a
+// ledger service run.
+func TestRunClosedLoop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	cfg := Config{
+		BaseURL:     ts.URL,
+		Connections: 2,
+		Warmup:      20 * time.Millisecond,
+		Duration:    150 * time.Millisecond,
+		Seed:        5,
+		Workflows:   mixWorkflows,
+		SizesGB:     mixSizes,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no measured requests against a local stub")
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d against an always-200 stub (status %v)", res.Errors, res.StatusCounts)
+	}
+	if got := int64(len(res.Latencies)); got != res.Requests {
+		t.Errorf("latency samples = %d, requests = %d", got, res.Requests)
+	}
+	var statusTotal, mixTotal int64
+	for _, n := range res.StatusCounts {
+		statusTotal += n
+	}
+	for _, n := range res.MixCounts {
+		mixTotal += n
+	}
+	if statusTotal != res.Requests || mixTotal != res.Requests {
+		t.Errorf("status/mix tallies = %d/%d, requests = %d", statusTotal, mixTotal, res.Requests)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", res.ThroughputRPS)
+	}
+
+	run := Summarize(cfg, res)
+	ledger := perfledger.Ledger{
+		Schema: perfledger.SchemaVersion, Source: "boedagbench",
+		Build: perfledger.CurrentBuild(), Service: &run,
+	}
+	if err := perfledger.Validate(ledger); err != nil {
+		t.Errorf("summarized run does not validate: %v", err)
+	}
+	if run.Latency.P50S > run.Latency.P99S || run.Latency.P99S > run.Latency.MaxS {
+		t.Errorf("percentiles out of order: %+v", run.Latency)
+	}
+}
+
+// TestRunCountsServerErrors: non-2xx responses are errors but still
+// latency samples — a degraded server must not look fast by exclusion.
+func TestRunCountsServerErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Connections: 1,
+		Duration: 60 * time.Millisecond, Seed: 1, Workflows: []string{"wc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Errors != res.Requests {
+		t.Errorf("requests/errors = %d/%d, want all errors", res.Requests, res.Errors)
+	}
+	if int64(len(res.Latencies)) != res.Requests {
+		t.Errorf("latency samples = %d, want %d (errors must be sampled too)",
+			len(res.Latencies), res.Requests)
+	}
+}
+
+// TestRunOpenLoop checks the rate-paced mode dispatches roughly at the
+// configured rate against a fast stub.
+func TestRunOpenLoop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Mode: "open", RatePerSec: 200,
+		Duration: 200 * time.Millisecond, Seed: 1, Workflows: []string{"wc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 req/s over 200ms ≈ 40 arrivals; allow generous scheduling slack.
+	if res.Requests < 10 || res.Requests > 80 {
+		t.Errorf("open loop dispatched %d requests for a 40-arrival schedule", res.Requests)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{BaseURL: "http://x", Duration: time.Second, Workflows: []string{"wc"}}
+	for name, mutate := range map[string]func(*Config){
+		"no url":       func(c *Config) { c.BaseURL = "" },
+		"no duration":  func(c *Config) { c.Duration = 0 },
+		"no workflows": func(c *Config) { c.Workflows = nil },
+		"bad mode":     func(c *Config) { c.Mode = "sideways" },
+		"open no rate": func(c *Config) { c.Mode = "open" },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: Run accepted the config", name)
+		}
+	}
+}

@@ -89,6 +89,19 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		jobPID[j] = i + 1
 	}
 
+	// Service requests (the prediction daemon's EvRequest/EvRequestPhase
+	// spans) get their own process track after the jobs; each request's
+	// ordinal is its thread row, so concurrent requests stack and a
+	// request's phases nest inside its span like sub-stages in a task.
+	servicePID := len(jobNames) + 1
+	hasRequests := false
+	for _, ev := range events {
+		if ev.Type == EvRequest || ev.Type == EvRequestPhase {
+			hasRequests = true
+			break
+		}
+	}
+
 	meta := func(pid int, name string) {
 		trace.TraceEvents = append(trace.TraceEvents,
 			chromeEvent{Name: "process_name", Phase: "M", PID: pid,
@@ -100,6 +113,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	meta(workflowPID, "workflow")
 	for _, j := range jobNames {
 		meta(jobPID[j], "job "+j)
+	}
+	if hasRequests {
+		meta(servicePID, "service")
 	}
 
 	for _, ev := range events {
@@ -190,6 +206,20 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
 				PID: workflowPID, TID: evalpoolTID,
 				Args: map[string]any{"index": ev.Seq, "failed": ev.Value > 0},
+			})
+		case EvRequest:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: ev.Detail, Cat: "request",
+				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
+				PID: servicePID, TID: ev.Seq,
+				Args: map[string]any{"request": ev.Seq, "status": int(ev.Value)},
+			})
+		case EvRequestPhase:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: ev.Detail, Cat: "reqphase",
+				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
+				PID: servicePID, TID: ev.Seq,
+				Args: map[string]any{"request": ev.Seq, "phase": ev.Detail},
 			})
 		// EvTaskStart, EvStageStart, EvStateOpen and EvEstimatorIter are
 		// redundant with the span events above in the Chrome view; they

@@ -82,8 +82,16 @@ const (
 	EvRunStart
 	// EvRequest spans one HTTP request served by the prediction daemon
 	// (Time = seconds since server start, Dur = handling span); Detail is
-	// "METHOD /path" and Value the response status code.
+	// "METHOD /path", Value the response status code, and Seq the
+	// server-assigned request ordinal tying the request to its
+	// EvRequestPhase children.
 	EvRequest
+	// EvRequestPhase spans one phase of a served request — decode,
+	// coalesce-wait, estimate, encode — (Time = seconds since server
+	// start, Dur = phase span); Detail names the phase and Seq carries
+	// the owning request's ordinal, so exporters can nest phases under
+	// their request like sub-stages under a task.
+	EvRequestPhase
 )
 
 // String names the event type as exporters print it.
@@ -119,6 +127,8 @@ func (t EventType) String() string {
 		return "run_start"
 	case EvRequest:
 		return "request"
+	case EvRequestPhase:
+		return "request_phase"
 	}
 	return fmt.Sprintf("event(%d)", uint8(t))
 }

@@ -204,7 +204,8 @@ func unixNano(anchor time.Time, seconds float64) string {
 // spanEvent reports whether the exporter maps ev to a span.
 func spanEvent(ev Event) bool {
 	switch ev.Type {
-	case EvTaskFinish, EvSubStageFinish, EvStageFinish, EvStateClose:
+	case EvTaskFinish, EvSubStageFinish, EvStageFinish, EvStateClose,
+		EvRequest, EvRequestPhase:
 		return true
 	}
 	return false
@@ -292,6 +293,22 @@ func buildSpans(events []Event, opt OTLPOptions) []otlpSpan {
 				strAttr("boedag.running", ev.Detail),
 				strAttr("boedag.dominant", ev.Resource),
 				floatAttr("boedag.utilization", ev.Value),
+			}
+		case EvRequest:
+			sp.SpanID = hexID(8, "req", strconv.Itoa(ev.Seq))
+			sp.Name = ev.Detail
+			sp.Attributes = []otlpKeyValue{
+				intAttr("boedag.request", int64(ev.Seq)),
+				intAttr("http.response.status_code", int64(ev.Value)),
+			}
+		case EvRequestPhase:
+			sp.SpanID = hexID(8, "reqphase", strconv.Itoa(ev.Seq), ev.Detail,
+				strconv.FormatFloat(ev.Time, 'g', -1, 64))
+			sp.ParentSpanID = hexID(8, "req", strconv.Itoa(ev.Seq))
+			sp.Name = ev.Detail
+			sp.Attributes = []otlpKeyValue{
+				intAttr("boedag.request", int64(ev.Seq)),
+				strAttr("boedag.phase", ev.Detail),
 			}
 		}
 		spans = append(spans, sp)

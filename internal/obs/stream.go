@@ -177,18 +177,28 @@ func (u *Subscriber) deliver(ev Event) {
 	default:
 	}
 	if u.policy == DropOldest {
-		// Evict one buffered event, then retry once. A concurrent consumer
-		// may win the race for the slot either way; whichever event loses
-		// is the drop we count.
+		// Evict one buffered event, then retry once. A concurrent producer
+		// may steal the freed slot, losing both the evicted event and ours;
+		// counting the eviction separately keeps the global invariant exact:
+		// events consumed + Drops() == events emitted, under any number of
+		// concurrent producers and consumers.
+		evicted := false
 		select {
 		case <-u.ch:
+			evicted = true
 		default:
 		}
 		select {
 		case u.ch <- ev:
-			u.drops.Add(1) // the evicted oldest event
+			if evicted {
+				u.drops.Add(1) // the evicted oldest event
+			}
 			return
 		default:
+		}
+		if evicted {
+			u.drops.Add(2) // the evicted event and ours, both lost
+			return
 		}
 	}
 	u.drops.Add(1)

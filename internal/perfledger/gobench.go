@@ -1,0 +1,97 @@
+package perfledger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseGoBench parses `go test -bench` output into Benchmark rows — the
+// "-ledger" bridge that lets the existing bench_test.go micro-benchmarks
+// feed the same BENCH_*.json trajectory as the service load harness.
+//
+// Lines that are not benchmark results (goos/pkg headers, PASS/ok
+// trailers) are skipped. A benchmark name's -GOMAXPROCS suffix is
+// stripped so the same benchmark compares across machines; repeated
+// runs of one benchmark (-count > 1) are averaged, weighted by each
+// run's iteration count. Standard units map to the typed fields
+// (ns/op, B/op, allocs/op); custom b.ReportMetric units land in
+// Metrics verbatim.
+func ParseGoBench(r io.Reader) ([]Benchmark, error) {
+	type acc struct {
+		iters int64
+		sums  map[string]float64 // unit → Σ value·iters
+	}
+	accs := make(map[string]*acc)
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || iters < 1 {
+			return nil, fmt.Errorf("perfledger: gobench line %d: bad iteration count %q", line, fields[1])
+		}
+		if len(fields[2:])%2 != 0 {
+			return nil, fmt.Errorf("perfledger: gobench line %d: odd value/unit pairing", line)
+		}
+		a := accs[name]
+		if a == nil {
+			a = &acc{sums: make(map[string]float64)}
+			accs[name] = a
+			order = append(order, name)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("perfledger: gobench line %d: bad value %q", line, fields[i])
+			}
+			a.sums[fields[i+1]] += v * float64(iters)
+		}
+		a.iters += iters
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perfledger: gobench: %w", err)
+	}
+
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		a := accs[name]
+		b := Benchmark{Name: name, Iterations: a.iters}
+		for unit, sum := range a.sums {
+			mean := sum / float64(a.iters)
+			switch unit {
+			case "ns/op":
+				b.NsPerOp = mean
+			case "B/op":
+				b.BytesPerOp = mean
+			case "allocs/op":
+				b.AllocsPerOp = mean
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = mean
+			}
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("perfledger: gobench: no benchmark lines found")
+	}
+	return out, nil
+}

@@ -1,0 +1,371 @@
+// Package perfledger turns performance measurements into durable,
+// comparable artifacts: the versioned BENCH_*.json ledger files this
+// repository commits alongside code so the perf trajectory is recorded
+// data rather than anecdotes in PR descriptions.
+//
+// A ledger captures one measurement session — who measured (build info:
+// go version, GOMAXPROCS, VCS revision), what was measured (a
+// boedagbench service load run and/or `go test -bench` micro-benchmark
+// results), and the numbers themselves (throughput, exact nearest-rank
+// latency percentiles, ns/op, allocs/op). Write/Read round-trip the
+// file, Validate rejects malformed ledgers, and Compare diffs two
+// ledgers against a tolerance band — the benchstat-style regression
+// gate hack/verify.sh runs against hack/bench_baseline.json.
+package perfledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+)
+
+// SchemaVersion is the ledger schema this package writes. Read rejects
+// files whose schema field does not match: a ledger is a long-lived
+// artifact and silent reinterpretation would corrupt the trajectory.
+const SchemaVersion = 1
+
+// Ledger is one recorded measurement session — the top-level object of
+// a BENCH_*.json file.
+type Ledger struct {
+	// Schema is the ledger format version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Label names the session ("pr6-baseline", "smoke", …).
+	Label string `json:"label,omitempty"`
+	// CreatedAt is the RFC 3339 creation time, supplied by the producer.
+	CreatedAt string `json:"created_at,omitempty"`
+	// Source names the producing pipeline: "boedagbench" for service
+	// load runs, "go-bench" for parsed `go test -bench` output, or
+	// "boedagbench+go-bench" when one ledger holds both.
+	Source string `json:"source"`
+	// Build tags the run with the exact build that produced it.
+	Build BuildInfo `json:"build"`
+	// Service holds the load-harness results, when the session drove one.
+	Service *ServiceRun `json:"service,omitempty"`
+	// Benchmarks holds micro-benchmark results, when the session ran any.
+	Benchmarks []Benchmark `json:"benchmarks,omitempty"`
+}
+
+// BuildInfo identifies the binary and machine behind a measurement. It
+// doubles as the "build" object of the daemon's GET /version response,
+// so ledgers recorded against a remote boedagd can tag the server's
+// build rather than the harness's.
+type BuildInfo struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	Module      string `json:"module,omitempty"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// CurrentBuild captures the running binary's build info via
+// runtime/debug.ReadBuildInfo (module version, VCS stamp when built
+// from a git checkout) plus the runtime facts every ledger needs.
+func CurrentBuild() BuildInfo {
+	b := BuildInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		b.Module = info.Main.Path
+		b.Version = info.Main.Version
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				b.VCSRevision = s.Value
+			case "vcs.time":
+				b.VCSTime = s.Value
+			case "vcs.modified":
+				b.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return b
+}
+
+// ServiceRun records one boedagbench load run against a prediction
+// server: the generator configuration (enough to reproduce the exact
+// request mix — the mix is a pure function of seed, workflows and
+// sizes) and the measured outcome.
+type ServiceRun struct {
+	// Target is the URL driven, or "in-process".
+	Target string `json:"target"`
+	// TargetBuild is the server's GET /version build info, when reachable.
+	TargetBuild *BuildInfo `json:"target_build,omitempty"`
+	// Mode is "closed" (fixed connections, next request on completion)
+	// or "open" (fixed arrival rate).
+	Mode string `json:"mode"`
+	// Seed is the request-mix seed: same seed, workflows and sizes →
+	// byte-identical request sequence.
+	Seed int64 `json:"seed"`
+	// Workflows and SizesGB are the seeded mix dimensions.
+	Workflows []string  `json:"workflows"`
+	SizesGB   []float64 `json:"sizes_gb"`
+	// Connections is the closed-loop concurrency; RatePerSec the
+	// open-loop target arrival rate (0 when closed).
+	Connections int     `json:"connections"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	// WarmupS requests are discarded before the DurationS measured window.
+	WarmupS   float64 `json:"warmup_s"`
+	DurationS float64 `json:"duration_s"`
+
+	// Requests/Errors count the measured window; ThroughputRPS is
+	// Requests over the actual elapsed window.
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency summarizes the measured request latencies with exact
+	// nearest-rank percentiles (obs.Percentile over the raw samples).
+	Latency LatencySummary `json:"latency"`
+	// StatusCounts tallies responses by HTTP status code.
+	StatusCounts map[string]int64 `json:"status_counts,omitempty"`
+	// MixCounts tallies measured requests by workflow name.
+	MixCounts map[string]int64 `json:"mix_counts,omitempty"`
+}
+
+// LatencySummary is an exact latency distribution summary in seconds.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	MeanS float64 `json:"mean_s"`
+	P50S  float64 `json:"p50_s"`
+	P90S  float64 `json:"p90_s"`
+	P99S  float64 `json:"p99_s"`
+	MaxS  float64 `json:"max_s"`
+}
+
+// Benchmark is one `go test -bench` result row, GOMAXPROCS suffix
+// stripped from the name so ledgers compare across machines.
+type Benchmark struct {
+	Name string `json:"name"`
+	// Iterations is the b.N the reported per-op numbers were averaged over.
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (accuracy-%, improvement-x).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Write marshals the ledger to path as indented, deterministic JSON.
+func Write(path string, l Ledger) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("perfledger: %w", err)
+	}
+	if err := WriteTo(f, l); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("perfledger: %w", err)
+	}
+	return nil
+}
+
+// WriteTo marshals the ledger to w.
+func WriteTo(w io.Writer, l Ledger) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l); err != nil {
+		return fmt.Errorf("perfledger: encode: %w", err)
+	}
+	return nil
+}
+
+// Read parses and validates a ledger file. Unknown fields are rejected —
+// a typo'd field in a committed baseline must fail loudly, not silently
+// weaken the gate.
+func Read(path string) (Ledger, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Ledger{}, fmt.Errorf("perfledger: %w", err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+// ReadFrom parses and validates a ledger from r.
+func ReadFrom(r io.Reader) (Ledger, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var l Ledger
+	if err := dec.Decode(&l); err != nil {
+		return Ledger{}, fmt.Errorf("perfledger: parse: %w", err)
+	}
+	if err := Validate(l); err != nil {
+		return Ledger{}, err
+	}
+	return l, nil
+}
+
+// Validate checks a ledger's internal consistency: schema version,
+// required identification, and measured numbers that make sense
+// (ordered percentiles, non-negative counts, positive per-op times).
+func Validate(l Ledger) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("perfledger: invalid ledger: "+format, args...)
+	}
+	if l.Schema != SchemaVersion {
+		return bad("schema %d, want %d", l.Schema, SchemaVersion)
+	}
+	if l.Source == "" {
+		return bad("missing source")
+	}
+	if l.Build.GoVersion == "" {
+		return bad("missing build.go_version")
+	}
+	if l.Build.GOMAXPROCS < 1 {
+		return bad("build.gomaxprocs = %d", l.Build.GOMAXPROCS)
+	}
+	if l.Service == nil && len(l.Benchmarks) == 0 {
+		return bad("neither service results nor benchmarks recorded")
+	}
+	if s := l.Service; s != nil {
+		switch {
+		case s.Mode != "closed" && s.Mode != "open":
+			return bad("service.mode %q (closed | open)", s.Mode)
+		case s.DurationS <= 0:
+			return bad("service.duration_s = %v", s.DurationS)
+		case s.Requests < 0 || s.Errors < 0 || s.Errors > s.Requests:
+			return bad("service requests/errors = %d/%d", s.Requests, s.Errors)
+		case s.Requests > 0 && s.ThroughputRPS <= 0:
+			return bad("service.throughput_rps = %v with %d requests", s.ThroughputRPS, s.Requests)
+		case len(s.Workflows) == 0:
+			return bad("service.workflows empty")
+		}
+		lat := s.Latency
+		if lat.Count < 0 || lat.Count > s.Requests {
+			return bad("latency.count = %d of %d requests", lat.Count, s.Requests)
+		}
+		if lat.Count > 0 {
+			if !(lat.P50S <= lat.P90S && lat.P90S <= lat.P99S && lat.P99S <= lat.MaxS) {
+				return bad("latency percentiles out of order: p50=%v p90=%v p99=%v max=%v",
+					lat.P50S, lat.P90S, lat.P99S, lat.MaxS)
+			}
+			if lat.P50S <= 0 {
+				return bad("latency.p50_s = %v", lat.P50S)
+			}
+		}
+	}
+	seen := make(map[string]bool, len(l.Benchmarks))
+	for _, b := range l.Benchmarks {
+		if b.Name == "" {
+			return bad("unnamed benchmark")
+		}
+		if seen[b.Name] {
+			return bad("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Iterations < 1 {
+			return bad("benchmark %s: iterations = %d", b.Name, b.Iterations)
+		}
+		if b.NsPerOp < 0 || b.AllocsPerOp < 0 || b.BytesPerOp < 0 {
+			return bad("benchmark %s: negative per-op numbers", b.Name)
+		}
+	}
+	return nil
+}
+
+// Delta is one compared quantity between two ledgers. Ratio is new/old;
+// for all compared quantities except throughput, greater is worse.
+type Delta struct {
+	// Name locates the quantity: "service.latency.p50_s",
+	// "bench.BenchmarkEstimatorAllocs.ns_per_op", …
+	Name string
+	Old  float64
+	New  float64
+	// Ratio is New/Old (0 when Old is 0).
+	Ratio float64
+	// Regressed marks deltas outside the tolerance band in the bad
+	// direction.
+	Regressed bool
+	// Missing marks quantities present in the base but absent from the
+	// fresh ledger — a gate cannot pass on vanished coverage.
+	Missing bool
+}
+
+// Compare diffs fresh against base with a relative tolerance band:
+// higher-is-worse quantities (latency percentiles, ns/op, allocs/op)
+// regress when new > old·(1+tol), throughput regresses when
+// new < old/(1+tol). Quantities only one side recorded are skipped,
+// except base benchmarks missing from fresh, which are reported as
+// Missing (and count as regressions — the trajectory lost a data
+// point). Deltas come back in a stable order, regressions included and
+// flagged, so gates can print the full picture.
+func Compare(base, fresh Ledger, tol float64) []Delta {
+	if tol < 0 {
+		tol = 0
+	}
+	var deltas []Delta
+	worse := func(name string, old, new float64) {
+		if old <= 0 {
+			return
+		}
+		d := Delta{Name: name, Old: old, New: new, Ratio: new / old}
+		d.Regressed = new > old*(1+tol)
+		deltas = append(deltas, d)
+	}
+
+	if base.Service != nil && fresh.Service != nil {
+		ob, nb := base.Service, fresh.Service
+		if ob.ThroughputRPS > 0 {
+			d := Delta{Name: "service.throughput_rps",
+				Old: ob.ThroughputRPS, New: nb.ThroughputRPS,
+				Ratio: nb.ThroughputRPS / ob.ThroughputRPS}
+			// Symmetric with the latency band in slowdown terms: a 1+tol ×
+			// slowdown fails whether it shows up as latency or throughput.
+			d.Regressed = nb.ThroughputRPS <= 0 ||
+				nb.ThroughputRPS < ob.ThroughputRPS/(1+tol)
+			deltas = append(deltas, d)
+		}
+		worse("service.latency.p50_s", ob.Latency.P50S, nb.Latency.P50S)
+		worse("service.latency.p90_s", ob.Latency.P90S, nb.Latency.P90S)
+		worse("service.latency.p99_s", ob.Latency.P99S, nb.Latency.P99S)
+	}
+
+	freshBench := make(map[string]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBench[b.Name] = b
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	byName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		names = append(names, b.Name)
+		byName[b.Name] = b
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ob := byName[name]
+		nb, ok := freshBench[name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: "bench." + name,
+				Old: ob.NsPerOp, Regressed: true, Missing: true})
+			continue
+		}
+		worse("bench."+name+".ns_per_op", ob.NsPerOp, nb.NsPerOp)
+		worse("bench."+name+".allocs_per_op", ob.AllocsPerOp, nb.AllocsPerOp)
+	}
+	return deltas
+}
+
+// Regressions filters a Compare result down to the failing deltas.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package perfledger
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validLedger is a fully populated, internally consistent ledger.
+func validLedger() Ledger {
+	return Ledger{
+		Schema:    SchemaVersion,
+		Label:     "test",
+		CreatedAt: "2026-08-08T00:00:00Z",
+		Source:    "boedagbench+go-bench",
+		Build:     CurrentBuild(),
+		Service: &ServiceRun{
+			Target:      "in-process",
+			Mode:        "closed",
+			Seed:        1,
+			Workflows:   []string{"wc", "ts"},
+			SizesGB:     []float64{1, 2},
+			Connections: 4,
+			WarmupS:     0.5,
+			DurationS:   2,
+			Requests:    1000, Errors: 3,
+			ThroughputRPS: 500,
+			Latency: LatencySummary{
+				Count: 1000, MeanS: 0.004,
+				P50S: 0.003, P90S: 0.006, P99S: 0.012, MaxS: 0.05,
+			},
+			StatusCounts: map[string]int64{"200": 997, "503": 3},
+			MixCounts:    map[string]int64{"wc": 500, "ts": 500},
+		},
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkEstimatorAllocs", Iterations: 100,
+				NsPerOp: 1.2e7, AllocsPerOp: 1045, BytesPerOp: 9e5},
+			{Name: "BenchmarkFigure4BOEExample", Iterations: 100000,
+				NsPerOp: 900, AllocsPerOp: 0},
+		},
+	}
+}
+
+func TestCurrentBuild(t *testing.T) {
+	b := CurrentBuild()
+	if b.GoVersion == "" || b.GOOS == "" || b.GOARCH == "" {
+		t.Errorf("incomplete build info: %+v", b)
+	}
+	if b.GOMAXPROCS < 1 || b.NumCPU < 1 {
+		t.Errorf("procs = %d/%d, want ≥ 1", b.GOMAXPROCS, b.NumCPU)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := validLedger()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != want.Label || got.Source != want.Source {
+		t.Errorf("label/source round-trip: %q/%q", got.Label, got.Source)
+	}
+	if got.Service == nil || got.Service.Requests != 1000 ||
+		got.Service.Latency.P99S != 0.012 {
+		t.Errorf("service round-trip: %+v", got.Service)
+	}
+	if len(got.Benchmarks) != 2 || got.Benchmarks[0].AllocsPerOp != 1045 {
+		t.Errorf("benchmarks round-trip: %+v", got.Benchmarks)
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader(`{"schema":1,"sourze":"x"}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := map[string]func(*Ledger){
+		"wrong schema":       func(l *Ledger) { l.Schema = 99 },
+		"missing source":     func(l *Ledger) { l.Source = "" },
+		"missing go version": func(l *Ledger) { l.Build.GoVersion = "" },
+		"empty ledger":       func(l *Ledger) { l.Service = nil; l.Benchmarks = nil },
+		"bad mode":           func(l *Ledger) { l.Service.Mode = "sideways" },
+		"zero duration":      func(l *Ledger) { l.Service.DurationS = 0 },
+		"errors > requests":  func(l *Ledger) { l.Service.Errors = l.Service.Requests + 1 },
+		"unordered percentiles": func(l *Ledger) {
+			l.Service.Latency.P50S = l.Service.Latency.P99S * 2
+		},
+		"no workflows":        func(l *Ledger) { l.Service.Workflows = nil },
+		"unnamed benchmark":   func(l *Ledger) { l.Benchmarks[0].Name = "" },
+		"duplicate benchmark": func(l *Ledger) { l.Benchmarks[1].Name = l.Benchmarks[0].Name },
+		"zero iterations":     func(l *Ledger) { l.Benchmarks[0].Iterations = 0 },
+	}
+	for name, mutate := range cases {
+		l := validLedger()
+		mutate(&l)
+		if err := Validate(l); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+	if err := Validate(validLedger()); err != nil {
+		t.Errorf("valid ledger rejected: %v", err)
+	}
+}
+
+// TestCompareFlagsDoubledLatency is the acceptance property of the
+// regression gate: a synthetic 2× latency regression must be flagged at
+// any reasonable tolerance.
+func TestCompareFlagsDoubledLatency(t *testing.T) {
+	base := validLedger()
+	fresh := validLedger()
+	fresh.Service.Latency.P50S *= 2
+	fresh.Service.Latency.P90S *= 2
+	fresh.Service.Latency.P99S *= 2
+	fresh.Service.ThroughputRPS /= 2
+	fresh.Benchmarks[0].NsPerOp *= 2
+
+	deltas := Compare(base, fresh, 0.75)
+	regs := Regressions(deltas)
+	wantRegressed := map[string]bool{
+		"service.throughput_rps":                   true,
+		"service.latency.p50_s":                    true,
+		"service.latency.p90_s":                    true,
+		"service.latency.p99_s":                    true,
+		"bench.BenchmarkEstimatorAllocs.ns_per_op": true,
+	}
+	got := make(map[string]bool, len(regs))
+	for _, d := range regs {
+		got[d.Name] = true
+	}
+	for name := range wantRegressed {
+		if !got[name] {
+			t.Errorf("2× regression on %s not flagged", name)
+		}
+	}
+	// Unchanged quantities must not be flagged.
+	for _, d := range deltas {
+		if d.Regressed && !wantRegressed[d.Name] {
+			t.Errorf("unchanged quantity %s flagged as regression (ratio %.2f)", d.Name, d.Ratio)
+		}
+	}
+}
+
+func TestCompareWithinToleranceIsClean(t *testing.T) {
+	base := validLedger()
+	fresh := validLedger()
+	fresh.Service.Latency.P99S *= 1.2 // inside a 30% band
+	fresh.Benchmarks[0].NsPerOp *= 0.9
+	if regs := Regressions(Compare(base, fresh, 0.3)); len(regs) != 0 {
+		t.Errorf("in-band drift flagged: %+v", regs)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := validLedger()
+	fresh := validLedger()
+	fresh.Benchmarks = fresh.Benchmarks[:1]
+	regs := Regressions(Compare(base, fresh, 0.5))
+	found := false
+	for _, d := range regs {
+		if d.Missing && d.Name == "bench.BenchmarkFigure4BOEExample" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vanished benchmark not reported as regression: %+v", regs)
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: boedag
+cpu: whatever
+BenchmarkEstimatorAllocs-8   	     100	  11181844 ns/op	  345678 B/op	    1045 allocs/op
+BenchmarkFigure6Sweep-8      	       1	1234567890 ns/op	      85.0 BOE-accuracy-%
+BenchmarkEstimatorAllocs-8   	     300	  11000000 ns/op	  345678 B/op	    1045 allocs/op
+PASS
+ok  	boedag	2.492s
+`
+	benches, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(benches), benches)
+	}
+	ea := benches[0]
+	if ea.Name != "BenchmarkEstimatorAllocs" {
+		t.Errorf("name = %q (suffix not stripped?)", ea.Name)
+	}
+	if ea.Iterations != 400 {
+		t.Errorf("iterations = %d, want 400 (two runs merged)", ea.Iterations)
+	}
+	// Weighted mean of 11181844 (×100) and 11000000 (×300).
+	wantNs := (11181844.0*100 + 11000000.0*300) / 400
+	if ea.NsPerOp != wantNs {
+		t.Errorf("ns/op = %v, want weighted mean %v", ea.NsPerOp, wantNs)
+	}
+	if ea.AllocsPerOp != 1045 || ea.BytesPerOp != 345678 {
+		t.Errorf("allocs/bytes = %v/%v", ea.AllocsPerOp, ea.BytesPerOp)
+	}
+	if got := benches[1].Metrics["BOE-accuracy-%"]; got != 85.0 {
+		t.Errorf("custom metric = %v, want 85", got)
+	}
+}
+
+func TestParseGoBenchErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":          "PASS\nok boedag 1s\n",
+		"bad iterations": "BenchmarkX-8 zero 5 ns/op\n",
+		"odd pairing":    "BenchmarkX-8 10 5 ns/op 3\n",
+		"bad value":      "BenchmarkX-8 10 five ns/op\n",
+	} {
+		if _, err := ParseGoBench(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}

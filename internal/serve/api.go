@@ -10,6 +10,7 @@ import (
 
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
+	"boedag/internal/perfledger"
 	"boedag/internal/statemodel"
 )
 
@@ -142,6 +143,14 @@ type BatchResponse struct {
 // WorkflowsResponse is the 200 body of GET /v1/workflows.
 type WorkflowsResponse struct {
 	Workflows []string `json:"workflows"`
+}
+
+// VersionResponse is the 200 body of GET /version: the running daemon's
+// build identity in the perfledger interchange shape, so boedagbench can
+// copy it verbatim into a ledger's service.target_build.
+type VersionResponse struct {
+	Build   perfledger.BuildInfo `json:"build"`
+	UptimeS float64              `json:"uptime_s"`
 }
 
 // DecodeEstimateRequest strictly parses one estimate request: unknown

@@ -11,6 +11,7 @@ import (
 	"boedag/internal/dag"
 	"boedag/internal/evalpool"
 	"boedag/internal/experiments"
+	"boedag/internal/perfledger"
 	"boedag/internal/statemodel"
 	"boedag/internal/units"
 	"time"
@@ -18,7 +19,9 @@ import (
 
 // handleEstimate serves POST /v1/estimate.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	req, apiErr := DecodeEstimateRequest(r.Body)
+	s.phase(r.Context(), "decode", t0, s.phaseDecode)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
@@ -38,7 +41,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // and results come back in input order — the response bytes are
 // identical at any worker count.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	req, apiErr := DecodeBatchRequest(r.Body, s.cfg.MaxBatch)
+	s.phase(r.Context(), "decode", t0, s.phaseDecode)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
@@ -85,21 +90,37 @@ func (s *Server) estimate(ctx context.Context, req *EstimateRequest) ([]byte, *A
 	if apiErr != nil {
 		return nil, apiErr
 	}
+	ran := false
 	compute := func() ([]byte, error) {
 		if s.testHookEstimate != nil {
 			s.testHookEstimate()
 		}
+		ran = true
 		s.computed.Inc()
+		te := time.Now()
 		plan, err := est.Estimate(flow)
+		s.phase(ctx, "estimate", te, s.phaseEstimate)
 		if err != nil {
 			return nil, err
 		}
-		return encodeEstimateResponse(plan)
+		tn := time.Now()
+		body, err := encodeEstimateResponse(plan)
+		s.phase(ctx, "encode", tn, s.phaseEncode)
+		return body, err
 	}
 	var body []byte
 	var err error
 	if key, ok := evalpool.PlanKey(est, flow); ok {
+		t0 := time.Now()
 		body, err = s.cache.DoContext(ctx, key, compute)
+		// Reading ran is race-free only on the err == nil path: our own
+		// compute either completed before DoContext returned (leader) or
+		// never started (coalesced onto another request's run / cache hit).
+		// On error the computation may still be running in the background.
+		if err == nil && !ran {
+			s.coalesced.Inc()
+			s.phase(ctx, "coalesce-wait", t0, s.coalescedWait)
+		}
 	} else {
 		body, err = compute()
 	}
@@ -173,6 +194,22 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	cluster.WriteSpec(w, s.cfg.Spec)
+}
+
+// handleVersion serves GET /version: the daemon's build identity (Go
+// toolchain, module version, VCS stamp, GOMAXPROCS) plus uptime, so a
+// load harness can tag its ledger with the exact server it measured.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	body, err := marshalBody(VersionResponse{
+		Build:   perfledger.CurrentBuild(),
+		UptimeS: time.Since(s.start).Seconds(),
+	})
+	if err != nil {
+		writeError(w, &APIError{Status: http.StatusInternalServerError,
+			Code: CodeInternal, Message: err.Error()})
+		return
+	}
+	writeJSON(w, body)
 }
 
 // handleHealthz serves GET /healthz: alive as long as it answers.

@@ -30,9 +30,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"boedag/internal/cluster"
@@ -66,6 +68,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the Retry-After hint on 503 responses (default 1s).
 	RetryAfter time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's own handler (boedagd -debug-pprof) for live CPU, heap and
+	// goroutine profiles of the serving process. Off by default: the
+	// profile endpoints bypass admission control.
+	EnablePprof bool
 	// Observe wires the observability layer: Tracer receives one
 	// EvRequest event per served request (point a TraceStream here for
 	// structured request logging); Metrics receives the server's
@@ -129,10 +136,18 @@ type Server struct {
 	draining bool
 	drained  chan struct{}
 
-	// Instruments, resolved once.
-	requests, errors, rejected, queued, panics, computed *obs.Counter
-	reqDur, queueWait                                    *obs.Histogram
-	inflightG, queueG                                    *obs.Gauge
+	// Instruments, resolved once. routeDur holds one latency histogram
+	// per endpoint (request_duration_s{route=…}); it is written only
+	// during New's route registration and read-only thereafter.
+	requests, errors, rejected, queued, panics, computed, coalesced *obs.Counter
+	reqDur, queueWait                                               *obs.Histogram
+	phaseDecode, phaseEstimate, phaseEncode, coalescedWait          *obs.Histogram
+	inflightG, queueG                                               *obs.Gauge
+	routeDur                                                        map[string]*obs.Histogram
+
+	// reqSeq numbers served requests; the ordinal ties a request's
+	// EvRequest span to its EvRequestPhase children in exported traces.
+	reqSeq atomic.Int64
 
 	// testHookEstimate, when set, runs inside every estimator execution —
 	// the test seam that makes computations observably slow or faulty
@@ -155,25 +170,39 @@ func New(cfg Config) (*Server, error) {
 		slots: make(chan struct{}, cfg.MaxConcurrent),
 		queue: make(chan struct{}, cfg.QueueDepth),
 
-		requests:  reg.Counter("http_requests"),
-		errors:    reg.Counter("http_errors"),
-		rejected:  reg.Counter("http_rejected"),
-		queued:    reg.Counter("http_queued"),
-		panics:    reg.Counter("http_panics"),
-		computed:  reg.Counter("estimates_computed"),
-		reqDur:    reg.Histogram("request_duration_s"),
-		queueWait: reg.Histogram("queue_wait_s"),
-		inflightG: reg.Gauge("requests_inflight"),
-		queueG:    reg.Gauge("requests_queued"),
+		requests:      reg.Counter("http_requests"),
+		errors:        reg.Counter("http_errors"),
+		rejected:      reg.Counter("http_rejected"),
+		queued:        reg.Counter("http_queued"),
+		panics:        reg.Counter("http_panics"),
+		computed:      reg.Counter("estimates_computed"),
+		coalesced:     reg.Counter("estimates_coalesced"),
+		reqDur:        reg.Histogram("request_duration_s"),
+		queueWait:     reg.Histogram("queue_wait_s"),
+		phaseDecode:   reg.Histogram("phase_decode_s"),
+		phaseEstimate: reg.Histogram("phase_estimate_s"),
+		phaseEncode:   reg.Histogram("phase_encode_s"),
+		coalescedWait: reg.Histogram("coalesced_wait_s"),
+		inflightG:     reg.Gauge("requests_inflight"),
+		queueG:        reg.Gauge("requests_queued"),
+		routeDur:      make(map[string]*obs.Histogram),
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST", "/v1/estimate", true, s.handleEstimate)
 	s.route("POST", "/v1/batch", true, s.handleBatch)
 	s.route("GET", "/v1/workflows", false, s.handleWorkflows)
 	s.route("GET", "/v1/cluster", false, s.handleCluster)
+	s.route("GET", "/version", false, s.handleVersion)
 	s.route("GET", "/healthz", false, s.handleHealthz)
 	s.route("GET", "/readyz", false, s.handleReadyz)
 	s.route("GET", "/metrics", false, s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -192,11 +221,12 @@ func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 // and metrics, then — for the heavy /v1 endpoints — admission control,
 // body limiting, and the per-request timeout.
 func (s *Server) route(method, path string, admitted bool, h http.HandlerFunc) {
+	s.routeDur[path] = s.reg.Histogram("request_duration_s{route=" + path + "}")
 	wrapped := h
 	if admitted {
 		wrapped = s.withTimeout(s.withAdmission(wrapped))
 	}
-	wrapped = s.withObserved(s.withRecovery(wrapped))
+	wrapped = s.withObserved(path, s.withRecovery(wrapped))
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			w.Header().Set("Allow", method)
@@ -231,11 +261,46 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// reqIDKey carries the server-assigned request ordinal through a
+// request's context so phase spans can name their parent.
+type reqIDKey struct{}
+
+// requestID returns the ordinal withObserved assigned, or 0 outside a
+// served request (tests driving handlers directly).
+func requestID(ctx context.Context) int {
+	id, _ := ctx.Value(reqIDKey{}).(int)
+	return id
+}
+
+// phase records one request phase — decode, coalesce-wait, estimate,
+// encode — as a histogram observation and, when a tracer listens, an
+// EvRequestPhase span nested under the request's EvRequest span via the
+// shared request ordinal.
+func (s *Server) phase(ctx context.Context, name string, t0 time.Time, h *obs.Histogram) {
+	d := time.Since(t0)
+	h.Observe(d.Seconds())
+	if s.cfg.Observe.TracerOn() {
+		s.cfg.Observe.Tracer.Emit(obs.Event{
+			Type:   obs.EvRequestPhase,
+			Time:   t0.Sub(s.start).Seconds(),
+			Dur:    d.Seconds(),
+			Detail: name,
+			Seq:    requestID(ctx),
+			Task:   -1,
+		})
+	}
+}
+
 // withObserved counts, times, and (when a tracer listens) logs every
-// request as one EvRequest event.
-func (s *Server) withObserved(next http.HandlerFunc) http.HandlerFunc {
+// request as one EvRequest event. It also assigns the request its
+// ordinal and resolves the per-endpoint latency histogram
+// (request_duration_s{route=…}) alongside the aggregate one.
+func (s *Server) withObserved(path string, next http.HandlerFunc) http.HandlerFunc {
+	routeDur := s.routeDur[path]
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+		id := int(s.reqSeq.Add(1))
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 		t0 := time.Now()
 		next(sw, r)
 		dur := time.Since(t0)
@@ -244,12 +309,14 @@ func (s *Server) withObserved(next http.HandlerFunc) http.HandlerFunc {
 			s.errors.Inc()
 		}
 		s.reqDur.Observe(dur.Seconds())
+		routeDur.Observe(dur.Seconds())
 		if s.cfg.Observe.TracerOn() {
 			s.cfg.Observe.Tracer.Emit(obs.Event{
 				Type:   obs.EvRequest,
 				Time:   t0.Sub(s.start).Seconds(),
 				Dur:    dur.Seconds(),
 				Detail: r.Method + " " + r.URL.Path,
+				Seq:    id,
 				Task:   -1,
 				Value:  float64(sw.status),
 			})

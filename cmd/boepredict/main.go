@@ -9,9 +9,11 @@
 //	boepredict -workflow wc+q5 -profiles p.json # predict from saved profiles
 //	boepredict -workflow wc -save-profiles p.json  # profile a run for later
 //	boepredict -workflow wc+ts -trace-out t.json   # estimator + sim Chrome trace
+//	boepredict -workflow wc+ts -explain            # critical path + θ-sensitivity
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 	"boedag/internal/cliobs"
 	"boedag/internal/dag"
 	"boedag/internal/experiments"
+	"boedag/internal/explain"
 	"boedag/internal/metrics"
 	"boedag/internal/profile"
 	"boedag/internal/progress"
@@ -44,6 +47,7 @@ func main() {
 	)
 	var ob cliobs.Flags
 	ob.RegisterLive(nil)
+	ob.RegisterExplain(nil)
 	flag.Parse()
 
 	observe, err := ob.Options()
@@ -112,6 +116,19 @@ func main() {
 	cost := time.Since(start)
 	trace.Plan(os.Stdout, plan)
 	fmt.Printf("estimation cost: %s\n", cost)
+
+	// -explain reuses the plan just printed — no second base estimate —
+	// and adds the critical path, attribution, and θ-sensitivity table
+	// (empty when predicting from profiles: no θ to perturb).
+	if ob.ExplainRequested() {
+		expl, err := explain.ExplainPlan(context.Background(), est, flow, plan, explain.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := ob.WriteExplanation(expl); err != nil {
+			fatal(err)
+		}
+	}
 
 	if !*validate && *profOut == "" {
 		if err := ob.Finish(); err != nil {

@@ -13,6 +13,7 @@
 //	dagsim -workflow wc+q5 -trace-out t.json  # Chrome trace for chrome://tracing
 //	dagsim -workflow wc+ts -live-progress     # online remaining-time estimates
 //	dagsim -workflow q21 -otlp-out o.json     # OTLP/JSON spans + metrics
+//	dagsim -workflow wc+ts -explain           # explain the model's prediction
 //	dagsim -list                        # show every known workflow name
 package main
 
@@ -31,6 +32,7 @@ import (
 	"boedag/internal/dag"
 	"boedag/internal/evalpool"
 	"boedag/internal/experiments"
+	"boedag/internal/explain"
 	"boedag/internal/progress"
 	"boedag/internal/simulator"
 	"boedag/internal/statemodel"
@@ -56,6 +58,7 @@ func main() {
 	)
 	var ob cliobs.Flags
 	ob.RegisterLive(nil)
+	ob.RegisterExplain(nil)
 	flag.Parse()
 
 	if *list {
@@ -97,6 +100,10 @@ func main() {
 		}
 		if ob.Stream() != nil {
 			fmt.Fprintln(os.Stderr, "dagsim: -live-progress supports a single workflow")
+			os.Exit(1)
+		}
+		if ob.ExplainRequested() {
+			fmt.Fprintln(os.Stderr, "dagsim: -explain supports a single workflow")
 			os.Exit(1)
 		}
 		if err := runMulti(names, cfg, opt, *workers, *tasks, &ob); err != nil {
@@ -180,6 +187,24 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("wrote %s\n", e.path)
+	}
+	// -explain runs the paper's estimator for the measured scenario and
+	// explains its prediction: critical path, per-resource bottleneck
+	// attribution, and θ-sensitivity, next to the simulated ground truth.
+	if ob.ExplainRequested() {
+		est := statemodel.New(cfg.Spec,
+			&statemodel.BOETimer{Model: boe.New(cfg.Spec), TaskStartOverhead: cfg.TaskStartOverhead},
+			statemodel.Options{JobSubmitOverhead: cfg.JobSubmitOverhead})
+		expl, err := explain.Explain(context.Background(), est, flow,
+			explain.Options{Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagsim:", err)
+			os.Exit(1)
+		}
+		if err := ob.WriteExplanation(expl); err != nil {
+			fmt.Fprintln(os.Stderr, "dagsim:", err)
+			os.Exit(1)
+		}
 	}
 	if err := ob.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "dagsim:", err)

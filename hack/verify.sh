@@ -5,8 +5,9 @@
 #   parser fuzz smoke, the boedagbench ledger smoke, the perf regression
 #   gate (hack/bench_baseline.json, with an injected-slowdown
 #   self-check), the instrumentation-overhead guard (disabled-path
-#   observability must stay within 5% of an uninstrumented run), and the
-#   OTLP export shape check.
+#   observability must stay within 5% of an uninstrumented run), the
+#   OTLP export shape check, and the explainability smoke (explain suite
+#   under -race, /v1/explain conformance, Prometheus exposition golden).
 #
 # Usage: hack/verify.sh [-quick]
 #   -quick skips the full race detector run, the regression gate, and
@@ -86,6 +87,18 @@ fuzz_smoke() {
     echo "== serve request decoder fuzz smoke =="
     go test ./internal/serve -run '^$' \
         -fuzz '^FuzzDecodeEstimateRequest$' -fuzztime "${FUZZTIME:-5s}"
+}
+
+# explain_smoke pins the explainability surface: the internal/explain
+# suite under -race (critical-path exactness, worker-count determinism,
+# annotation projection), the /v1/explain conformance goldens, and the
+# Prometheus exposition golden.
+explain_smoke() {
+    echo "== explain race check =="
+    go test -race -count=1 ./internal/explain
+    echo "== explain + prometheus golden check =="
+    go test -count=1 -run 'TestConformance|TestExplainMatchesLibrary' ./internal/serve
+    go test -count=1 -run 'TestWritePrometheus' ./internal/obs
 }
 
 # bench_smoke compiles and runs the parallel-sweep benchmark once per
@@ -169,6 +182,7 @@ if [[ $quick -eq 1 ]]; then
     # quick mode.
     echo "== serve race check =="
     go test -race -count=1 ./internal/serve
+    explain_smoke
     fuzz_smoke
     bench_smoke
     ledger_smoke
@@ -181,6 +195,7 @@ echo "== go test -race (with coverage) =="
 go test -race -cover ./... | tee "$cover_out"
 coverage_gate "$cover_out"
 
+explain_smoke
 fuzz_smoke
 bench_smoke
 ledger_smoke

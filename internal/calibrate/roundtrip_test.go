@@ -143,6 +143,60 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAnnotatedProbeTraceStillCalibrates is the arg-merge regression
+// gate: exporting a probe session through the annotated Chrome writer —
+// with hostile annotations colliding with the run metadata and stage
+// args the calibration parser depends on — must leave the recorded args
+// intact, so offline calibration from the annotated trace recovers the
+// same θ_X as from the plain one.
+func TestAnnotatedProbeTraceStillCalibrates(t *testing.T) {
+	spec := cluster.PaperCluster()
+	rec := obs.NewRecorder()
+	run := SimulatorRunner(spec, obs.Options{Tracer: rec})
+	for _, pr := range ProbeSuite(spec.TotalSlots()) {
+		if _, err := run(pr.Profile, pr.Slots); err != nil {
+			t.Fatalf("probe %s: %v", pr.Profile.Name, err)
+		}
+	}
+	ann := &obs.TraceAnnotations{
+		Stage: map[string]map[string]any{
+			"cal-read/read": {"critical": true, "bottleneck": "EVIL"},
+		},
+		Run: map[string]any{
+			"workflow": "EVIL", "nodes": -1, "slots": -1, "skew": true,
+			"bottleneck": "network",
+		},
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTraceAnnotated(&buf, rec.Events(), ann); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := ParseChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Nodes != spec.Nodes || sess.Slots != spec.TotalSlots() || sess.Skewed {
+		t.Fatalf("annotations clobbered run metadata: nodes=%d slots=%d skewed=%v",
+			sess.Nodes, sess.Slots, sess.Skewed)
+	}
+	cal, err := FromSession(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(name string, got, want units.Rate) {
+		t.Helper()
+		g, w := float64(got), float64(want)
+		if math.Abs(g-w)/w > 0.01 {
+			t.Errorf("%s = %v, want %v (±1%%)", name, got, want)
+		}
+	}
+	within("core throughput", cal.CoreThroughput, spec.Node.CoreThroughput)
+	within("disk read pool", cal.DiskReadPool, spec.TotalCapacity(cluster.DiskRead))
+	within("disk write pool", cal.DiskWritePool, spec.TotalCapacity(cluster.DiskWrite))
+	within("network pool", cal.NetworkPool, spec.TotalCapacity(cluster.Network))
+}
+
 // TestMergeMultiProbeSessions covers the multi-file path: two recordings
 // of the same cluster merge into one session with doubled samples and an
 // unchanged estimate.

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"boedag/internal/explain"
 	"boedag/internal/obs"
 )
 
@@ -25,14 +26,17 @@ type Flags struct {
 	OTLPOut      string // OTLP/JSON export output path (traces + metrics)
 	OTLPEndpoint string // OTLP/HTTP collector base URL to POST to
 	LiveProgress bool   // stream events to an online progress estimator
+	Explain      bool   // print the estimate explanation after the run
+	ExplainOut   string // write the explanation JSON to this file
 	PprofAddr    string // serve net/http/pprof on this address
 	CPUProfile   string // write a CPU profile here
 	MemProfile   string // write a heap profile here
 
-	recorder *obs.Recorder
-	registry *obs.Registry
-	stream   *obs.Stream
-	cpuFile  *os.File
+	recorder    *obs.Recorder
+	registry    *obs.Registry
+	stream      *obs.Stream
+	cpuFile     *os.File
+	annotations *obs.TraceAnnotations
 }
 
 // Register installs the flags on fs (the default command-line set when
@@ -59,6 +63,49 @@ func (f *Flags) RegisterLive(fs *flag.FlagSet) {
 	}
 	f.Register(fs)
 	fs.BoolVar(&f.LiveProgress, "live-progress", false, "print live remaining-time estimates during the run")
+}
+
+// RegisterExplain additionally installs -explain and -explain-out, for
+// tools whose estimate can be explained (critical path, per-resource
+// bottleneck attribution, θ-sensitivity).
+func (f *Flags) RegisterExplain(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.BoolVar(&f.Explain, "explain", false, "print the explained estimate: critical path, bottleneck attribution, θ-sensitivity")
+	fs.StringVar(&f.ExplainOut, "explain-out", "", "write the explanation as JSON to this file")
+}
+
+// ExplainRequested reports whether any explanation output was asked for,
+// so tools can skip building the explanation entirely otherwise.
+func (f *Flags) ExplainRequested() bool { return f.Explain || f.ExplainOut != "" }
+
+// Annotate attaches derived trace annotations; Finish merges them into
+// the Chrome-trace and OTLP exports (recorded args always win on a key
+// collision). WriteExplanation calls this itself.
+func (f *Flags) Annotate(a *obs.TraceAnnotations) { f.annotations = a }
+
+// WriteExplanation renders the explanation as requested — -explain text
+// to stdout, -explain-out JSON to a file — and registers its trace
+// annotations so Finish's exports carry the critical-path markers. Call
+// it before Finish.
+func (f *Flags) WriteExplanation(e *explain.Explanation) error {
+	if e == nil {
+		return nil
+	}
+	f.Annotate(e.TraceAnnotations())
+	if f.Explain {
+		fmt.Println()
+		if err := e.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if f.ExplainOut != "" {
+		if err := writeFile(f.ExplainOut, e.WriteJSON); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Options starts any requested profiling and returns the obs.Options to
@@ -162,7 +209,7 @@ func (f *Flags) Finish() error {
 	}
 	if f.recorder != nil && f.TraceOut != "" {
 		if err := writeFile(f.TraceOut, func(w io.Writer) error {
-			return obs.WriteChromeTrace(w, f.recorder.Events())
+			return obs.WriteChromeTraceAnnotated(w, f.recorder.Events(), f.annotations)
 		}); err != nil {
 			return err
 		}
@@ -174,13 +221,13 @@ func (f *Flags) Finish() error {
 	}
 	if f.OTLPOut != "" {
 		if err := writeFile(f.OTLPOut, func(w io.Writer) error {
-			return obs.WriteOTLP(w, f.recorder.Events(), f.registry, obs.OTLPOptions{})
+			return obs.WriteOTLP(w, f.recorder.Events(), f.registry, obs.OTLPOptions{Annotations: f.annotations})
 		}); err != nil {
 			return err
 		}
 	}
 	if f.OTLPEndpoint != "" {
-		if err := obs.PostOTLP(f.OTLPEndpoint, f.recorder.Events(), f.registry, obs.OTLPOptions{}); err != nil {
+		if err := obs.PostOTLP(f.OTLPEndpoint, f.recorder.Events(), f.registry, obs.OTLPOptions{Annotations: f.annotations}); err != nil {
 			return err
 		}
 		fmt.Printf("posted OTLP to %s\n", f.OTLPEndpoint)

@@ -1,0 +1,61 @@
+package explain
+
+import "boedag/internal/obs"
+
+// TraceAnnotations renders the explanation as exporter annotations:
+// every stage on the critical path gets args.critical=true with its
+// critical seconds and dominant resource, every state gets its dominant
+// tag and slot share, and the run carries the overall bottleneck plus
+// the best-paying θ parameter. Merge semantics are the exporters'
+// (recorded args always win, see obs.WriteChromeTraceAnnotated and
+// obs.OTLPOptions.Annotations).
+func (e *Explanation) TraceAnnotations() *obs.TraceAnnotations {
+	a := &obs.TraceAnnotations{
+		Stage: make(map[string]map[string]any),
+		State: make(map[int]map[string]any, len(e.States)),
+		Run:   make(map[string]any, 3),
+	}
+	for _, iv := range e.CriticalPath {
+		if iv.Stage == ResourceSubmit {
+			continue
+		}
+		key := iv.Job + "/" + iv.Stage
+		m := a.Stage[key]
+		if m == nil {
+			m = map[string]any{"critical": true, "critical_s": 0.0, "critical_resource": iv.Resource}
+			a.Stage[key] = m
+		}
+		m["critical_s"] = m["critical_s"].(float64) + iv.DurationS
+		// The resource of the stage's longest critical piece wins the tag.
+		if best, ok := m["critical_piece_s"].(float64); !ok || iv.DurationS > best {
+			m["critical_piece_s"] = iv.DurationS
+			m["critical_resource"] = iv.Resource
+		}
+	}
+	for _, m := range a.Stage {
+		delete(m, "critical_piece_s")
+	}
+	for _, st := range e.States {
+		a.State[st.Seq] = map[string]any{
+			"explain_dominant": st.Dominant,
+			"slot_share":       st.SlotShare,
+		}
+	}
+	var top *ResourceShare
+	for i := range e.Resources {
+		if top == nil || e.Resources[i].Dur > top.Dur {
+			top = &e.Resources[i]
+		}
+	}
+	if top != nil {
+		a.Run["bottleneck"] = top.Resource
+		a.Run["bottleneck_fraction"] = top.Fraction
+	}
+	for _, s := range e.Sensitivity {
+		if s.Best {
+			a.Run["best_parameter"] = s.Parameter
+			a.Run["best_delta_s"] = s.DeltaS
+		}
+	}
+	return a
+}

@@ -1,0 +1,90 @@
+package explain
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MarshalJSON-free wire note: Explanation marshals with encoding/json
+// directly — struct field order is fixed and maps use sorted keys, so the
+// output is byte-deterministic for deterministic inputs. WriteJSON is the
+// canonical indented form shared by the CLIs and POST /v1/explain.
+
+// WriteJSON writes the explanation as indented JSON with a trailing
+// newline (the CLI -explain-out / service wire form).
+func (e *Explanation) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText renders the human-readable report: critical path, resource
+// and job attribution, per-state utilization, and the θ-sensitivity
+// table.
+func (e *Explanation) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("explanation: %s  makespan %.1fs\n", e.Workflow, e.MakespanS)
+
+	p("\ncritical path (durations sum to makespan):\n")
+	for _, iv := range e.CriticalPath {
+		what := iv.Job
+		if iv.Stage != ResourceSubmit {
+			what = iv.Job + "/" + iv.Stage
+		} else {
+			what += " (submit)"
+		}
+		p("  %9.1fs → %9.1fs  %8.1fs  %-11s %s\n",
+			iv.StartS, iv.EndS, iv.DurationS, iv.Resource, what)
+	}
+
+	p("\nresource attribution (100%% of makespan):\n")
+	for _, rs := range e.Resources {
+		if rs.Dur == 0 && rs.Seconds == 0 {
+			continue
+		}
+		p("  %-11s %9.1fs  %5.1f%%\n", rs.Resource, rs.Seconds, 100*rs.Fraction)
+	}
+
+	p("\njob attribution (critical path):\n")
+	for _, js := range e.Jobs {
+		p("  %-11s %9.1fs  %5.1f%%\n", js.Job, js.Seconds, 100*js.Fraction)
+	}
+
+	if len(e.States) > 0 {
+		p("\nstates:\n")
+		for _, st := range e.States {
+			p("  #%-3d %9.1fs → %9.1fs  %-11s util %.2f  slots %3.0f%%\n",
+				st.Seq, st.StartS, st.EndS, st.Dominant,
+				maxUtil(st.Utilization), 100*st.SlotShare)
+		}
+	}
+
+	if len(e.Sensitivity) > 0 {
+		p("\nθ-sensitivity (+%.0f%% throughput):\n", 100*e.Sensitivity[0].Epsilon)
+		p("  %-11s %12s %10s %12s\n", "parameter", "makespan", "Δ saved", "∂T/∂θ")
+		for _, s := range e.Sensitivity {
+			mark := ""
+			if s.Best {
+				mark = "  ← best"
+			}
+			p("  %-11s %11.1fs %9.1fs %11.1fs%s\n",
+				s.Parameter, s.PerturbedS, s.DeltaS, s.GradientS, mark)
+		}
+	}
+	return nil
+}
+
+func maxUtil(u map[string]float64) float64 {
+	m := 0.0
+	for _, v := range u {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

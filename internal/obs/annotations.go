@@ -1,0 +1,73 @@
+package obs
+
+import "sort"
+
+// TraceAnnotations attach derived analysis results — critical-path
+// membership, bottleneck attribution, sensitivity winners (package
+// explain) — onto exported traces, without the recorder having to know
+// about them. Annotations compose with the recorded data: they never
+// clobber an arg the event already carries (e.g. a sub-stage's "bytes"
+// map or the run metadata the calibration parser reads back).
+type TraceAnnotations struct {
+	// Stage maps "job/stage" to extra args for that stage's span.
+	Stage map[string]map[string]any
+	// State maps a workflow state's Seq to extra args for its span.
+	State map[int]map[string]any
+	// Run holds extra args for the run-level metadata (the EvRunStart
+	// instant in Chrome traces, resource attributes in OTLP).
+	Run map[string]any
+}
+
+// stageArgs returns the annotations for job/stage, nil when absent.
+func (a *TraceAnnotations) stageArgs(job, stage string) map[string]any {
+	if a == nil {
+		return nil
+	}
+	return a.Stage[job+"/"+stage]
+}
+
+// stateArgs returns the annotations for state seq, nil when absent.
+func (a *TraceAnnotations) stateArgs(seq int) map[string]any {
+	if a == nil {
+		return nil
+	}
+	return a.State[seq]
+}
+
+// runArgs returns the run-level annotations, nil when absent.
+func (a *TraceAnnotations) runArgs() map[string]any {
+	if a == nil {
+		return nil
+	}
+	return a.Run
+}
+
+// mergeArgs overlays extra onto base, recorded data winning: a key
+// already present in base is never replaced. base is returned unchanged
+// when extra is empty; it is extended in place otherwise (allocated
+// first when nil).
+func mergeArgs(base, extra map[string]any) map[string]any {
+	if len(extra) == 0 {
+		return base
+	}
+	if base == nil {
+		base = make(map[string]any, len(extra))
+	}
+	for k, v := range extra {
+		if _, ok := base[k]; !ok {
+			base[k] = v
+		}
+	}
+	return base
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic
+// attribute emission.
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

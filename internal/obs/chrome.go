@@ -68,6 +68,15 @@ const usPerSec = 1e6
 // sub-stage spans appear on per-job tracks, workflow states and
 // scheduler allocation decisions on the workflow track.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	return WriteChromeTraceAnnotated(w, events, nil)
+}
+
+// WriteChromeTraceAnnotated is WriteChromeTrace with derived analysis
+// annotations merged into the matching spans' args. Annotations never
+// replace recorded args: on a key collision the recorded value wins
+// (see mergeArgs), so e.g. a sub-stage's "bytes" map and the run
+// metadata the calibration parser depends on survive annotation.
+func WriteChromeTraceAnnotated(w io.Writer, events []Event, ann *TraceAnnotations) error {
 	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
 
 	// Deterministic pid per job: sorted job names, starting at 1.
@@ -145,20 +154,24 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Args: args,
 			})
 		case EvStageFinish:
+			args := map[string]any{
+				"job": ev.Job, "stage": ev.Stage, "bottleneck": ev.Resource,
+			}
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 				Name: ev.Job + "/" + ev.Stage, Cat: "stage",
 				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
 				PID: jobPID[ev.Job], TID: -1,
+				Args: mergeArgs(args, ann.stageArgs(ev.Job, ev.Stage)),
 			})
 		case EvStateClose:
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 				Name: fmt.Sprintf("state %d", ev.Seq), Cat: "state",
 				Phase: "X", TS: ev.Time * usPerSec, Dur: ev.Dur * usPerSec,
 				PID: workflowPID, TID: statesTID,
-				Args: map[string]any{
+				Args: mergeArgs(map[string]any{
 					"running": ev.Detail, "dominant": ev.Resource,
 					"utilization": ev.Value,
-				},
+				}, ann.stateArgs(ev.Seq)),
 			})
 		case EvAllocGrant:
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
@@ -193,12 +206,12 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Name: "run", Cat: "meta",
 				Phase: "i", TS: ev.Time * usPerSec,
 				PID: workflowPID, TID: runMetaTID, Scope: "g",
-				Args: map[string]any{
+				Args: mergeArgs(map[string]any{
 					"workflow": ev.Job,
 					"nodes":    ev.Seq,
 					"slots":    int(ev.Value),
 					"skew":     ev.Detail == "skew",
-				},
+				}, ann.runArgs()),
 			})
 		case EvPoolJob:
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{

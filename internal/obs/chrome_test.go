@@ -110,6 +110,83 @@ func TestWriteChromeTraceDeterministicPIDs(t *testing.T) {
 	}
 }
 
+// TestWriteChromeTraceAnnotated pins the arg-merge contract: annotations
+// add args to stage, state, and run-metadata spans but never replace a
+// recorded arg — on a key collision the recorded value wins.
+func TestWriteChromeTraceAnnotated(t *testing.T) {
+	events := []Event{
+		{Type: EvRunStart, Job: "wc", Seq: 11, Value: 132, Detail: "", Time: 0},
+		{Type: EvStageFinish, Job: "j1", Stage: "map", Time: 2, Dur: 10, Resource: "cpu"},
+		{Type: EvStateClose, Seq: 1, Time: 0, Dur: 12, Detail: "j1/map",
+			Resource: "cpu", Value: 0.8},
+	}
+	ann := &TraceAnnotations{
+		Stage: map[string]map[string]any{
+			"j1/map": {
+				"critical":   true,
+				"critical_s": 9.5,
+				"bottleneck": "EVIL", // collides with the recorded arg
+			},
+		},
+		State: map[int]map[string]any{
+			1: {"explain_dominant": "slots", "dominant": "EVIL"},
+		},
+		Run: map[string]any{
+			"bottleneck": "network",
+			"workflow":   "EVIL", // collides with recorded run metadata
+			"nodes":      999,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceAnnotated(&buf, events, ann); err != nil {
+		t.Fatal(err)
+	}
+	argsOf := func(cat string) map[string]any {
+		for _, te := range decodeTrace(t, buf.Bytes()) {
+			if te["cat"] == cat {
+				args, _ := te["args"].(map[string]any)
+				return args
+			}
+		}
+		t.Fatalf("no %q event", cat)
+		return nil
+	}
+
+	stage := argsOf("stage")
+	if stage["critical"] != true || stage["critical_s"] != 9.5 {
+		t.Errorf("stage annotations missing: %v", stage)
+	}
+	if stage["bottleneck"] != "cpu" {
+		t.Errorf("recorded bottleneck overwritten: %v", stage["bottleneck"])
+	}
+	state := argsOf("state")
+	if state["explain_dominant"] != "slots" {
+		t.Errorf("state annotation missing: %v", state)
+	}
+	if state["dominant"] != "cpu" {
+		t.Errorf("recorded dominant overwritten: %v", state["dominant"])
+	}
+	run := argsOf("meta")
+	if run["bottleneck"] != "network" {
+		t.Errorf("run annotation missing: %v", run)
+	}
+	if run["workflow"] != "wc" || run["nodes"] != float64(11) {
+		t.Errorf("recorded run metadata overwritten: %v", run)
+	}
+
+	// The nil-annotation path must be byte-identical to WriteChromeTrace.
+	var plain, annNil bytes.Buffer
+	if err := WriteChromeTrace(&plain, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraceAnnotated(&annNil, events, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), annNil.Bytes()) {
+		t.Error("WriteChromeTraceAnnotated(nil) diverges from WriteChromeTrace")
+	}
+}
+
 func TestWriteChromeTraceEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, nil); err != nil {

@@ -32,6 +32,11 @@ type OTLPOptions struct {
 	// Service is the resource's service.name attribute ("boedag" when
 	// empty).
 	Service string
+	// Annotations attach derived analysis args (package explain's
+	// critical-path and bottleneck attribution) to the matching spans:
+	// stage annotations become boedag.<key> span attributes, run
+	// annotations become boedag.<key> resource attributes.
+	Annotations *TraceAnnotations
 }
 
 func (o OTLPOptions) withDefaults(events []Event) OTLPOptions {
@@ -59,11 +64,12 @@ type otlpKeyValue struct {
 	Value otlpByteValue `json:"value"`
 }
 
-// otlpByteValue is proto AnyValue restricted to the three cases used.
+// otlpByteValue is proto AnyValue restricted to the four cases used.
 type otlpByteValue struct {
 	StringValue *string  `json:"stringValue,omitempty"`
 	IntValue    *string  `json:"intValue,omitempty"`
 	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
 }
 
 func strAttr(key, v string) otlpKeyValue {
@@ -77,6 +83,37 @@ func intAttr(key string, v int64) otlpKeyValue {
 
 func floatAttr(key string, v float64) otlpKeyValue {
 	return otlpKeyValue{Key: key, Value: otlpByteValue{DoubleValue: &v}}
+}
+
+func boolAttr(key string, v bool) otlpKeyValue {
+	return otlpKeyValue{Key: key, Value: otlpByteValue{BoolValue: &v}}
+}
+
+// annAttrs renders an annotation arg map as boedag.<key> attributes in
+// sorted key order. Unknown value types fall back to their fmt %v form.
+func annAttrs(m map[string]any) []otlpKeyValue {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]otlpKeyValue, 0, len(m))
+	for _, k := range sortedKeys(m) {
+		key := "boedag." + k
+		switch v := m[k].(type) {
+		case bool:
+			out = append(out, boolAttr(key, v))
+		case int:
+			out = append(out, intAttr(key, int64(v)))
+		case int64:
+			out = append(out, intAttr(key, v))
+		case float64:
+			out = append(out, floatAttr(key, v))
+		case string:
+			out = append(out, strAttr(key, v))
+		default:
+			out = append(out, strAttr(key, fmt.Sprintf("%v", v)))
+		}
+	}
+	return out
 }
 
 type otlpResource struct {
@@ -284,6 +321,8 @@ func buildSpans(events []Event, opt OTLPOptions) []otlpSpan {
 				strAttr("boedag.stage", ev.Stage),
 				strAttr("boedag.bottleneck", ev.Resource),
 			}
+			sp.Attributes = append(sp.Attributes,
+				annAttrs(opt.Annotations.stageArgs(ev.Job, ev.Stage))...)
 		case EvStateClose:
 			sp.SpanID = hexID(8, "state", strconv.Itoa(ev.Seq),
 				strconv.FormatFloat(ev.Time, 'g', -1, 64))
@@ -294,6 +333,8 @@ func buildSpans(events []Event, opt OTLPOptions) []otlpSpan {
 				strAttr("boedag.dominant", ev.Resource),
 				floatAttr("boedag.utilization", ev.Value),
 			}
+			sp.Attributes = append(sp.Attributes,
+				annAttrs(opt.Annotations.stateArgs(ev.Seq))...)
 		case EvRequest:
 			sp.SpanID = hexID(8, "req", strconv.Itoa(ev.Seq))
 			sp.Name = ev.Detail
@@ -317,7 +358,9 @@ func buildSpans(events []Event, opt OTLPOptions) []otlpSpan {
 }
 
 func resourceOf(opt OTLPOptions) otlpResource {
-	return otlpResource{Attributes: []otlpKeyValue{strAttr("service.name", opt.Service)}}
+	attrs := []otlpKeyValue{strAttr("service.name", opt.Service)}
+	attrs = append(attrs, annAttrs(opt.Annotations.runArgs())...)
+	return otlpResource{Attributes: attrs}
 }
 
 func tracesPayload(events []Event, opt OTLPOptions) []otlpResourceSpans {

@@ -276,3 +276,117 @@ func TestPostOTLPCollectorError(t *testing.T) {
 		t.Errorf("collector 400 not surfaced: %v", err)
 	}
 }
+
+// TestWriteOTLPTracesAnnotated pins the OTLP side of the annotation
+// contract: stage and state spans gain boedag.<key> attributes (every
+// Go value type mapping to its OTLP form), the run annotations land as
+// resource attributes, and a nil-annotation export stays byte-identical
+// to the plain one.
+func TestWriteOTLPTracesAnnotated(t *testing.T) {
+	events := otlpTestEvents()
+	ann := &TraceAnnotations{
+		Stage: map[string]map[string]any{
+			"wc/map": {
+				"critical":          true,
+				"critical_s":        7.5,
+				"critical_resource": "cpu",
+				"pieces":            int(2),
+				"waves":             int64(3),
+				"extra":             []int{1, 2}, // falls back to %v string
+			},
+		},
+		State: map[int]map[string]any{
+			1: {"explain_dominant": "slots"},
+		},
+		Run: map[string]any{
+			"bottleneck":     "network",
+			"best_parameter": "network",
+		},
+	}
+	opt := OTLPOptions{Start: time.Unix(1700000000, 0), Annotations: ann}
+	var buf bytes.Buffer
+	if _, err := WriteOTLPTraces(&buf, events, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	type attr struct {
+		Key   string `json:"key"`
+		Value struct {
+			StringValue *string  `json:"stringValue"`
+			BoolValue   *bool    `json:"boolValue"`
+			IntValue    *string  `json:"intValue"`
+			DoubleValue *float64 `json:"doubleValue"`
+		} `json:"value"`
+	}
+	var shape struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []attr `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Spans []struct {
+					Name       string `json:"name"`
+					Attributes []attr `json:"attributes"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &shape); err != nil {
+		t.Fatalf("annotated export does not decode: %v", err)
+	}
+	index := func(attrs []attr) map[string]attr {
+		m := make(map[string]attr, len(attrs))
+		for _, a := range attrs {
+			m[a.Key] = a
+		}
+		return m
+	}
+
+	res := index(shape.ResourceSpans[0].Resource.Attributes)
+	if a, ok := res["boedag.bottleneck"]; !ok || a.Value.StringValue == nil || *a.Value.StringValue != "network" {
+		t.Errorf("resource missing run annotation boedag.bottleneck: %+v", res)
+	}
+	var stage, state map[string]attr
+	for _, sp := range shape.ResourceSpans[0].ScopeSpans[0].Spans {
+		switch sp.Name {
+		case "wc/map":
+			stage = index(sp.Attributes)
+		case "state 1":
+			state = index(sp.Attributes)
+		}
+	}
+	if a := stage["boedag.critical"]; a.Value.BoolValue == nil || !*a.Value.BoolValue {
+		t.Errorf("stage span missing boolean boedag.critical: %+v", stage)
+	}
+	if a := stage["boedag.critical_s"]; a.Value.DoubleValue == nil || *a.Value.DoubleValue != 7.5 {
+		t.Errorf("stage span missing double boedag.critical_s: %+v", stage)
+	}
+	if a := stage["boedag.pieces"]; a.Value.IntValue == nil || *a.Value.IntValue != "2" {
+		t.Errorf("int annotation not an OTLP int: %+v", stage)
+	}
+	if a := stage["boedag.waves"]; a.Value.IntValue == nil || *a.Value.IntValue != "3" {
+		t.Errorf("int64 annotation not an OTLP int: %+v", stage)
+	}
+	if a := stage["boedag.extra"]; a.Value.StringValue == nil || *a.Value.StringValue != "[1 2]" {
+		t.Errorf("fallback annotation not stringified: %+v", stage)
+	}
+	// Recorded attributes survive next to the annotations.
+	if a := stage["boedag.bottleneck"]; a.Value.StringValue == nil || *a.Value.StringValue != "cpu" {
+		t.Errorf("recorded stage bottleneck lost: %+v", stage)
+	}
+	if a := state["boedag.explain_dominant"]; a.Value.StringValue == nil || *a.Value.StringValue != "slots" {
+		t.Errorf("state span missing annotation: %+v", state)
+	}
+
+	// Nil annotations must not change a single byte.
+	var plain, annNil bytes.Buffer
+	if _, err := WriteOTLPTraces(&plain, events, OTLPOptions{Start: time.Unix(1700000000, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteOTLPTraces(&annNil, events, OTLPOptions{Start: time.Unix(1700000000, 0), Annotations: nil}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), annNil.Bytes()) {
+		t.Error("nil-annotation OTLP export diverges from the plain one")
+	}
+}

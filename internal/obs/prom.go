@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Prometheus text exposition (format 0.0.4) for the registry. Metric
+// names follow the registry's labeling convention — a plain name, or
+// "name{key=value,key=value}" — and are regrouped here into proper
+// families: one stable # HELP/# TYPE block per family, every series of
+// the family under it, label values escaped per the exposition rules.
+// Histograms expand into cumulative _bucket{le="…"} series plus _sum and
+// _count, so the endpoint scrapes cleanly into any Prometheus server.
+
+// promHelp holds operator-supplied HELP strings, keyed by family name.
+// It is separate from Registry so the zero-dependency instrument types
+// stay untouched.
+var promHelp = struct {
+	sync.Mutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+// SetMetricHelp registers the # HELP text for a metric family (the base
+// name without labels). Families without registered help get a stable
+// generated line, so the exposition is valid either way.
+func SetMetricHelp(family, help string) {
+	promHelp.Lock()
+	promHelp.m[family] = help
+	promHelp.Unlock()
+}
+
+func helpFor(family, kind string) string {
+	promHelp.Lock()
+	h, ok := promHelp.m[family]
+	promHelp.Unlock()
+	if ok {
+		return h
+	}
+	return "boedag " + kind + " " + family + "."
+}
+
+// splitSeries separates the registry convention "name{k=v,k=v}" into the
+// family name and the rendered Prometheus label set ("" when unlabeled).
+func splitSeries(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return sanitizeName(name), ""
+	}
+	family = sanitizeName(name[:i])
+	var parts []string
+	for _, kv := range strings.Split(name[i+1:len(name)-1], ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			k, v = "label", kv
+		}
+		parts = append(parts, sanitizeLabel(k)+`="`+escapeLabelValue(v)+`"`)
+	}
+	return family, "{" + strings.Join(parts, ",") + "}"
+}
+
+// sanitizeName maps a registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing every other byte with '_'.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// sanitizeLabel maps a label key onto [a-zA-Z0-9_].
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip decimal.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one series within a family: its label set and the
+// instrument behind it.
+type promSeries struct {
+	labels string
+	name   string // registry name, to resolve the instrument
+}
+
+// promFamilies regroups a sorted registry name list into families in
+// first-appearance order (the list is sorted, and "name" sorts before
+// "name{…}", so every family's series stay adjacent and the unlabeled
+// series leads).
+func promFamilies(names []string) (order []string, series map[string][]promSeries) {
+	series = make(map[string][]promSeries, len(names))
+	for _, n := range names {
+		fam, labels := splitSeries(n)
+		if _, ok := series[fam]; !ok {
+			order = append(order, fam)
+		}
+		series[fam] = append(series[fam], promSeries{labels: labels, name: n})
+	}
+	return order, series
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format: counters and gauges as single samples, histograms as
+// cumulative le-bucketed series with _sum and _count. Families are
+// emitted in sorted-name order with stable # HELP/# TYPE headers, so
+// the output is byte-deterministic for a settled registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	cn, gn, hn := r.snapshot()
+
+	writeFamily := func(kind string, names []string, sample func(io.Writer, string, string, string) error) error {
+		order, series := promFamilies(names)
+		for _, fam := range order {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				fam, escapeHelp(helpFor(fam, kind)), fam, kind); err != nil {
+				return err
+			}
+			for _, s := range series[fam] {
+				if err := sample(w, fam, s.labels, s.name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if err := writeFamily("counter", cn, func(w io.Writer, fam, labels, name string) error {
+		_, err := fmt.Fprintf(w, "%s%s %d\n", fam, labels, r.Counter(name).Value())
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := writeFamily("gauge", gn, func(w io.Writer, fam, labels, name string) error {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam, labels, formatFloat(r.Gauge(name).Value()))
+		return err
+	}); err != nil {
+		return err
+	}
+	return writeFamily("histogram", hn, func(w io.Writer, fam, labels, name string) error {
+		return r.writePromHistogram(w, fam, labels, name)
+	})
+}
+
+// writePromHistogram expands one histogram series into cumulative
+// _bucket{le="…"} samples (upper bounds from the registry's exponential
+// buckets, closed by le="+Inf"), then _sum and _count.
+func (r *Registry) writePromHistogram(w io.Writer, fam, labels, name string) error {
+	h := r.Histogram(name)
+	counts, bounds := h.Buckets()
+	// Merge the family's labels with the le label.
+	le := func(bound string) string {
+		if labels == "" {
+			return `{le="` + bound + `"}`
+		}
+		return labels[:len(labels)-1] + `,le="` + bound + `"}`
+	}
+	var cum int64
+	for i, bound := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, le(formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, le("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, labels, h.Count())
+	return err
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

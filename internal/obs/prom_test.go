@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// buildPromRegistry populates a registry the way the service does —
+// plain instruments plus labeled series — with a few hostile names to
+// pin sanitization and escaping.
+func buildPromRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("http_requests").Add(42)
+	reg.Counter("estimates_computed").Add(7)
+	reg.Gauge("requests_inflight").Set(3)
+	reg.Gauge("cache_hit_ratio").Set(0.9375)
+	reg.Histogram("request_duration_s").Observe(0.0008)
+	reg.Histogram("request_duration_s").Observe(0.01)
+	reg.Histogram("request_duration_s").Observe(0.25)
+	reg.Histogram("request_duration_s{route=/v1/estimate}").Observe(0.01)
+	reg.Histogram("request_duration_s{route=/v1/estimate}").Observe(0.25)
+	reg.Histogram("request_duration_s{route=/healthz}").Observe(0.0008)
+	// Hostile label value and metric name: quotes, backslashes, dashes.
+	reg.Counter(`lookups{path=C:\temp,note="quoted"}`).Add(1)
+	reg.Gauge("weird-name.pct").Set(50)
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	SetMetricHelp("http_requests", "Total HTTP requests served.")
+	SetMetricHelp("request_duration_s", "End-to-end request latency in seconds.")
+	reg := buildPromRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus exposition drifted from golden; rerun with -update if intended\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusShape checks the structural invariants a scraper
+// depends on, independent of the golden bytes.
+func TestWritePrometheusShape(t *testing.T) {
+	reg := buildPromRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// One HELP and one TYPE per family, HELP immediately before TYPE.
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	helps := map[string]int{}
+	types := map[string]int{}
+	for i, l := range lines {
+		if strings.HasPrefix(l, "# HELP ") {
+			fam := strings.Fields(l)[2]
+			helps[fam]++
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+fam+" ") {
+				t.Errorf("HELP for %s not followed by its TYPE", fam)
+			}
+		}
+		if strings.HasPrefix(l, "# TYPE ") {
+			types[strings.Fields(l)[2]]++
+		}
+	}
+	for fam, n := range helps {
+		if n != 1 || types[fam] != 1 {
+			t.Errorf("family %s: %d HELP, %d TYPE lines", fam, n, types[fam])
+		}
+	}
+
+	// The labeled histogram expands into cumulative buckets + sum/count
+	// with the route label preserved and escaped le merged in.
+	for _, want := range []string{
+		`request_duration_s_bucket{route="/v1/estimate",le="+Inf"} 2`,
+		`request_duration_s_sum{route="/v1/estimate"} 0.26`,
+		`request_duration_s_count{route="/v1/estimate"} 2`,
+		`request_duration_s_bucket{le="+Inf"} 3`,
+		`request_duration_s_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing series %q in:\n%s", want, out)
+		}
+	}
+
+	// Cumulative buckets are monotone for every histogram series.
+	var prev int64 = -1
+	var prevSeries string
+	for _, l := range lines {
+		if !strings.Contains(l, "_bucket{") {
+			continue
+		}
+		series := l[:strings.Index(l, ",le=")+1]
+		if !strings.Contains(series, ",") {
+			series = l[:strings.Index(l, "{le=")]
+		}
+		v, err := strconv.ParseInt(l[strings.LastIndexByte(l, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", l, err)
+		}
+		if series == prevSeries && v < prev {
+			t.Errorf("non-monotone bucket series at %q", l)
+		}
+		prev, prevSeries = v, series
+	}
+
+	// Hostile label values are escaped, names sanitized.
+	if !strings.Contains(out, `lookups{path="C:\\temp",note="\"quoted\""} 1`) {
+		t.Errorf("label escaping broken:\n%s", out)
+	}
+	if !strings.Contains(out, "weird_name_pct 50") {
+		t.Errorf("name sanitization broken:\n%s", out)
+	}
+}

@@ -116,6 +116,8 @@ func TestConformance(t *testing.T) {
 		{"estimate_inline_spec", "/v1/estimate", http.StatusOK, ""},
 		{"estimate_options", "/v1/estimate", http.StatusOK, ""},
 		{"estimate_cluster_override", "/v1/estimate", http.StatusOK, ""},
+		{"explain_wc_ts", "/v1/explain", http.StatusOK, ""},
+		{"explain_unknown_workflow", "/v1/explain", http.StatusBadRequest, CodeUnknownWorkflow},
 		{"batch_mixed", "/v1/batch", http.StatusOK, ""},
 		{"estimate_unknown_workflow", "/v1/estimate", http.StatusBadRequest, CodeUnknownWorkflow},
 		{"estimate_unknown_field", "/v1/estimate", http.StatusBadRequest, CodeBadRequest},
@@ -214,9 +216,25 @@ func TestConformanceGET(t *testing.T) {
 		}
 	})
 	t.Run("metrics_text", func(t *testing.T) {
-		status, body, _ := get(t, ts.URL+"/metrics?format=text")
+		status, body, hdr := get(t, ts.URL+"/metrics?format=text")
 		if status != http.StatusOK || !strings.Contains(string(body), "http_requests") {
 			t.Errorf("text metrics = %d %s", status, body)
+		}
+		// ?format=text is Prometheus exposition now: versioned content
+		// type, HELP/TYPE blocks, cumulative histogram series.
+		if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Errorf("Content-Type = %q, want exposition format 0.0.4", ct)
+		}
+		for _, want := range []string{
+			"# HELP http_requests ",
+			"# TYPE http_requests counter",
+			"# TYPE request_duration_s histogram",
+			`request_duration_s_bucket{route="/metrics",le="+Inf"}`,
+			"request_duration_s_count ",
+		} {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("exposition misses %q in:\n%s", want, body)
+			}
 		}
 	})
 	t.Run("method_not_allowed", func(t *testing.T) {

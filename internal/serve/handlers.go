@@ -11,6 +11,7 @@ import (
 	"boedag/internal/dag"
 	"boedag/internal/evalpool"
 	"boedag/internal/experiments"
+	"boedag/internal/explain"
 	"boedag/internal/perfledger"
 	"boedag/internal/statemodel"
 	"boedag/internal/units"
@@ -34,6 +35,83 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, body)
+}
+
+// handleExplain serves POST /v1/explain: the same request shape as
+// /v1/estimate, answered with the explained estimate — critical path,
+// bottleneck attribution, per-state utilization, θ-sensitivity.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	req, apiErr := DecodeEstimateRequest(r.Body)
+	s.phase(r.Context(), "decode", t0, s.phaseDecode)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	ctx, cancel := scenarioContext(r.Context(), req)
+	defer cancel()
+	body, apiErr := s.explain(ctx, req)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// explain resolves one scenario to its explained-estimate bytes.
+// Identical concurrent scenarios coalesce onto one explanation run via
+// the single-flight cache (keyed separately from /v1/estimate), and the
+// run itself memoizes its base and θ-perturbed plans through the
+// server-lifetime plan cache, so explaining a scenario the service
+// already estimated re-runs only the four perturbed estimates — and a
+// repeat explanation re-runs nothing.
+func (s *Server) explain(ctx context.Context, req *EstimateRequest) ([]byte, *APIError) {
+	flow, est, apiErr := s.scenario(req)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ran := false
+	compute := func() ([]byte, error) {
+		if s.testHookEstimate != nil {
+			s.testHookEstimate()
+		}
+		ran = true
+		s.explained.Inc()
+		te := time.Now()
+		e, err := explain.Explain(ctx, est, flow, explain.Options{
+			Workers: s.cfg.Workers,
+			Cache:   s.plans,
+		})
+		s.phase(ctx, "explain", te, s.phaseExplain)
+		if err != nil {
+			return nil, err
+		}
+		tn := time.Now()
+		body, err := marshalBody(e)
+		s.phase(ctx, "encode", tn, s.phaseEncode)
+		return body, err
+	}
+	var body []byte
+	var err error
+	if key, ok := evalpool.PlanKey(est, flow); ok {
+		t0 := time.Now()
+		body, err = s.cache.DoContext(ctx, "explain|"+key, compute)
+		if err == nil && !ran {
+			s.coalesced.Inc()
+			s.phase(ctx, "coalesce-wait", t0, s.coalescedWait)
+		}
+	} else {
+		body, err = compute()
+	}
+	switch {
+	case err == nil:
+		return body, nil
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return nil, timeoutError(ctx)
+	default:
+		return nil, &APIError{Status: http.StatusInternalServerError,
+			Code: CodeInternal, Message: err.Error()}
+	}
 }
 
 // handleBatch serves POST /v1/batch: every scenario goes through the
@@ -234,12 +312,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves GET /metrics from the obs registry: JSON by
-// default, aligned text with ?format=text.
+// default, Prometheus text exposition with ?format=text — stable
+// HELP/TYPE blocks, cumulative histogram buckets, escaped labels, so a
+// Prometheus server can scrape the daemon directly.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		s.reg.WriteText(w)
+		s.reg.WritePrometheus(w)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -8,13 +8,16 @@
 //
 //	POST /v1/estimate   one scenario → makespan, per-state breakdown,
 //	                    per-job stage times
+//	POST /v1/explain    one scenario → explained estimate: critical
+//	                    path, bottleneck attribution, θ-sensitivity
 //	POST /v1/batch      many scenarios fanned out through the evalpool
 //	                    worker pool, results in input order
 //	GET  /v1/workflows  the workflow registry names
 //	GET  /v1/cluster    the serving cluster specification
 //	GET  /healthz       liveness (200 while the process runs)
 //	GET  /readyz        readiness (503 once draining)
-//	GET  /metrics       the obs metrics registry (JSON; ?format=text)
+//	GET  /metrics       the obs metrics registry (JSON; ?format=text
+//	                    serves Prometheus exposition)
 //
 // Identical scenarios coalesce: responses are cached by the canonical
 // evalpool signature of (cluster, options, workflow), and concurrent
@@ -123,6 +126,10 @@ type Server struct {
 	mux   *http.ServeMux
 	reg   *obs.Registry
 	cache *evalpool.Cache[[]byte]
+	// plans memoizes estimator plans across /v1/explain requests: the
+	// base plan and every θ-perturbed re-run coalesce through it, so
+	// repeated explanations re-run nothing.
+	plans *evalpool.PlanCache
 	start time.Time
 
 	// Admission: slots bounds concurrent execution, queue bounds waiters.
@@ -140,8 +147,10 @@ type Server struct {
 	// per endpoint (request_duration_s{route=…}); it is written only
 	// during New's route registration and read-only thereafter.
 	requests, errors, rejected, queued, panics, computed, coalesced *obs.Counter
+	explained                                                       *obs.Counter
 	reqDur, queueWait                                               *obs.Histogram
 	phaseDecode, phaseEstimate, phaseEncode, coalescedWait          *obs.Histogram
+	phaseExplain                                                    *obs.Histogram
 	inflightG, queueG                                               *obs.Gauge
 	routeDur                                                        map[string]*obs.Histogram
 
@@ -166,6 +175,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		reg:   reg,
 		cache: evalpool.NewCache[[]byte]().WithMetrics(reg, "estimate_cache"),
+		plans: evalpool.NewPlanCache().WithMetrics(reg),
 		start: time.Now(),
 		slots: make(chan struct{}, cfg.MaxConcurrent),
 		queue: make(chan struct{}, cfg.QueueDepth),
@@ -177,18 +187,26 @@ func New(cfg Config) (*Server, error) {
 		panics:        reg.Counter("http_panics"),
 		computed:      reg.Counter("estimates_computed"),
 		coalesced:     reg.Counter("estimates_coalesced"),
+		explained:     reg.Counter("explains_computed"),
 		reqDur:        reg.Histogram("request_duration_s"),
 		queueWait:     reg.Histogram("queue_wait_s"),
 		phaseDecode:   reg.Histogram("phase_decode_s"),
 		phaseEstimate: reg.Histogram("phase_estimate_s"),
 		phaseEncode:   reg.Histogram("phase_encode_s"),
+		phaseExplain:  reg.Histogram("phase_explain_s"),
 		coalescedWait: reg.Histogram("coalesced_wait_s"),
 		inflightG:     reg.Gauge("requests_inflight"),
 		queueG:        reg.Gauge("requests_queued"),
 		routeDur:      make(map[string]*obs.Histogram),
 	}
+	obs.SetMetricHelp("http_requests", "HTTP requests served, all routes.")
+	obs.SetMetricHelp("request_duration_s", "End-to-end request latency in seconds.")
+	obs.SetMetricHelp("estimates_computed", "Estimator runs executed (cache misses).")
+	obs.SetMetricHelp("estimates_coalesced", "Requests that shared another request's run or its cached bytes.")
+	obs.SetMetricHelp("explains_computed", "Explanation runs executed (cache misses).")
 	s.mux = http.NewServeMux()
 	s.route("POST", "/v1/estimate", true, s.handleEstimate)
+	s.route("POST", "/v1/explain", true, s.handleExplain)
 	s.route("POST", "/v1/batch", true, s.handleBatch)
 	s.route("GET", "/v1/workflows", false, s.handleWorkflows)
 	s.route("GET", "/v1/cluster", false, s.handleCluster)

@@ -65,6 +65,17 @@ type StateEstimate struct {
 	Running []string
 	// Parallelism maps job ID to its Δ during the state.
 	Parallelism map[string]int
+	// Bottleneck maps job ID to the resource its tasks are predicted to be
+	// bound by during the state (zero value CPU for timers without
+	// resource knowledge).
+	Bottleneck map[string]cluster.Resource
+	// Utilization is the predicted cluster-wide utilization per resource
+	// class during the state (element-wise maximum over the running jobs'
+	// task-time views).
+	Utilization [cluster.NumResources]float64
+	// SlotShare is the fraction of the scheduling pool's task slots
+	// granted during the state; ~1.0 means the workflow is slot-bound.
+	SlotShare float64
 }
 
 // Duration is the state's predicted span.
@@ -118,6 +129,13 @@ type estJob struct {
 	// tasks still hold their containers, so the job's demand cannot drop
 	// below them (see pendingTasks).
 	lastDelta int
+	// busy accumulates, per resource class, the wall-clock time this
+	// job's current stage spent bound by that resource; the argmax at
+	// stage finish is the stage's recorded Bottleneck.
+	busy [cluster.NumResources]float64
+	// lastBottleneck is the job's task bottleneck in the current state,
+	// the fallback when a stage finishes without accumulating busy time.
+	lastBottleneck cluster.Resource
 
 	plan map[workload.Stage]*StageEstimate
 }
@@ -318,6 +336,7 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 			}
 			rates[i] = float64(delta[i]) / tt
 			rests[i] = e.restTime(j, delta[i], dists[i], tt)
+			j.lastBottleneck = dists[i].Bottleneck
 			se := j.plan[j.stage]
 			se.TaskTime = units.Seconds(tt)
 			se.Parallelism = delta[i]
@@ -333,10 +352,22 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 				Seq:         len(plan.States) + 1,
 				Start:       units.Seconds(now),
 				Parallelism: make(map[string]int, len(running)),
+				Bottleneck:  make(map[string]cluster.Resource, len(running)),
 			}
+			granted := 0
 			for i, j := range running {
 				st.Running = append(st.Running, j.id+"/"+j.stage.String())
 				st.Parallelism[j.id] = delta[i]
+				st.Bottleneck[j.id] = dists[i].Bottleneck
+				granted += delta[i]
+				for r := 0; r < cluster.NumResources; r++ {
+					if u := dists[i].Util[r]; u > st.Utilization[r] {
+						st.Utilization[r] = u
+					}
+				}
+			}
+			if pool.Slots > 0 {
+				st.SlotShare = float64(granted) / float64(pool.Slots)
 			}
 			sort.Strings(st.Running)
 			plan.States = append(plan.States, st)
@@ -372,11 +403,13 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 		// stages.
 		for i, j := range running {
 			j.tasksLeft -= rates[i] * dt
+			j.busy[dists[i].Bottleneck] += dt
 			if j.tasksLeft > 1e-9 && rests[i] > dt+1e-9 {
 				continue
 			}
 			j.tasksLeft = 0
 			j.plan[j.stage].End = units.Seconds(now)
+			j.plan[j.stage].Bottleneck = j.dominantResource()
 			if trOn {
 				se := j.plan[j.stage]
 				e.Opt.Observe.Tracer.Emit(obs.Event{
@@ -466,8 +499,29 @@ func (e *Estimator) openStage(j *estJob, st workload.Stage, now float64) {
 	j.stage = st
 	j.tasksLeft = float64(j.profile.Tasks(st))
 	j.lastDelta = 0
+	j.busy = [cluster.NumResources]float64{}
+	j.lastBottleneck = cluster.CPU
 
 	j.plan[st] = &StageEstimate{Job: j.id, Stage: st, Start: units.Seconds(now)}
+}
+
+// dominantResource is the resource the job's current stage spent the most
+// time bound by — the argmax of busy, ties to the lowest resource index.
+// A stage that finishes without accumulating wall-clock time (zero-length
+// states) falls back to the final state's task bottleneck.
+func (j *estJob) dominantResource() cluster.Resource {
+	best := cluster.CPU
+	seen := 0.0
+	for _, r := range cluster.Resources() {
+		seen += j.busy[r]
+		if j.busy[r] > j.busy[best] {
+			best = r
+		}
+	}
+	if seen <= 0 {
+		return j.lastBottleneck
+	}
+	return best
 }
 
 func orderedJobs(jobs map[string]*estJob) []*estJob {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"boedag/internal/boe"
+	"boedag/internal/cluster"
 	"boedag/internal/profile"
 	"boedag/internal/units"
 	"boedag/internal/workload"
@@ -73,6 +74,15 @@ type TaskTimeDist struct {
 	// Sample optionally carries the raw task-time observations backing
 	// the summary; EmpiricalMode consumes it.
 	Sample []time.Duration
+	// Bottleneck is the resource the predicted task spends the most time
+	// bound by — the time-weighted dominant sub-stage bottleneck. Timers
+	// without resource knowledge (bare profiles) leave it at the zero
+	// value (CPU).
+	Bottleneck cluster.Resource
+	// Util[r] is the predicted cluster-wide utilization of resource r
+	// while this task's state runs, time-weighted across sub-stages.
+	// Zero for timers without resource knowledge.
+	Util [cluster.NumResources]float64
 }
 
 // ByMode returns the representative task time for the skew mode.
@@ -116,7 +126,42 @@ func (t *BOETimer) TaskDist(jobID string, groups []boe.TaskGroup, self int) Task
 	// The task-size skew translates linearly into task-time skew for
 	// data-bound tasks.
 	std := units.Seconds(est.Duration.Seconds() * g.Profile.SkewCV)
-	return TaskTimeDist{Mean: mean, Median: mean, Std: std}
+	dist := TaskTimeDist{Mean: mean, Median: mean, Std: std}
+	dist.Bottleneck, dist.Util = resolveBottleneck(est)
+	return dist
+}
+
+// resolveBottleneck folds a BOE task estimate into the task's dominant
+// resource (the bottleneck holding the most sub-stage time, ties to the
+// lowest resource index) and the time-weighted cluster utilization over
+// the task's sub-stages.
+func resolveBottleneck(est boe.TaskEstimate) (cluster.Resource, [cluster.NumResources]float64) {
+	var busy [cluster.NumResources]float64
+	var util [cluster.NumResources]float64
+	total := 0.0
+	for _, ss := range est.SubStages {
+		d := ss.Duration.Seconds()
+		if d <= 0 {
+			continue
+		}
+		busy[ss.Bottleneck] += d
+		total += d
+		for r := 0; r < cluster.NumResources; r++ {
+			util[r] += ss.Utilization[r] * d
+		}
+	}
+	dominant := cluster.CPU
+	for _, r := range cluster.Resources() {
+		if busy[r] > busy[dominant] {
+			dominant = r
+		}
+	}
+	if total > 0 {
+		for r := 0; r < cluster.NumResources; r++ {
+			util[r] /= total
+		}
+	}
+	return dominant, util
 }
 
 // ProfileTimer replays measured task-time distributions, ignoring the

@@ -36,6 +36,11 @@ type (
 	TraceDropPolicy = obs.DropPolicy
 	// OTLPOptions configure the OpenTelemetry OTLP/JSON exporters.
 	OTLPOptions = obs.OTLPOptions
+	// TraceAnnotations carries derived per-stage / per-state / run-level
+	// args (e.g. an Explanation's critical-path markers) that the trace
+	// exporters merge into their output; on a key collision the recorded
+	// arg always wins.
+	TraceAnnotations = obs.TraceAnnotations
 )
 
 // Subscriber drop policies.
@@ -86,12 +91,22 @@ func WithMetrics(opt SimOptions, reg *MetricsRegistry) SimOptions {
 var (
 	// ExportChromeTrace writes events as Chrome trace_event JSON.
 	ExportChromeTrace = obs.WriteChromeTrace
+	// ExportChromeTraceAnnotated writes events as Chrome trace_event JSON
+	// with TraceAnnotations merged into the stage, state, and run args.
+	ExportChromeTraceAnnotated = obs.WriteChromeTraceAnnotated
 	// WriteTraceSummary writes a plain-text digest of events.
 	WriteTraceSummary = obs.WriteSummary
 )
 
 // WriteMetricsJSON dumps a registry snapshot as JSON.
 func WriteMetricsJSON(w io.Writer, reg *MetricsRegistry) error { return reg.WriteJSON(w) }
+
+// WriteMetricsPrometheus dumps a registry snapshot in the Prometheus
+// text exposition format (version 0.0.4), histograms as cumulative
+// `_bucket`/`_sum`/`_count` series.
+func WriteMetricsPrometheus(w io.Writer, reg *MetricsRegistry) error {
+	return reg.WritePrometheus(w)
+}
 
 // OTLP export — hand-rolled OTLP/JSON (OpenTelemetry protocol over
 // HTTP/JSON), no external dependencies. Span-shaped events become spans

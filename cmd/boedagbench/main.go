@@ -8,7 +8,11 @@
 // The request mix is a pure function of (seed, workflows, sizes): two
 // runs with the same seed issue the identical request sequence, so a
 // committed ledger is reproducible — only the wall-clock numbers vary,
-// and hack/verify.sh holds them inside a tolerance band.
+// and hack/verify.sh holds them inside a tolerance band. Any registry
+// workflow name works in -mix, including the synthetic scale family
+// (synth-1k, synth-10k, synth-lL-wW-fF-sS); the estimator-side scale
+// benchmarks (BenchmarkEstimate10kJobs, BenchmarkIncrementalReestimate)
+// enter the same ledger through -gobench.
 //
 // Usage:
 //

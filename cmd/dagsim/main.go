@@ -14,7 +14,13 @@
 //	dagsim -workflow wc+ts -live-progress     # online remaining-time estimates
 //	dagsim -workflow q21 -otlp-out o.json     # OTLP/JSON spans + metrics
 //	dagsim -workflow wc+ts -explain           # explain the model's prediction
+//	dagsim -workflow synth-l5-w8-f2-s7  # seeded synthetic layered DAG (40 jobs)
 //	dagsim -list                        # show every known workflow name
+//
+// The synthetic family scales to estimator stress tests: synth-1k and
+// synth-10k are the canonical 1 000- and 10 000-job points (simulating
+// them takes correspondingly long; the incremental estimator handles
+// them in seconds — see BenchmarkEstimate10kJobs).
 package main
 
 import (

@@ -11,8 +11,9 @@
 #
 # Usage: hack/verify.sh [-quick]
 #   -quick skips the full race detector run, the regression gate, and
-#   the overhead benchmark (the streaming-bus tests still run under
-#   -race, and the coverage, fuzz, ledger and OTLP checks still run).
+#   the overhead benchmark (the streaming-bus tests and the incremental
+#   equivalence suite still run under -race, and the coverage, fuzz,
+#   10k-estimate, ledger and OTLP checks still run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -110,6 +111,21 @@ bench_smoke() {
     go test ./internal/experiments -run '^$' -bench BenchmarkSweepParallel -benchtime 1x
 }
 
+# incremental_smoke pins the incremental estimator's contract: the
+# equivalence suite (incremental byte-identical to from-scratch across
+# the registry, synthetic DAGs, and concurrent pooled-scratch use) under
+# the race detector, and one estimate of the 10k-job synthetic workflow
+# so the scale path stays runnable. The full gate covers the former via
+# the whole-suite race run and the latter via fresh_ledger.
+incremental_smoke() {
+    echo "== incremental equivalence race check =="
+    go test -race -count=1 -run 'Incremental|SharePool|RepeatEstimate' \
+        ./internal/statemodel
+    echo "== 10k-job estimate smoke =="
+    go test ./internal/statemodel -run '^$' \
+        -bench 'BenchmarkEstimate10kJobs$' -benchtime 1x
+}
+
 # ledger_smoke runs a short boedagbench load against an in-process
 # server, checks the written BENCH_*.json validates, and validates the
 # committed ledgers too (baseline and the repo-root trajectory points).
@@ -134,6 +150,10 @@ fresh_ledger() {
         ./internal/statemodel > "$tmp/gobench.txt"
     go test -run '^$' -bench 'BenchmarkFigure4BOEExample$' -benchtime 100x \
         . >> "$tmp/gobench.txt"
+    go test -run '^$' -bench 'BenchmarkEstimate10kJobs$' -benchtime 1x \
+        ./internal/statemodel >> "$tmp/gobench.txt"
+    go test -run '^$' -bench 'Reestimate$' -benchtime 5x \
+        ./internal/statemodel >> "$tmp/gobench.txt"
     go run ./cmd/boedagbench -inprocess -duration 3s -warmup 1s -seed 1 \
         -gobench "$tmp/gobench.txt" -label verify -out "$1"
 }
@@ -183,6 +203,7 @@ if [[ $quick -eq 1 ]]; then
     echo "== serve race check =="
     go test -race -count=1 ./internal/serve
     explain_smoke
+    incremental_smoke
     fuzz_smoke
     bench_smoke
     ledger_smoke

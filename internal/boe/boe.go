@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"boedag/internal/cluster"
@@ -33,6 +34,11 @@ type Model struct {
 	// EqualSplit switches the μ(Δ) allocation from progressive-filling
 	// max-min fairness to the naive 1/Δ split (ablation; see DESIGN.md §5).
 	EqualSplit bool
+
+	// stages memoizes the pure (profile, stage) → sub-stage derivation;
+	// see stageInfoFor.
+	mu     sync.RWMutex
+	stages map[stageKey]*stageInfo
 }
 
 // New returns a Model for the cluster.
@@ -149,73 +155,159 @@ func (m *Model) consumerFor(g TaskGroup, ss workload.SubStage) fairshare.Consume
 	return c
 }
 
-// EstimateState estimates, for every group, the duration of its *current*
-// sub-stage under contention from all the other groups. This is the
-// primitive the state-based workflow model calls once per workflow state.
-func (m *Model) EstimateState(groups []TaskGroup) []SubStageEstimate {
-	subs := make([]workload.SubStage, len(groups))
-	consumers := make([]fairshare.Consumer, len(groups))
-	for i, g := range groups {
-		all := g.Profile.SubStages(g.Stage, m.Spec)
-		switch {
-		case g.SubStage == AggregateSubStage:
-			subs[i] = aggregate(all)
-		case g.SubStage < 0 || g.SubStage >= len(all):
-			subs[i] = workload.SubStage{Name: "done"}
-		default:
-			subs[i] = all[g.SubStage]
-		}
-		consumers[i] = m.consumerFor(groups[i], subs[i])
-	}
-	alloc := m.allocate(consumers)
+// stageKey identifies one pure sub-stage derivation: JobProfile is a
+// flat value type, so the key is comparable and collision-free.
+type stageKey struct {
+	p workload.JobProfile
+	s workload.Stage
+}
 
-	// Tasks demanding each resource, for the equal-share μ_X(Δ) = 1/Δ_X
-	// view the paper's per-operation times use.
-	var users [cluster.NumResources]int
-	for i, c := range consumers {
+// stageInfo caches what a (profile, stage) pair contributes to every
+// solve: its sub-stage list and the aggregate steady-state demand.
+type stageInfo struct {
+	subs []workload.SubStage
+	agg  workload.SubStage
+}
+
+// stageCacheMax bounds the derivation cache. Long-lived models serve
+// arbitrary caller-supplied profiles (the prediction service), so the
+// cache clears wholesale at the cap instead of growing without bound.
+const stageCacheMax = 1 << 12
+
+// stageInfoFor memoizes p.SubStages(s, m.Spec) and its aggregate. Both
+// are pure functions of the key and the model's spec (fixed after
+// construction), so a hit returns the identical value a fresh
+// derivation would.
+func (m *Model) stageInfoFor(p workload.JobProfile, s workload.Stage) *stageInfo {
+	k := stageKey{p, s}
+	m.mu.RLock()
+	si := m.stages[k]
+	m.mu.RUnlock()
+	if si != nil {
+		return si
+	}
+	subs := p.SubStages(s, m.Spec)
+	si = &stageInfo{subs: subs, agg: aggregate(subs)}
+	m.mu.Lock()
+	if m.stages == nil || len(m.stages) >= stageCacheMax {
+		m.stages = make(map[stageKey]*stageInfo, 64)
+	}
+	m.stages[k] = si
+	m.mu.Unlock()
+	return si
+}
+
+// evalScratch holds one state solve's working buffers. Pooled because
+// the workflow estimator performs hundreds of thousands of solves on
+// large DAGs, and the per-solve garbage was the dominant cost at 10k
+// jobs.
+type evalScratch struct {
+	subs      []workload.SubStage
+	consumers []fairshare.Consumer
+	groups    []TaskGroup
+	arena     fairshare.Arena
+}
+
+var evalPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// growRows sizes the scratch sub-stage and consumer rows for n groups.
+func (sc *evalScratch) growRows(n int) {
+	if cap(sc.subs) < n {
+		sc.subs = make([]workload.SubStage, n)
+		sc.consumers = make([]fairshare.Consumer, n)
+	}
+	sc.subs = sc.subs[:n]
+	sc.consumers = sc.consumers[:n]
+}
+
+// fillRow derives group g's current sub-stage and consumer into row i.
+func (m *Model) fillRow(sc *evalScratch, i int, g TaskGroup) {
+	si := m.stageInfoFor(g.Profile, g.Stage)
+	switch {
+	case g.SubStage == AggregateSubStage:
+		sc.subs[i] = si.agg
+	case g.SubStage < 0 || g.SubStage >= len(si.subs):
+		sc.subs[i] = workload.SubStage{Name: "done"}
+	default:
+		sc.subs[i] = si.subs[g.SubStage]
+	}
+	sc.consumers[i] = m.consumerFor(g, sc.subs[i])
+}
+
+// allocateRows runs the allocation over the filled consumer rows. The
+// result aliases the scratch and is valid until the next allocation on it.
+func (m *Model) allocateRows(sc *evalScratch) *fairshare.Result {
+	if m.EqualSplit {
+		return sc.arena.EqualSplit(m.capacities(), sc.consumers)
+	}
+	return sc.arena.Allocate(m.capacities(), sc.consumers)
+}
+
+// solve derives sub-stages and consumers for the groups and runs the
+// allocation, all on scratch buffers.
+func (m *Model) solve(sc *evalScratch, groups []TaskGroup) *fairshare.Result {
+	sc.growRows(len(groups))
+	for i, g := range groups {
+		m.fillRow(sc, i, g)
+	}
+	return m.allocateRows(sc)
+}
+
+// usersOf counts the tasks demanding each resource, for the equal-share
+// μ_X(Δ) = 1/Δ_X view the paper's per-operation times use.
+func usersOf(sc *evalScratch, groups []TaskGroup) (users [cluster.NumResources]int) {
+	for i, c := range sc.consumers {
 		for r := 0; r < cluster.NumResources; r++ {
 			if c.Demand[r] > 0 {
 				users[r] += groups[i].Parallelism
 			}
 		}
 	}
-
-	out := make([]SubStageEstimate, len(groups))
-	for i := range groups {
-		est := SubStageEstimate{
-			Name:        subs[i].Name,
-			Bottleneck:  alloc.Bottleneck[i],
-			Utilization: alloc.Utilization,
-		}
-		rate := alloc.Rate[i]
-		if rate > 0 && len(subs[i].Ops) > 0 {
-			est.Duration = units.Seconds(1 / rate)
-			for _, op := range subs[i].Ops {
-				// The paper's t_X = D_X/(μ_X(Δ)·θ_X): the op's time at its
-				// equal share of resource X among the Δ_X tasks demanding
-				// it, capped by what a single task can drive. For a lone
-				// group the largest of these equals the sub-stage duration;
-				// their ratios are the Headroom report.
-				share := m.Spec.TotalCapacity(op.Resource).PerTask(users[op.Resource])
-				share = share.Min(m.Spec.Node.PerTaskCap(op.Resource))
-				est.Ops = append(est.Ops, OpEstimate{
-					Resource: op.Resource,
-					Bytes:    op.Bytes,
-					Rate:     share,
-					Time:     units.Div(op.Bytes, share),
-				})
-			}
-		}
-		out[i] = est
-	}
-	return out
+	return users
 }
 
-func (m *Model) allocate(consumers []fairshare.Consumer) fairshare.Result {
-	if m.EqualSplit {
-		return fairshare.EqualSplit(m.capacities(), consumers)
+// render materializes the full estimate of group i from a solve.
+func (m *Model) render(sc *evalScratch, alloc *fairshare.Result, users *[cluster.NumResources]int, i int) SubStageEstimate {
+	est := SubStageEstimate{
+		Name:        sc.subs[i].Name,
+		Bottleneck:  alloc.Bottleneck[i],
+		Utilization: alloc.Utilization,
 	}
-	return fairshare.Allocate(m.capacities(), consumers)
+	rate := alloc.Rate[i]
+	if rate > 0 && len(sc.subs[i].Ops) > 0 {
+		est.Duration = units.Seconds(1 / rate)
+		for _, op := range sc.subs[i].Ops {
+			// The paper's t_X = D_X/(μ_X(Δ)·θ_X): the op's time at its
+			// equal share of resource X among the Δ_X tasks demanding
+			// it, capped by what a single task can drive. For a lone
+			// group the largest of these equals the sub-stage duration;
+			// their ratios are the Headroom report.
+			share := m.Spec.TotalCapacity(op.Resource).PerTask(users[op.Resource])
+			share = share.Min(m.Spec.Node.PerTaskCap(op.Resource))
+			est.Ops = append(est.Ops, OpEstimate{
+				Resource: op.Resource,
+				Bytes:    op.Bytes,
+				Rate:     share,
+				Time:     units.Div(op.Bytes, share),
+			})
+		}
+	}
+	return est
+}
+
+// EstimateState estimates, for every group, the duration of its *current*
+// sub-stage under contention from all the other groups. This is the
+// primitive the state-based workflow model calls once per workflow state.
+func (m *Model) EstimateState(groups []TaskGroup) []SubStageEstimate {
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	alloc := m.solve(sc, groups)
+	users := usersOf(sc, groups)
+	out := make([]SubStageEstimate, len(groups))
+	for i := range groups {
+		out[i] = m.render(sc, alloc, &users, i)
+	}
+	return out
 }
 
 // TaskTime estimates the full execution time of one task of (profile,
@@ -231,15 +323,48 @@ func (m *Model) TaskTime(p workload.JobProfile, s workload.Stage, parallelism in
 // Table II. Each sub-stage of the target task is estimated against the
 // environment held at its own current sub-stage.
 func (m *Model) TaskTimeWith(p workload.JobProfile, s workload.Stage, parallelism int, env []TaskGroup) TaskEstimate {
-	all := p.SubStages(s, m.Spec)
-	est := TaskEstimate{Stage: s}
-	for k := range all {
-		groups := make([]TaskGroup, 0, len(env)+1)
-		groups = append(groups, TaskGroup{Profile: p, Stage: s, SubStage: k, Parallelism: parallelism})
-		groups = append(groups, env...)
-		ssEst := m.EstimateState(groups)[0]
-		est.SubStages = append(est.SubStages, ssEst)
-		est.Duration += ssEst.Duration
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	g := append(sc.groups[:0], TaskGroup{Profile: p, Stage: s, Parallelism: parallelism})
+	g = append(g, env...)
+	sc.groups = g
+	return m.taskTime(sc, g)
+}
+
+// TaskTimeAt estimates the task time of groups[self] under contention
+// from the other groups — equivalent to TaskTimeWith with the self group
+// removed from the environment, without materializing that intermediate
+// slice. This is the estimator's hot path.
+func (m *Model) TaskTimeAt(groups []TaskGroup, self int) TaskEstimate {
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	g := append(sc.groups[:0], groups[self])
+	g = append(g, groups[:self]...)
+	g = append(g, groups[self+1:]...)
+	sc.groups = g
+	return m.taskTime(sc, g)
+}
+
+// taskTime sums the sub-stage estimates of g[0] against the g[1:]
+// environment, varying g[0]'s current sub-stage. The environment rows
+// are identical across the sub-stage sweep, so they are derived once
+// and only row 0 is refilled per iteration.
+func (m *Model) taskTime(sc *evalScratch, g []TaskGroup) TaskEstimate {
+	si := m.stageInfoFor(g[0].Profile, g[0].Stage)
+	sc.growRows(len(g))
+	for i := 1; i < len(g); i++ {
+		m.fillRow(sc, i, g[i])
+	}
+	est := TaskEstimate{Stage: g[0].Stage}
+	for k := range si.subs {
+		g[0].SubStage = k
+		sc.subs[0] = si.subs[k]
+		sc.consumers[0] = m.consumerFor(g[0], si.subs[k])
+		alloc := m.allocateRows(sc)
+		users := usersOf(sc, g)
+		ss := m.render(sc, alloc, &users, 0)
+		est.SubStages = append(est.SubStages, ss)
+		est.Duration += ss.Duration
 	}
 	return est
 }

@@ -303,3 +303,40 @@ func TestHeadroom(t *testing.T) {
 		t.Errorf("single-op headroom = %v, want +Inf", h)
 	}
 }
+
+// TestTaskTimeAtMatchesTaskTimeWith pins the hot-path entry point: for
+// any position of the target group, TaskTimeAt must reproduce exactly
+// what TaskTimeWith computes when handed the same environment with the
+// target removed — the two build the identical group sequence, so every
+// float matches bitwise.
+func TestTaskTimeAtMatchesTaskTimeWith(t *testing.T) {
+	m := New(cluster.PaperCluster())
+	groups := []TaskGroup{
+		{Profile: workload.WordCount(40 * units.GB), Stage: workload.Map, SubStage: AggregateSubStage, Parallelism: 66},
+		{Profile: workload.TeraSort(20 * units.GB), Stage: workload.Reduce, SubStage: AggregateSubStage, Parallelism: 33},
+		{Profile: workload.WordCount(10 * units.GB), Stage: workload.Map, SubStage: AggregateSubStage, Parallelism: 12},
+	}
+	for self := range groups {
+		env := make([]TaskGroup, 0, len(groups)-1)
+		env = append(env, groups[:self]...)
+		env = append(env, groups[self+1:]...)
+		g := groups[self]
+		want := m.TaskTimeWith(g.Profile, g.Stage, g.Parallelism, env)
+		got := m.TaskTimeAt(groups, self)
+		if len(got.SubStages) != len(want.SubStages) || got.Duration != want.Duration {
+			t.Fatalf("self=%d: TaskTimeAt %v over %d sub-stages, TaskTimeWith %v over %d",
+				self, got.Duration, len(got.SubStages), want.Duration, len(want.SubStages))
+		}
+		for k := range want.SubStages {
+			w, g := want.SubStages[k], got.SubStages[k]
+			if w.Duration != g.Duration || w.Bottleneck != g.Bottleneck || w.Utilization != g.Utilization {
+				t.Errorf("self=%d sub-stage %d: got %+v, want %+v", self, k, g, w)
+			}
+		}
+	}
+	// TaskTimeAt must not mutate the caller's groups (it copies the self
+	// group before sweeping its sub-stage).
+	if groups[1].SubStage != AggregateSubStage {
+		t.Error("TaskTimeAt mutated the caller's group sequence")
+	}
+}

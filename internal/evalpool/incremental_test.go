@@ -1,0 +1,58 @@
+package evalpool
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"boedag/internal/boe"
+	"boedag/internal/cluster"
+	"boedag/internal/dag"
+	"boedag/internal/statemodel"
+	"boedag/internal/synthdag"
+)
+
+// TestEstimateBytesInvariantAcrossWorkerCounts runs the same estimate
+// fan-out serially and at full parallelism. The estimator's pooled
+// scratches mean each worker may land on a differently-warmed dist
+// cache; plans must come out byte-identical regardless.
+func TestEstimateBytesInvariantAcrossWorkerCounts(t *testing.T) {
+	spec := cluster.PaperCluster()
+	est := statemodel.New(spec,
+		&statemodel.BOETimer{Model: boe.New(spec), TaskStartOverhead: time.Second},
+		statemodel.Options{Mode: statemodel.NormalMode})
+
+	var flows []*dag.Workflow
+	for seed := int64(1); seed <= 6; seed++ {
+		flows = append(flows,
+			synthdag.Generate(synthdag.Config{Layers: 3, Width: 5, FanIn: 2, Seed: seed}),
+			synthdag.Generate(synthdag.Config{Layers: 2, Width: 8, FanIn: 3, Seed: seed}))
+	}
+	jobs := make([]func() ([]byte, error), len(flows))
+	for i, f := range flows {
+		f := f
+		jobs[i] = func() ([]byte, error) {
+			p, err := est.Estimate(f)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(p)
+		}
+	}
+
+	serial, err := Run(context.Background(), jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(context.Background(), jobs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flows {
+		if !bytes.Equal(serial[i], wide[i]) {
+			t.Errorf("%s: plan differs between workers=1 and workers=8", flows[i].Name)
+		}
+	}
+}

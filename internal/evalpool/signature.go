@@ -150,6 +150,10 @@ func (h *Hasher) EstimatorOptions(o statemodel.Options) {
 	h.Int(int64(o.Policy))
 	h.Float(o.TaskFailureProb)
 	h.Bool(o.DiscreteWaves)
+	// Incremental vs from-scratch plans are byte-identical by contract,
+	// but the reference path must never share cache lines with the
+	// default path — a shared entry would mask an equivalence divergence.
+	h.Bool(o.DisableIncremental)
 }
 
 // SimulatorOptions folds every semantically significant simulator option

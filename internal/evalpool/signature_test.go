@@ -79,6 +79,12 @@ func TestPlanKeySensitiveToEstimatorConfig(t *testing.T) {
 	if k, _ := PlanKey(fifo, sigFlow()); k == k1 {
 		t.Error("different scheduling policy collided")
 	}
+	// The from-scratch reference path must not share cache lines with the
+	// incremental default, or a cached plan could mask a divergence.
+	ref := statemodel.New(spec, timer, statemodel.Options{Mode: statemodel.NormalMode, DisableIncremental: true})
+	if k, _ := PlanKey(ref, sigFlow()); k == k1 {
+		t.Error("from-scratch reference path collided with the incremental path")
+	}
 }
 
 type opaqueTimer struct{}

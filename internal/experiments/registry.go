@@ -9,6 +9,7 @@ import (
 	"boedag/internal/dag"
 	"boedag/internal/hibench"
 	"boedag/internal/spark"
+	"boedag/internal/synthdag"
 	"boedag/internal/tpch"
 	"boedag/internal/workload"
 )
@@ -20,6 +21,9 @@ func WorkflowNames() []string {
 		"wc+ts", "wc+ts2r", "wc+ts3r", "webanalytics", "kmeans", "pagerank",
 		"wc+kmeans", "wc+pagerank", "ts+kmeans", "ts+pagerank",
 		"hbsort", "hbagg", "hbjoin", "bayes", "sparkwc", "sparkpr",
+		// Canonical synthetic scale points; any "synth-lL-wW-fF-sS"
+		// spelling builds too (see internal/synthdag).
+		"synth-1k", "synth-10k",
 	}
 	for _, pr := range calibrate.ProbeSuite(1) {
 		names = append(names, pr.Profile.Name)
@@ -81,6 +85,11 @@ func BuildNamed(name string, cfg Config) (*dag.Workflow, error) {
 	}
 	if q, ok := parseQueryName(lower); ok {
 		return tpch.Query(q, schema)
+	}
+	// Synthetic layered scale DAGs: seeded, so a name is a reproducible
+	// corpus point ("synth-10k", "synth-l20-w50-f3-s7", …).
+	if c, ok := synthdag.Parse(lower); ok {
+		return synthdag.Generate(c), nil
 	}
 
 	left, right, ok := strings.Cut(lower, "+")

@@ -69,18 +69,54 @@ type Result struct {
 // Capacity entries that are zero mean "resource absent": any demand on an
 // absent resource pins the consumer to rate zero.
 func Allocate(capacity [cluster.NumResources]units.Rate, consumers []Consumer) Result {
-	n := len(consumers)
-	res := Result{
-		Rate:       make([]float64, n),
-		Bottleneck: make([]cluster.Resource, n),
+	var a Arena
+	return *a.Allocate(capacity, consumers)
+}
+
+// Arena holds an allocation's working buffers for reuse across calls —
+// the hot path of repeated solves (the estimator calls an allocation per
+// task-time solve). The Result returned by its methods aliases the arena
+// and is only valid until the next call; the numbers are bit-identical
+// to the package-level functions', which delegate here with a fresh
+// arena.
+type Arena struct {
+	res  Result
+	dead []bool
+	ds   []demander
+	srt  sortScratch
+}
+
+// grow resizes the result buffers for n consumers and clears the fields
+// that are not unconditionally rewritten below.
+func (a *Arena) grow(n int) *Result {
+	res := &a.res
+	if cap(res.Rate) < n {
+		res.Rate = make([]float64, n)
+		res.Bottleneck = make([]cluster.Resource, n)
+		res.Bound = make([][cluster.NumResources]float64, n)
+		a.dead = make([]bool, n)
 	}
+	res.Rate = res.Rate[:n]
+	res.Bottleneck = res.Bottleneck[:n]
+	res.Bound = res.Bound[:n]
+	a.dead = a.dead[:n]
+	res.Utilization = [cluster.NumResources]float64{}
+	return res
+}
+
+// Allocate is the arena variant of the package-level Allocate.
+func (a *Arena) Allocate(capacity [cluster.NumResources]units.Rate, consumers []Consumer) *Result {
+	n := len(consumers)
+	res := a.grow(n)
 
 	// bound[i][r] is the rate ceiling resource r imposes on consumer i
 	// (+Inf when r is not demanded or not yet constraining).
-	bound := make([][cluster.NumResources]float64, n)
-	dead := make([]bool, n) // demands an absent resource, or empty group
+	bound := res.Bound
+	dead := a.dead // demands an absent resource, or empty group
 	for i, c := range consumers {
+		res.Rate[i] = 0
 		res.Bottleneck[i] = c.CapResource
+		dead[i] = false
 		for r := 0; r < cluster.NumResources; r++ {
 			bound[i][r] = math.Inf(1)
 		}
@@ -117,7 +153,7 @@ func Allocate(capacity [cluster.NumResources]units.Rate, consumers []Consumer) R
 	}
 
 	const maxIters = 200
-	ds := make([]demander, 0, n) // reused across iterations: hot path
+	ds := a.ds[:0] // reused across iterations and calls: hot path
 	for iter := 0; iter < maxIters; iter++ {
 		change := 0.0
 		for r := 0; r < cluster.NumResources; r++ {
@@ -135,7 +171,7 @@ func Allocate(capacity [cluster.NumResources]units.Rate, consumers []Consumer) R
 			if len(ds) == 0 {
 				continue
 			}
-			level := waterfill(cap, consumers, ds)
+			level := waterfill(cap, consumers, ds, &a.srt)
 			for _, d := range ds {
 				nb := level / consumers[d.idx].Demand[r]
 				old := bound[d.idx][r]
@@ -150,7 +186,7 @@ func Allocate(capacity [cluster.NumResources]units.Rate, consumers []Consumer) R
 		}
 	}
 
-	res.Bound = bound
+	a.ds = ds
 	for i, c := range consumers {
 		if dead[i] {
 			res.Rate[i] = 0
@@ -193,15 +229,8 @@ func Allocate(capacity [cluster.NumResources]units.Rate, consumers []Consumer) R
 // min(desired, u) per task and the resource is exactly full — or +Inf
 // when even the full desires fit. Demanders are processed in ascending
 // desired order, peeling off those satisfied below the level.
-func waterfill(capacity float64, consumers []Consumer, ds []demander) float64 {
-	// Insertion sort: ds is small (one entry per consumer group) and
-	// sort.Slice's reflective swapper would allocate on every call of
-	// this hot path.
-	for i := 1; i < len(ds); i++ {
-		for k := i; k > 0 && ds[k].desired < ds[k-1].desired; k-- {
-			ds[k], ds[k-1] = ds[k-1], ds[k]
-		}
-	}
+func waterfill(capacity float64, consumers []Consumer, ds []demander, srt *sortScratch) float64 {
+	sortDemanders(ds, srt)
 	remaining := capacity
 	tasks := 0
 	for _, d := range ds {
@@ -228,6 +257,85 @@ type demander struct {
 	desired float64
 }
 
+// sortScratch holds one sort's working buffers for reuse across calls.
+type sortScratch struct {
+	buf  []demander
+	runs []int
+}
+
+// sortDemanders stably sorts ds ascending by desired. Stability keeps
+// ties in consumer-index order (the order ds is built in), which pins
+// the float evaluation order of the fill loop; any stable sort
+// therefore yields the same sequence. It is a natural-run merge sort
+// (hand-rolled: sort.SliceStable's reflective swapper would allocate on
+// every call of this hot path): large DAG states put hundreds of
+// groups on one resource, but templated jobs produce equal desired
+// values in long index-contiguous runs, so detecting non-decreasing
+// runs first makes the common case near-linear instead of the
+// quadratic insertion sort that used to dominate estimator profiles.
+func sortDemanders(ds []demander, sc *sortScratch) {
+	n := len(ds)
+	if n < 16 {
+		for i := 1; i < n; i++ {
+			for k := i; k > 0 && ds[k].desired < ds[k-1].desired; k-- {
+				ds[k], ds[k-1] = ds[k-1], ds[k]
+			}
+		}
+		return
+	}
+
+	// Run boundaries: runs[k]..runs[k+1] is non-decreasing (equal values
+	// extend a run, so an already-sorted or few-classes input is cheap).
+	runs := sc.runs[:0]
+	runs = append(runs, 0)
+	for i := 1; i < n; i++ {
+		if ds[i].desired < ds[i-1].desired {
+			runs = append(runs, i)
+		}
+	}
+	runs = append(runs, n)
+	sc.runs = runs
+	if len(runs) == 2 {
+		return // single run: already sorted
+	}
+
+	if cap(sc.buf) < n {
+		sc.buf = make([]demander, n)
+	}
+	src, dst := ds, sc.buf[:n]
+	for len(runs) > 2 {
+		w := 0
+		for k := 0; k+2 < len(runs); k += 2 {
+			lo, mid, hi := runs[k], runs[k+1], runs[k+2]
+			i, j := lo, mid
+			for p := lo; p < hi; p++ {
+				// Strict < on the right keeps equal keys left-first: stable.
+				if j >= hi || (i < mid && !(src[j].desired < src[i].desired)) {
+					dst[p] = src[i]
+					i++
+				} else {
+					dst[p] = src[j]
+					j++
+				}
+			}
+			runs[w] = lo
+			w++
+		}
+		if len(runs)%2 == 0 { // odd number of runs: last one carries over
+			lo, hi := runs[len(runs)-2], runs[len(runs)-1]
+			copy(dst[lo:hi], src[lo:hi])
+			runs[w] = lo
+			w++
+		}
+		runs[w] = n
+		runs = runs[:w+1]
+		src, dst = dst, src
+	}
+	if &src[0] != &ds[0] {
+		copy(ds, src)
+	}
+}
+
 func relDiff(a, b float64) float64 {
 	if math.IsInf(a, 1) && math.IsInf(b, 1) {
 		return 0
@@ -249,11 +357,14 @@ func relDiff(a, b float64) float64 {
 // then the minimum over its demanded resources of share/demand, further
 // clamped by its per-task cap.
 func EqualSplit(capacity [cluster.NumResources]units.Rate, consumers []Consumer) Result {
+	var a Arena
+	return *a.EqualSplit(capacity, consumers)
+}
+
+// EqualSplit is the arena variant of the package-level EqualSplit.
+func (a *Arena) EqualSplit(capacity [cluster.NumResources]units.Rate, consumers []Consumer) *Result {
 	n := len(consumers)
-	res := Result{
-		Rate:       make([]float64, n),
-		Bottleneck: make([]cluster.Resource, n),
-	}
+	res := a.grow(n)
 	var users [cluster.NumResources]int
 	for _, c := range consumers {
 		for r := 0; r < cluster.NumResources; r++ {
@@ -262,8 +373,9 @@ func EqualSplit(capacity [cluster.NumResources]units.Rate, consumers []Consumer)
 			}
 		}
 	}
-	res.Bound = make([][cluster.NumResources]float64, n)
 	for i, c := range consumers {
+		res.Rate[i] = 0
+		res.Bottleneck[i] = 0
 		for r := range res.Bound[i] {
 			res.Bound[i][r] = math.Inf(1)
 		}

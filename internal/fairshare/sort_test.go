@@ -1,0 +1,72 @@
+package fairshare
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSortDemandersMatchesStableReference pins the natural-run merge
+// sort against sort.SliceStable across input shapes: short inputs (the
+// insertion path), already-sorted, reverse-sorted, heavy ties in long
+// runs (the templated-DAG shape the algorithm targets), and uniform
+// random. Identical permutations — including tie order — are required,
+// because the waterfill float evaluation order follows the sorted
+// sequence.
+func TestSortDemandersMatchesStableReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := map[string]func(n int) []demander{
+		"random": func(n int) []demander {
+			ds := make([]demander, n)
+			for i := range ds {
+				ds[i] = demander{idx: i, desired: rng.Float64()}
+			}
+			return ds
+		},
+		"sorted": func(n int) []demander {
+			ds := make([]demander, n)
+			for i := range ds {
+				ds[i] = demander{idx: i, desired: float64(i)}
+			}
+			return ds
+		},
+		"reversed": func(n int) []demander {
+			ds := make([]demander, n)
+			for i := range ds {
+				ds[i] = demander{idx: i, desired: float64(n - i)}
+			}
+			return ds
+		},
+		"runs-of-ties": func(n int) []demander {
+			// A few distinct values in contiguous runs, like identical
+			// job classes adjacent in the running order.
+			ds := make([]demander, n)
+			vals := []float64{3, 1, 4, 1, 5}
+			for i := range ds {
+				ds[i] = demander{idx: i, desired: vals[(i*len(vals))/max(n, 1)]}
+			}
+			return ds
+		},
+		"all-equal": func(n int) []demander {
+			ds := make([]demander, n)
+			for i := range ds {
+				ds[i] = demander{idx: i, desired: 7}
+			}
+			return ds
+		},
+	}
+	var sc sortScratch
+	for name, gen := range shapes {
+		for _, n := range []int{0, 1, 2, 15, 16, 17, 31, 64, 100, 257} {
+			ds := gen(n)
+			want := append([]demander(nil), ds...)
+			sort.SliceStable(want, func(a, b int) bool { return want[a].desired < want[b].desired })
+			sortDemanders(ds, &sc)
+			for i := range ds {
+				if ds[i] != want[i] {
+					t.Fatalf("%s n=%d: position %d = %+v, want %+v", name, n, i, ds[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -94,15 +94,23 @@ func SnapshotAt(res *simulator.Result, t time.Duration) statemodel.Snapshot {
 	return snap
 }
 
-// Indicator estimates remaining time for a workflow from snapshots.
+// Indicator estimates remaining time for a workflow from snapshots. It
+// keeps a private estimator scratch across ticks: consecutive snapshots
+// of the same run differ in a handful of jobs, so the warm dist cache
+// re-solves only the states the snapshot delta touched.
 type Indicator struct {
 	Estimator *statemodel.Estimator
 	Flow      *dag.Workflow
+
+	scratch *statemodel.Scratch
 }
 
 // Remaining predicts the time left from the snapshot.
 func (in *Indicator) Remaining(snap statemodel.Snapshot) (time.Duration, error) {
-	left, _, err := in.Estimator.EstimateRemaining(in.Flow, snap)
+	if in.scratch == nil {
+		in.scratch = statemodel.NewScratch()
+	}
+	left, _, err := in.Estimator.EstimateRemainingWith(in.scratch, in.Flow, snap)
 	return left, err
 }
 

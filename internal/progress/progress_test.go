@@ -7,6 +7,7 @@ import (
 	"boedag/internal/boe"
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
+	"boedag/internal/obs"
 	"boedag/internal/profile"
 	"boedag/internal/simulator"
 	"boedag/internal/statemodel"
@@ -249,5 +250,58 @@ func TestJobPhaseStrings(t *testing.T) {
 		if p.String() != s {
 			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
 		}
+	}
+}
+
+// TestIndicatorAdvancingTicksReuseWork pins satellite behavior of the
+// incremental core through the progress path: an indicator ticking the
+// same run holds one warm scratch, so each re-estimate iterates only
+// the remaining states and re-solves only task-time dists the snapshot
+// delta dirtied.
+func TestIndicatorAdvancingTicksReuseWork(t *testing.T) {
+	sp := cluster.PaperCluster()
+	flow := dag.Parallel("WC+TS",
+		dag.Single(workload.WordCount(20*units.GB)),
+		dag.Single(workload.TeraSort(20*units.GB)))
+	res, err := simulator.New(sp, simulator.Options{Seed: 1}).Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	est := statemodel.New(sp,
+		&statemodel.BOETimer{Model: boe.New(sp), TaskStartOverhead: time.Second},
+		statemodel.Options{Mode: statemodel.MeanMode, Observe: obs.Options{Metrics: reg}})
+	in := &Indicator{Estimator: est, Flow: flow}
+
+	iters := reg.Counter("est_iterations")
+	solves := reg.Counter("est_dist_solves")
+	reuse := reg.Counter("est_dist_reuse")
+	tick := func(f float64) (dIters, dSolves, dReuse int64) {
+		i0, s0, r0 := iters.Value(), solves.Value(), reuse.Value()
+		if _, err := in.Remaining(SnapshotAt(res, time.Duration(f*float64(res.Makespan)))); err != nil {
+			t.Fatal(err)
+		}
+		return iters.Value() - i0, solves.Value() - s0, reuse.Value() - r0
+	}
+
+	iters1, solves1, _ := tick(0.25)
+	iters2, solves2, _ := tick(0.60)
+	iters3, _, _ := tick(0.90)
+	t.Logf("tick deltas: iters %d/%d/%d solves %d/%d", iters1, iters2, iters3, solves1, solves2)
+	if !(iters3 < iters2 && iters2 < iters1) {
+		t.Errorf("iterations should shrink as the run advances: %d, %d, %d", iters1, iters2, iters3)
+	}
+	if solves2 >= solves1 {
+		t.Errorf("advanced tick solved %d dists, first tick %d; warm scratch should reduce solves", solves2, solves1)
+	}
+
+	// Re-estimating the identical snapshot is a pure replay: every dist
+	// carried forward, nothing dirty.
+	_, againSolves, againReuse := tick(0.90)
+	if againSolves != 0 {
+		t.Errorf("identical-snapshot re-estimate solved %d dists, want 0", againSolves)
+	}
+	if againReuse == 0 {
+		t.Error("identical-snapshot re-estimate reported no reuse")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"boedag/internal/evalpool"
 	"boedag/internal/experiments"
 	"boedag/internal/explain"
+	"boedag/internal/obs"
 	"boedag/internal/perfledger"
 	"boedag/internal/statemodel"
 	"boedag/internal/units"
@@ -238,7 +239,14 @@ func (s *Server) scenario(req *EstimateRequest) (*dag.Workflow, *statemodel.Esti
 				Code: CodeUnknownWorkflow, Message: err.Error()}
 		}
 	}
-	opt := statemodel.Options{Mode: req.mode, JobSubmitOverhead: cfg.JobSubmitOverhead}
+	// Observe routes the estimator's solver counters (est_iterations,
+	// est_dist_solves, est_dist_reuse, …) into the server registry, so
+	// /metrics shows how much work the incremental core is saving.
+	opt := statemodel.Options{
+		Mode:              req.mode,
+		JobSubmitOverhead: cfg.JobSubmitOverhead,
+		Observe:           obs.Options{Metrics: s.reg},
+	}
 	if req.Options.PerNode > 0 {
 		opt.SlotLimit = req.Options.PerNode * spec.Nodes
 	}

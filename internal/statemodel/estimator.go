@@ -7,7 +7,6 @@ import (
 	"strings"
 	"time"
 
-	"boedag/internal/boe"
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
 	"boedag/internal/obs"
@@ -38,6 +37,12 @@ type Options struct {
 	// DiscreteWaves switches the stage-duration rule from the fluid
 	// tasksLeft/throughput form to explicit ⌈N/Δ⌉ waves (ablation).
 	DiscreteWaves bool
+	// DisableIncremental turns off the task-time distribution cache, so
+	// every state solves every running job from scratch. Results are
+	// byte-identical either way by contract; this is the reference path
+	// the incremental-equivalence suite compares against (and an escape
+	// hatch should an external timer misdeclare purity).
+	DisableIncremental bool
 	// Observe attaches the observability layer: per-iteration events of
 	// Algorithm 1's state loop, predicted state/stage spans, scheduler
 	// grants, and iteration counters. Zero value = off.
@@ -125,6 +130,9 @@ type estJob struct {
 	order     int
 	stage     workload.Stage
 	tasksLeft float64
+	// fp caches the profile fingerprint for dist-cache keys (only
+	// computed when the timer is cacheable).
+	fp uint64
 	// lastDelta is the parallelism granted in the previous state; running
 	// tasks still hold their containers, so the job's demand cannot drop
 	// below them (see pendingTasks).
@@ -137,7 +145,11 @@ type estJob struct {
 	// the fallback when a stage finishes without accumulating busy time.
 	lastBottleneck cluster.Resource
 
-	plan map[workload.Stage]*StageEstimate
+	// se holds the per-stage estimates in place (indexed by Map/Reduce);
+	// seen marks the stages that opened. A fixed array instead of a map
+	// keeps the estJob slab flat and allocation-free.
+	se   [2]StageEstimate
+	seen [2]bool
 }
 
 // pendingTasks is the job's container demand for DRF. The fluid progress
@@ -173,38 +185,100 @@ const (
 // time with the TaskTimer under the state's full contention environment,
 // the remaining time of each job's current stage, then advance to the
 // nearest stage transition and update everyone's progress.
+//
+// Scratch memory comes from an internal pool; use EstimateWith to pin a
+// caller-owned Scratch (deterministic warm-cache reuse across calls).
 func (e *Estimator) Estimate(w *dag.Workflow) (*Plan, error) {
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return e.EstimateWith(s, w)
+}
+
+// EstimateWith is Estimate running on the given scratch arena. The
+// scratch must not be shared with a concurrent run; nil falls back to a
+// fresh arena.
+func (e *Estimator) EstimateWith(s *Scratch, w *dag.Workflow) (*Plan, error) {
+	if s == nil {
+		s = NewScratch()
+	}
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	jobs := make(map[string]*estJob, len(w.Jobs))
+	s.reset(len(w.Jobs))
 	for _, j := range w.Jobs {
-		jobs[j.ID] = &estJob{
-			id:        j.ID,
-			profile:   j.Profile,
-			waitingOn: len(j.Deps),
-			plan:      make(map[workload.Stage]*StageEstimate),
-		}
+		s.newJob(j.ID, j.Profile, len(j.Deps))
 	}
 	for i, id := range w.Roots() {
-		jobs[id].phase = phaseSubmitted
-		jobs[id].readyAt = e.Opt.JobSubmitOverhead.Seconds()
-		jobs[id].order = i // declaration order is submission order (FIFO)
+		j := s.jobs[id]
+		j.phase = phaseSubmitted
+		j.readyAt = e.Opt.JobSubmitOverhead.Seconds()
+		j.order = i // declaration order is submission order (FIFO)
 	}
-	return e.run(w, jobs, len(jobs))
+	return e.run(s, w, len(w.Jobs))
+}
+
+// distConf resolves whether task-time solves may be memoized and, if so,
+// the configuration half of the cache key: the timer's fingerprint mixed
+// with every option that shapes the distribution itself.
+func (e *Estimator) distConf() (conf uint64, jobSensitive, cacheable bool) {
+	if e.Opt.DisableIncremental {
+		return 0, false, false
+	}
+	dc, ok := e.Timer.(DistCacheable)
+	if !ok {
+		return 0, false, false
+	}
+	fp, js, ok := dc.DistFingerprint()
+	if !ok {
+		return 0, false, false
+	}
+	h := mix64(fnvOffset, fp)
+	h = mixFloat(h, e.Opt.TaskFailureProb)
+	return h, js, true
 }
 
 // run drives the state iteration over pre-initialized jobs (used by both
 // Estimate and EstimateRemaining); remaining counts jobs not yet done.
-func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int) (*Plan, error) {
+//
+// The loop is Algorithm 1 with three structural changes that leave the
+// arithmetic — and therefore the emitted plan bytes — untouched:
+//
+//   - Submitted jobs wait in a min-heap keyed by (readyAt, order), so
+//     admission, the idle-gap jump and the next-submit bound on dt are
+//     heap operations instead of O(jobs) scans.
+//   - The running list is maintained incrementally (sorted insert on
+//     admit, in-place compaction on finish) in the same sorted-by-ID
+//     order the old per-iteration rebuild produced.
+//   - Task-time solves are memoized in the scratch's dist cache keyed by
+//     (timer config, own group, ordered contention environment): within a
+//     run, identical adjacent groups collapse to one solve; across runs
+//     on the same scratch, states the caller's delta did not touch are
+//     carried forward. Jobs whose key misses are the dirty set.
+func (e *Estimator) run(s *Scratch, w *dag.Workflow, remaining int) (*Plan, error) {
 	children := w.Children()
 	now := 0.0
+	s.sortOrdered()
+
+	conf, jobSensitive, cacheable := e.distConf()
+	if cacheable {
+		for _, j := range s.ordered {
+			j.fp = profileFingerprint(j.profile)
+		}
+	}
+
 	// Jobs pre-submitted by the caller keep their orders; later submits
-	// continue the sequence.
+	// continue the sequence. Pre-running jobs (EstimateRemaining) seed
+	// the running list.
 	submitSeq := 0
-	for _, j := range jobs {
+	for _, j := range s.ordered {
 		if j.phase != phaseWaiting && j.order >= submitSeq {
 			submitSeq = j.order + 1
+		}
+		if j.phase == phaseSubmitted {
+			s.heapPush(j)
+		}
+		if j.phase == phaseRunning {
+			s.running = append(s.running, j)
 		}
 	}
 	submit := func(j *estJob) {
@@ -212,64 +286,36 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 		j.readyAt = now + e.Opt.JobSubmitOverhead.Seconds()
 		j.order = submitSeq
 		submitSeq++
+		s.heapPush(j)
 	}
 
 	pool := sched.PoolOf(e.Spec).WithSlotLimit(e.Opt.SlotLimit)
 
 	plan := &Plan{Workflow: w.Name}
 	var prevSig stateSig
-
-	// The job set is fixed for the whole run, so sort it once; scratch
-	// buffers below are re-sliced every state iteration instead of
-	// reallocated (this loop dominates batch-evaluation profiles). All
-	// scratch is call-local, keeping Estimate safe for concurrent callers.
-	ordered := orderedJobs(jobs)
-	running := make([]*estJob, 0, len(ordered))
-	reqs := make([]sched.Request, 0, len(ordered))
-	groups := make([]boe.TaskGroup, 0, len(ordered))
-	delta := make([]int, 0, len(ordered))
-	dists := make([]TaskTimeDist, 0, len(ordered))
-	rates := make([]float64, 0, len(ordered))
-	rests := make([]float64, 0, len(ordered))
+	sigDirty := true
 
 	trOn := e.Opt.Observe.TracerOn()
-	var iterCount *obs.Counter
-	var stateCount *obs.Counter
-	var stateDur *obs.Histogram
-	if reg := e.Opt.Observe.Metrics; reg != nil {
-		iterCount = reg.Counter("est_iterations")
-		stateCount = reg.Counter("est_states")
-		stateDur = reg.Histogram("est_state_duration_s")
-	}
-	// observeClosed folds the just-closed predicted state into metrics.
-	observeClosed := func() {
-		if stateDur == nil || len(plan.States) == 0 {
-			return
-		}
-		if last := plan.States[len(plan.States)-1]; last.End > 0 {
-			stateDur.Observe(last.Duration().Seconds())
-		}
-	}
+	// Solver counters accumulate in locals and flush to the metrics
+	// registry once per run: shared atomic counters touched per
+	// iteration are measurable contention when concurrent requests
+	// estimate in parallel (the prediction daemon's hot path).
+	iters := int64(0)
+	solves, reuses := int64(0), int64(0)
 
 	for iter := 0; remaining > 0; iter++ {
-		if iter > 10000*len(jobs)+10000 {
+		if iter > 10000*len(s.jobs)+10000 {
 			return nil, fmt.Errorf("statemodel: workflow %q did not converge", w.Name)
 		}
-		if iterCount != nil {
-			iterCount.Inc()
+		iters++
+		// Admit submitted jobs whose overhead elapsed.
+		for len(s.heap) > 0 && s.heap[0].readyAt <= now+1e-9 {
+			j := s.heapPop()
+			e.openStage(j, workload.Map, now)
+			s.insertRunning(j)
+			sigDirty = true
 		}
-		// Admit submitted jobs.
-		for _, j := range ordered {
-			if j.phase == phaseSubmitted && j.readyAt <= now+1e-9 {
-				e.openStage(j, workload.Map, now)
-			}
-		}
-		running = running[:0]
-		for _, j := range ordered {
-			if j.phase == phaseRunning && j.tasksLeft > 0 {
-				running = append(running, j)
-			}
-		}
+		running := s.running
 		if trOn {
 			e.Opt.Observe.Tracer.Emit(obs.Event{
 				Type: obs.EvEstimatorIter, Time: now, Task: -1,
@@ -278,21 +324,16 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 		}
 		if len(running) == 0 {
 			// Idle gap: jump to the next submit event.
-			next := math.Inf(1)
-			for _, j := range jobs {
-				if j.phase == phaseSubmitted && j.readyAt < next {
-					next = j.readyAt
-				}
-			}
-			if math.IsInf(next, 1) {
+			if len(s.heap) == 0 {
 				return nil, fmt.Errorf("statemodel: workflow %q deadlocked at t=%.2fs", w.Name, now)
 			}
-			now = next
+			now = s.heap[0].readyAt
 			continue
 		}
+		n := len(running)
 
 		// (1) Degree of parallelism per running job.
-		reqs = reqs[:len(running)]
+		reqs := s.reqs[:n]
 		for i, j := range running {
 			reqs[i] = sched.Request{
 				JobID:    j.id,
@@ -305,9 +346,7 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 		}
 		grants := sched.GrantObserved(e.Opt.Policy, pool, reqs, nil, e.Opt.Observe, now)
 
-		// (2) Task time per running job via the BOE model (or profiles).
-		groups = groups[:len(running)]
-		delta = delta[:len(running)]
+		delta := s.delta[:n]
 		for i, j := range running {
 			d := grants[j.id]
 			if d < 1 {
@@ -315,83 +354,147 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 			}
 			delta[i] = d
 			j.lastDelta = d
-			groups[i] = groupFor(j.profile, j.stage, d)
 		}
-		dists = dists[:len(running)]
-		rates = rates[:len(running)]
-		rests = rests[:len(running)]
-		for i, j := range running {
-			dists[i] = e.Timer.TaskDist(j.id, groups, i)
-			if p := e.Opt.TaskFailureProb; p > 0 {
-				// Fault-tolerance correction: a failed attempt wastes half
-				// its work in expectation before the re-execution.
-				f := 1 + p/2
-				dists[i].Mean = time.Duration(float64(dists[i].Mean) * f)
-				dists[i].Median = time.Duration(float64(dists[i].Median) * f)
+
+		// (2) Task time per running job via the BOE model (or profiles).
+		// Cacheable timers first look every job up in the dist cache; the
+		// misses are the dirty set that actually re-solves.
+		dists := s.dists[:n]
+		elems := s.elems[:n]
+		envs := s.envs[:n]
+		keys := s.keys[:n]
+		hit := s.hit[:n]
+		anyMiss := !cacheable
+		if cacheable {
+			for i, j := range running {
+				elems[i] = mix64(mix64(mix64(fnvOffset, j.fp), uint64(j.stage)), uint64(delta[i]))
 			}
+			for i, j := range running {
+				if i > 0 && elems[i] == elems[i-1] {
+					// Identical adjacent groups see the identical environment
+					// sequence: removing either occurrence of an equal pair
+					// leaves the same remainder.
+					envs[i] = envs[i-1]
+				} else {
+					envs[i] = envHash(elems, i)
+				}
+				keys[i] = distKey{conf: conf, self: elems[i], env: envs[i], n: int32(n - 1)}
+				if jobSensitive {
+					keys[i].job = j.id
+				}
+				if d, ok := s.dc.get(keys[i]); ok {
+					dists[i] = d
+					hit[i] = true
+					reuses++
+				} else {
+					hit[i] = false
+					anyMiss = true
+				}
+			}
+		}
+		if anyMiss {
+			groups := s.groups[:n]
+			for i, j := range running {
+				groups[i] = groupFor(j.profile, j.stage, delta[i])
+			}
+			for i, j := range running {
+				if cacheable && hit[i] {
+					continue
+				}
+				if cacheable {
+					// An earlier index this iteration may have solved and
+					// cached the same (class, delta, environment) key —
+					// identical inputs, so its dist is bitwise reusable.
+					// This is what collapses a layer of templated jobs to
+					// one solve per profile class.
+					if d, ok := s.dc.get(keys[i]); ok {
+						dists[i] = d
+						reuses++
+						continue
+					}
+				}
+				d := e.Timer.TaskDist(j.id, groups, i)
+				if p := e.Opt.TaskFailureProb; p > 0 {
+					// Fault-tolerance correction: a failed attempt wastes half
+					// its work in expectation before the re-execution.
+					f := 1 + p/2
+					d.Mean = time.Duration(float64(d.Mean) * f)
+					d.Median = time.Duration(float64(d.Median) * f)
+				}
+				dists[i] = d
+				solves++
+				if cacheable {
+					s.dc.put(keys[i], d)
+				}
+			}
+		}
+		rates := s.rates[:n]
+		rests := s.rests[:n]
+		for i, j := range running {
 			tt := dists[i].ByMode(e.Opt.Mode).Seconds()
 			if tt <= 0 {
 				return nil, fmt.Errorf("statemodel: workflow %q: job %q %s: non-positive task time",
 					w.Name, j.id, j.stage)
 			}
 			rates[i] = float64(delta[i]) / tt
-			rests[i] = e.restTime(j, delta[i], dists[i], tt)
+			rests[i] = e.restTime(s, j, delta[i], dists[i], tt)
 			j.lastBottleneck = dists[i].Bottleneck
-			se := j.plan[j.stage]
+			se := &j.se[j.stage]
 			se.TaskTime = units.Seconds(tt)
 			se.Parallelism = delta[i]
 		}
 
-		// Record the state if its signature changed.
-		sig := stateSignature(running)
-		if sig != prevSig {
-			closeState(plan, now)
-			observeClosed()
-			prevSig = sig
-			st := StateEstimate{
-				Seq:         len(plan.States) + 1,
-				Start:       units.Seconds(now),
-				Parallelism: make(map[string]int, len(running)),
-				Bottleneck:  make(map[string]cluster.Resource, len(running)),
-			}
-			granted := 0
-			for i, j := range running {
-				st.Running = append(st.Running, j.id+"/"+j.stage.String())
-				st.Parallelism[j.id] = delta[i]
-				st.Bottleneck[j.id] = dists[i].Bottleneck
-				granted += delta[i]
-				for r := 0; r < cluster.NumResources; r++ {
-					if u := dists[i].Util[r]; u > st.Utilization[r] {
-						st.Utilization[r] = u
+		// Record the state if its signature changed. The signature only
+		// covers (job, stage) membership, so it needs recomputing only
+		// after a membership or stage change.
+		if sigDirty {
+			sigDirty = false
+			if sig := stateSignature(running); sig != prevSig {
+				closeState(plan, now)
+				prevSig = sig
+				st := StateEstimate{
+					Seq:         len(plan.States) + 1,
+					Start:       units.Seconds(now),
+					Parallelism: make(map[string]int, len(running)),
+					Bottleneck:  make(map[string]cluster.Resource, len(running)),
+				}
+				granted := 0
+				for i, j := range running {
+					st.Running = append(st.Running, j.id+"/"+j.stage.String())
+					st.Parallelism[j.id] = delta[i]
+					st.Bottleneck[j.id] = dists[i].Bottleneck
+					granted += delta[i]
+					for r := 0; r < cluster.NumResources; r++ {
+						if u := dists[i].Util[r]; u > st.Utilization[r] {
+							st.Utilization[r] = u
+						}
 					}
 				}
-			}
-			if pool.Slots > 0 {
-				st.SlotShare = float64(granted) / float64(pool.Slots)
-			}
-			sort.Strings(st.Running)
-			plan.States = append(plan.States, st)
-			if stateCount != nil {
-				stateCount.Inc()
-			}
-			if trOn {
-				e.Opt.Observe.Tracer.Emit(obs.Event{
-					Type: obs.EvEstimatorState, Time: now, Task: -1,
-					Seq: st.Seq, Detail: strings.Join(st.Running, ","),
-				})
+				if pool.Slots > 0 {
+					st.SlotShare = float64(granted) / float64(pool.Slots)
+				}
+				sort.Strings(st.Running)
+				plan.States = append(plan.States, st)
+				if trOn {
+					e.Opt.Observe.Tracer.Emit(obs.Event{
+						Type: obs.EvEstimatorState, Time: now, Task: -1,
+						Seq: st.Seq, Detail: strings.Join(st.Running, ","),
+					})
+				}
 			}
 		}
 
-		// (3)-(4) Find the job whose stage ends first.
+		// (3)-(4) Find the job whose stage ends first (or the next submit
+		// arrival, whichever is nearer).
 		dt := math.Inf(1)
 		for i := range running {
 			if rests[i] < dt {
 				dt = rests[i]
 			}
 		}
-		for _, j := range jobs {
-			if j.phase == phaseSubmitted && j.readyAt-now < dt {
-				dt = j.readyAt - now
+		if len(s.heap) > 0 {
+			if r := s.heap[0].readyAt - now; r < dt {
+				dt = r
 			}
 		}
 		if dt < 0 {
@@ -401,6 +504,7 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 
 		// (5) Update progress of every running job; transition finished
 		// stages.
+		finished := false
 		for i, j := range running {
 			j.tasksLeft -= rates[i] * dt
 			j.busy[dists[i].Bottleneck] += dt
@@ -408,10 +512,11 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 				continue
 			}
 			j.tasksLeft = 0
-			j.plan[j.stage].End = units.Seconds(now)
-			j.plan[j.stage].Bottleneck = j.dominantResource()
+			sigDirty = true
+			se := &j.se[j.stage]
+			se.End = units.Seconds(now)
+			se.Bottleneck = j.dominantResource()
 			if trOn {
-				se := j.plan[j.stage]
 				e.Opt.Observe.Tracer.Emit(obs.Event{
 					Type: obs.EvStageFinish,
 					Time: se.Start.Seconds(), Dur: se.Duration().Seconds(),
@@ -425,23 +530,38 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 				continue
 			}
 			j.phase = phaseDone
+			finished = true
 			remaining--
 			for _, c := range children[j.id] {
-				cj := jobs[c]
+				cj := s.jobs[c]
 				cj.waitingOn--
 				if cj.waitingOn == 0 && cj.phase == phaseWaiting {
 					submit(cj)
 				}
 			}
 		}
+		if finished {
+			s.compactRunning()
+		}
 	}
 	closeState(plan, now)
-	observeClosed()
+	if reg := e.Opt.Observe.Metrics; reg != nil {
+		reg.Counter("est_iterations").Add(iters)
+		reg.Counter("est_states").Add(int64(len(plan.States)))
+		reg.Counter("est_dist_solves").Add(solves)
+		reg.Counter("est_dist_reuse").Add(reuses)
+		stateDur := reg.Histogram("est_state_duration_s")
+		for _, st := range plan.States {
+			if st.End > 0 {
+				stateDur.Observe(st.Duration().Seconds())
+			}
+		}
+	}
 	plan.Makespan = units.Seconds(now)
-	for _, j := range ordered {
+	for _, j := range s.ordered {
 		for _, st := range []workload.Stage{workload.Map, workload.Reduce} {
-			if se, ok := j.plan[st]; ok {
-				plan.Stages = append(plan.Stages, *se)
+			if j.seen[st] {
+				plan.Stages = append(plan.Stages, j.se[st])
 			}
 		}
 	}
@@ -452,7 +572,7 @@ func (e *Estimator) run(w *dag.Workflow, jobs map[string]*estJob, remaining int)
 // stage at the state's rate: fluid tasksLeft/rate by default, discrete
 // waves if configured, plus the normal-mode straggler correction when the
 // stage is in its final wave.
-func (e *Estimator) restTime(j *estJob, delta int, dist TaskTimeDist, taskTime float64) float64 {
+func (e *Estimator) restTime(s *Scratch, j *estJob, delta int, dist TaskTimeDist, taskTime float64) float64 {
 	left := j.tasksLeft
 	if left <= 0 {
 		return 0
@@ -477,7 +597,10 @@ func (e *Estimator) restTime(j *estJob, delta int, dist TaskTimeDist, taskTime f
 			// List-schedule the remaining tasks with durations cycled from
 			// the measured sample: a distribution-free stage duration.
 			n := int(math.Ceil(left))
-			tasks := make([]time.Duration, n)
+			if cap(s.tasks) < n {
+				s.tasks = make([]time.Duration, n)
+			}
+			tasks := s.tasks[:n]
 			for i := range tasks {
 				tasks[i] = dist.Sample[i%len(dist.Sample)]
 			}
@@ -502,7 +625,8 @@ func (e *Estimator) openStage(j *estJob, st workload.Stage, now float64) {
 	j.busy = [cluster.NumResources]float64{}
 	j.lastBottleneck = cluster.CPU
 
-	j.plan[st] = &StageEstimate{Job: j.id, Stage: st, Start: units.Seconds(now)}
+	j.se[st] = StageEstimate{Job: j.id, Stage: st, Start: units.Seconds(now)}
+	j.seen[st] = true
 }
 
 // dominantResource is the resource the job's current stage spent the most
@@ -524,15 +648,6 @@ func (j *estJob) dominantResource() cluster.Resource {
 	return best
 }
 
-func orderedJobs(jobs map[string]*estJob) []*estJob {
-	out := make([]*estJob, 0, len(jobs))
-	for _, j := range jobs {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
-	return out
-}
-
 // stateSig identifies a workflow state without allocating: an FNV-1a
 // hash over the running (job, stage) pairs plus their count. The count
 // guards the (already negligible) hash-collision risk — two states can
@@ -543,17 +658,13 @@ type stateSig struct {
 }
 
 func stateSignature(running []*estJob) stateSig {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
+	h := uint64(fnvOffset)
 	for _, j := range running {
 		for i := 0; i < len(j.id); i++ {
-			h = (h ^ uint64(j.id[i])) * prime
+			h = (h ^ uint64(j.id[i])) * fnvPrime
 		}
-		h = (h ^ 0xff) * prime // separator: ids cannot bleed into each other
-		h = (h ^ uint64(j.stage)) * prime
+		h = (h ^ 0xff) * fnvPrime // separator: ids cannot bleed into each other
+		h = (h ^ uint64(j.stage)) * fnvPrime
 	}
 	return stateSig{h: h, n: len(running)}
 }

@@ -1,0 +1,108 @@
+package statemodel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"boedag/internal/workload"
+)
+
+// TestSubmitHeapPopsTotalOrder drives the manual heap with randomized
+// readyAt values (including ties) and checks pops come out in the
+// deterministic (readyAt, order) total order.
+func TestSubmitHeapPopsTotalOrder(t *testing.T) {
+	s := NewScratch()
+	s.reset(64)
+	rng := rand.New(rand.NewSource(7))
+	var want []*estJob
+	for i := 0; i < 64; i++ {
+		j := s.newJob(string(rune('a'+i%26))+string(rune('0'+i/26)), workload.JobProfile{}, 0)
+		j.order = i
+		j.readyAt = float64(rng.Intn(8)) // dense values force ties
+		want = append(want, j)
+		s.heapPush(j)
+	}
+	for i := 1; i < len(want); i++ {
+		for k := i; k > 0 && submitsBefore(want[k], want[k-1]); k-- {
+			want[k], want[k-1] = want[k-1], want[k]
+		}
+	}
+	for i, w := range want {
+		if len(s.heap) == 0 {
+			t.Fatalf("heap empty after %d pops, want %d", i, len(want))
+		}
+		if got := s.heapPop(); got != w {
+			t.Fatalf("pop %d: got order=%d ready=%v, want order=%d ready=%v",
+				i, got.order, got.readyAt, w.order, w.readyAt)
+		}
+	}
+	if len(s.heap) != 0 {
+		t.Fatalf("%d jobs left on heap", len(s.heap))
+	}
+}
+
+// TestInsertAndCompactRunningKeepSortedOrder checks the running-list
+// index operations preserve the sorted-by-ID invariant that pins the
+// float evaluation order.
+func TestInsertAndCompactRunningKeepSortedOrder(t *testing.T) {
+	s := NewScratch()
+	s.reset(16)
+	ids := []string{"j07", "j03", "j11", "j01", "j09", "j05"}
+	for _, id := range ids {
+		s.insertRunning(s.newJob(id, workload.JobProfile{}, 0))
+	}
+	assertSorted := func() {
+		t.Helper()
+		for i := 1; i < len(s.running); i++ {
+			if s.running[i-1].id >= s.running[i].id {
+				t.Fatalf("running list out of order at %d: %s ≥ %s",
+					i, s.running[i-1].id, s.running[i].id)
+			}
+		}
+	}
+	assertSorted()
+	s.running[1].phase = phaseDone
+	s.running[4].phase = phaseDone
+	s.compactRunning()
+	if len(s.running) != 4 {
+		t.Fatalf("%d running after compact, want 4", len(s.running))
+	}
+	assertSorted()
+}
+
+// TestDistCacheEvictsWholesaleAtCap fills the cache past its bound and
+// checks the overflow clear fires instead of growing without limit.
+func TestDistCacheEvictsWholesaleAtCap(t *testing.T) {
+	var c distCache
+	d := TaskTimeDist{Mean: time.Second, Median: time.Second}
+	for i := 0; i < distCacheMax+10; i++ {
+		c.put(distKey{self: uint64(i)}, d)
+		if len(c.m) > distCacheMax {
+			t.Fatalf("cache grew to %d entries, cap is %d", len(c.m), distCacheMax)
+		}
+	}
+	// The wholesale clear must have fired exactly once by now.
+	if got, want := len(c.m), distCacheMax+10-distCacheMax; got != want {
+		t.Fatalf("cache holds %d entries after overflow, want %d", got, want)
+	}
+	if _, ok := c.get(distKey{self: uint64(distCacheMax + 9)}); !ok {
+		t.Error("entry inserted after the clear is missing")
+	}
+}
+
+// TestScratchResetPreservesDistCache is the incremental contract at the
+// scratch level: reset clears per-run state but carries the dist cache.
+func TestScratchResetPreservesDistCache(t *testing.T) {
+	s := NewScratch()
+	s.reset(4)
+	s.newJob("a", workload.JobProfile{}, 0)
+	s.dc.put(distKey{self: 42}, TaskTimeDist{Mean: time.Second})
+	s.reset(4)
+	if len(s.jobs) != 0 || len(s.ordered) != 0 || len(s.running) != 0 || len(s.heap) != 0 {
+		t.Fatal("reset left per-run state behind")
+	}
+	if _, ok := s.dc.get(distKey{self: 42}); !ok {
+		t.Error("reset dropped the dist cache")
+	}
+}

@@ -64,34 +64,49 @@ type Snapshot struct {
 // the snapshotted state, using the same state-based iteration as
 // Estimate. In-flight tasks are assumed half done on average. The
 // returned plan's clock starts at zero = the snapshot instant.
+//
+// Scratch memory comes from an internal pool; progress indicators that
+// tick the same workflow should hold a Scratch of their own and call
+// EstimateRemainingWith, so consecutive ticks are guaranteed to hit the
+// same warm dist cache and re-solve only the states the snapshot delta
+// touched.
 func (e *Estimator) EstimateRemaining(w *dag.Workflow, snap Snapshot) (time.Duration, *Plan, error) {
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return e.EstimateRemainingWith(s, w, snap)
+}
+
+// EstimateRemainingWith is EstimateRemaining running on the given
+// scratch arena. The scratch must not be shared with a concurrent run;
+// nil falls back to a fresh arena.
+func (e *Estimator) EstimateRemainingWith(s *Scratch, w *dag.Workflow, snap Snapshot) (time.Duration, *Plan, error) {
+	if s == nil {
+		s = NewScratch()
+	}
 	if err := w.Validate(); err != nil {
 		return 0, nil, err
 	}
-	jobs := make(map[string]*estJob, len(w.Jobs))
 	doneJobs := make(map[string]bool)
 	for _, j := range w.Jobs {
 		if snap.Jobs[j.ID].Phase == JobFinished {
 			doneJobs[j.ID] = true
 		}
 	}
+	s.reset(len(w.Jobs))
 	remaining := 0
 	submitSeq := 0
 	for _, j := range w.Jobs {
 		js := snap.Jobs[j.ID]
-		ej := &estJob{
-			id:      j.ID,
-			profile: j.Profile,
-			plan:    make(map[workload.Stage]*StageEstimate),
+		waiting := 0
+		for _, d := range j.Deps {
+			if !doneJobs[d] {
+				waiting++
+			}
 		}
+		ej := s.newJob(j.ID, j.Profile, waiting)
 		if js.Phase != JobPending {
 			ej.order = submitSeq // declaration order approximates history
 			submitSeq++
-		}
-		for _, d := range j.Deps {
-			if !doneJobs[d] {
-				ej.waitingOn++
-			}
 		}
 		switch js.Phase {
 		case JobFinished:
@@ -115,7 +130,8 @@ func (e *Estimator) EstimateRemaining(w *dag.Workflow, snap Snapshot) (time.Dura
 			left := float64(total-js.TasksDone) - float64(js.TasksRunning)*prog
 			ej.tasksLeft = math.Max(left, 0.25)
 			ej.lastDelta = js.TasksRunning
-			ej.plan[st] = &StageEstimate{Job: j.ID, Stage: st}
+			ej.se[st] = StageEstimate{Job: j.ID, Stage: st}
+			ej.seen[st] = true
 		default:
 			if ej.waitingOn == 0 {
 				// Dependencies satisfied but not yet observed running: it is
@@ -129,12 +145,11 @@ func (e *Estimator) EstimateRemaining(w *dag.Workflow, snap Snapshot) (time.Dura
 		if ej.phase != phaseDone {
 			remaining++
 		}
-		jobs[j.ID] = ej
 	}
 	if remaining == 0 {
 		return 0, &Plan{Workflow: w.Name}, nil
 	}
-	plan, err := e.run(w, jobs, remaining)
+	plan, err := e.run(s, w, remaining)
 	if err != nil {
 		return 0, nil, err
 	}

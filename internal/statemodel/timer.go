@@ -102,6 +102,18 @@ type TaskTimer interface {
 	TaskDist(jobID string, groups []boe.TaskGroup, self int) TaskTimeDist
 }
 
+// DistCacheable is implemented by TaskTimer implementations whose
+// TaskDist is a pure function of its visible inputs (jobID, the group
+// sequence, self) and the fingerprinted parameters. The estimator only
+// memoizes task-time solves for timers that vouch for their purity this
+// way; opaque timers are never cached (correctness over speed).
+type DistCacheable interface {
+	// DistFingerprint hashes every parameter the timer reads beyond the
+	// TaskDist arguments. jobSensitive reports whether the result depends
+	// on jobID (forcing per-job cache keys); ok=false disables caching.
+	DistFingerprint() (fp uint64, jobSensitive, ok bool)
+}
+
 // BOETimer predicts task times with the BOE model, adding the per-task
 // container-start overhead and deriving the spread from the workload's
 // declared skew.
@@ -115,13 +127,7 @@ type BOETimer struct {
 // TaskDist implements TaskTimer.
 func (t *BOETimer) TaskDist(jobID string, groups []boe.TaskGroup, self int) TaskTimeDist {
 	g := groups[self]
-	env := make([]boe.TaskGroup, 0, len(groups)-1)
-	for i, o := range groups {
-		if i != self {
-			env = append(env, o)
-		}
-	}
-	est := t.Model.TaskTimeWith(g.Profile, g.Stage, g.Parallelism, env)
+	est := t.Model.TaskTimeAt(groups, self)
 	mean := est.Duration + t.TaskStartOverhead
 	// The task-size skew translates linearly into task-time skew for
 	// data-bound tasks.
@@ -129,6 +135,30 @@ func (t *BOETimer) TaskDist(jobID string, groups []boe.TaskGroup, self int) Task
 	dist := TaskTimeDist{Mean: mean, Median: mean, Std: std}
 	dist.Bottleneck, dist.Util = resolveBottleneck(est)
 	return dist
+}
+
+// DistFingerprint implements DistCacheable: the BOE model is a pure
+// function of the cluster spec, the split discipline and the start
+// overhead, and it never reads jobID.
+func (t *BOETimer) DistFingerprint() (uint64, bool, bool) {
+	s := t.Model.Spec
+	h := mixStr(fnvOffset, "timer:boe")
+	h = mix64(h, uint64(s.Nodes))
+	h = mix64(h, uint64(s.SlotsPerNode))
+	h = mix64(h, uint64(s.Node.Cores))
+	h = mixFloat(h, float64(s.Node.CoreThroughput))
+	h = mix64(h, uint64(s.Node.Disks))
+	h = mixFloat(h, float64(s.Node.DiskReadRate))
+	h = mixFloat(h, float64(s.Node.DiskWriteRate))
+	h = mixFloat(h, float64(s.Node.NetworkRate))
+	h = mix64(h, uint64(s.Node.MemoryMB))
+	if t.Model.EqualSplit {
+		h = mix64(h, 1)
+	} else {
+		h = mix64(h, 0)
+	}
+	h = mix64(h, uint64(t.TaskStartOverhead))
+	return h, false, true
 }
 
 // resolveBottleneck folds a BOE task estimate into the task's dominant
@@ -166,7 +196,9 @@ func resolveBottleneck(est boe.TaskEstimate) (cluster.Resource, [cluster.NumReso
 
 // ProfileTimer replays measured task-time distributions, ignoring the
 // contention environment (the profiles were captured at the matching
-// degree of parallelism, per §V-C).
+// degree of parallelism, per §V-C). It deliberately does not implement
+// DistCacheable: a profile lookup is already O(1), so memoizing it would
+// only add key-hashing overhead to the hot loop.
 type ProfileTimer struct {
 	Profiles *profile.Set
 	// Fallback, if non-nil, covers stages absent from the profiles.

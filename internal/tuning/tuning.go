@@ -79,6 +79,10 @@ type Options struct {
 	// is safe for concurrent calls and each candidate scores its own
 	// workflow clone, so the recommendation is identical at any value.
 	Workers int
+	// DisableIncremental scores candidates on the estimator's from-scratch
+	// reference path. Recommendations are identical either way by the
+	// estimator's equivalence contract; this exists to verify exactly that.
+	DisableIncremental bool
 }
 
 func (o Options) withDefaults() Options {
@@ -158,10 +162,15 @@ func New(spec cluster.Spec, opt Options) *Tuner {
 	return &Tuner{
 		spec: spec,
 		opt:  opt,
-		est:  statemodel.New(spec, timer, statemodel.Options{Mode: opt.Mode, Observe: opt.Observe}),
+		est: statemodel.New(spec, timer, statemodel.Options{
+			Mode:               opt.Mode,
+			Observe:            opt.Observe,
+			DisableIncremental: opt.DisableIncremental,
+		}),
 		fifoEst: statemodel.New(spec, timer, statemodel.Options{
-			Mode:   opt.Mode,
-			Policy: sched.PolicyFIFO,
+			Mode:               opt.Mode,
+			Policy:             sched.PolicyFIFO,
+			DisableIncremental: opt.DisableIncremental,
 		}),
 		cache: evalpool.NewPlanCache().WithMetrics(opt.Observe.Metrics),
 	}

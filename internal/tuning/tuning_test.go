@@ -328,3 +328,28 @@ func TestTunePlanCacheHits(t *testing.T) {
 		t.Errorf("cache hits %d ≥ evaluations %d", rec.CacheHits, rec.Evaluations)
 	}
 }
+
+// TestTuneMatchesFromScratchReference pins the estimator's incremental
+// equivalence contract end to end through the tuner: coordinate descent
+// over the warm incremental path must land on the same recommendation,
+// scores included, as the from-scratch reference.
+func TestTuneMatchesFromScratchReference(t *testing.T) {
+	flow := dag.Parallel("TUNE",
+		dag.Single(misconfigured()),
+		dag.Single(workload.WordCount(20*units.GB)))
+	inc, err := New(spec(), Options{Workers: 4}).Tune(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(spec(), Options{DisableIncremental: true}).Tune(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Baseline != ref.Baseline || inc.Estimate != ref.Estimate {
+		t.Errorf("scores diverged: incremental %v→%v, reference %v→%v",
+			inc.Baseline, inc.Estimate, ref.Baseline, ref.Estimate)
+	}
+	if got, want := fmt.Sprint(inc.Changes), fmt.Sprint(ref.Changes); got != want {
+		t.Errorf("changes diverged:\nincremental: %s\nreference:   %s", got, want)
+	}
+}

@@ -15,6 +15,8 @@
 //	dagsim -workflow q21 -otlp-out o.json     # OTLP/JSON spans + metrics
 //	dagsim -workflow wc+ts -explain           # explain the model's prediction
 //	dagsim -workflow synth-l5-w8-f2-s7  # seeded synthetic layered DAG (40 jobs)
+//	dagsim -workflow wc+ts -policy fifo # schedule containers FIFO instead of DRF
+//	dagsim -sched-study -seed 7         # policy-vs-policy arrival-stream comparison
 //	dagsim -list                        # show every known workflow name
 //
 // The synthetic family scales to estimator stress tests: synth-1k and
@@ -40,6 +42,7 @@ import (
 	"boedag/internal/experiments"
 	"boedag/internal/explain"
 	"boedag/internal/progress"
+	"boedag/internal/sched"
 	"boedag/internal/simulator"
 	"boedag/internal/statemodel"
 	"boedag/internal/trace"
@@ -61,6 +64,8 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the run summary to this JSON file")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations for a multi-workflow run (1 = serial)")
 		clusterIn = flag.String("cluster", "", "simulate this cluster spec JSON (e.g. from `calibrate -spec-out`) instead of the paper cluster")
+		policy    = flag.String("policy", "drf", "container scheduling policy: drf, fifo, fair, or spjf")
+		study     = flag.Bool("sched-study", false, "replay the seeded arrival scenarios under every policy and print the comparison table")
 	)
 	var ob cliobs.Flags
 	ob.RegisterLive(nil)
@@ -87,7 +92,26 @@ func main() {
 		cfg.Spec = spec
 	}
 
+	// -sched-study is the estimator-in-the-loop policy comparison: the
+	// registry workflows become a seeded arrival stream, replayed under
+	// every policy (FIFO/DRF/Fair vs the prediction-guided pair).
+	if *study {
+		rows, err := experiments.SchedPolicyStudy(cfg, cfg.Seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagsim:", err)
+			os.Exit(1)
+		}
+		experiments.RenderSchedPolicy(os.Stdout, rows)
+		return
+	}
+
 	opt := simulator.Options{Seed: cfg.Seed}
+	if pol, err := sched.ParsePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, "dagsim:", err)
+		os.Exit(1)
+	} else {
+		opt.Policy = pol
+	}
 	if *perNode > 0 {
 		opt.SlotLimit = *perNode * cfg.Spec.Nodes
 	}

@@ -2,7 +2,9 @@
 # verify.sh — the repo's full verification gate:
 #   gofmt cleanliness, go vet, the race-enabled test suite with the
 #   per-package coverage gate (hack/coverage_baseline.txt), the trace
-#   parser fuzz smoke, the boedagbench ledger smoke, the perf regression
+#   parser / request decoder / hierarchical allocator fuzz smokes, the
+#   scheduler property suite under -race, the boedagbench ledger smoke,
+#   the perf regression
 #   gate (hack/bench_baseline.json, with an injected-slowdown
 #   self-check), the instrumentation-overhead guard (disabled-path
 #   observability must stay within 5% of an uninstrumented run), the
@@ -88,6 +90,12 @@ fuzz_smoke() {
     echo "== serve request decoder fuzz smoke =="
     go test ./internal/serve -run '^$' \
         -fuzz '^FuzzDecodeEstimateRequest$' -fuzztime "${FUZZTIME:-5s}"
+    echo "== schedule decoder fuzz smoke =="
+    go test ./internal/serve -run '^$' \
+        -fuzz '^FuzzDecodeScheduleRequest$' -fuzztime "${FUZZTIME:-5s}"
+    echo "== hierarchical allocator fuzz smoke =="
+    go test ./internal/sched -run '^$' \
+        -fuzz '^FuzzHierarchyAllocate$' -fuzztime "${FUZZTIME:-5s}"
 }
 
 # explain_smoke pins the explainability surface: the internal/explain
@@ -154,6 +162,10 @@ fresh_ledger() {
         ./internal/statemodel >> "$tmp/gobench.txt"
     go test -run '^$' -bench 'Reestimate$' -benchtime 5x \
         ./internal/statemodel >> "$tmp/gobench.txt"
+    go test -run '^$' -bench 'BenchmarkHierarchicalAllocate$' -benchtime 100x \
+        ./internal/sched >> "$tmp/gobench.txt"
+    go test -run '^$' -bench 'BenchmarkStreamPolicySweep$' -benchtime 3x \
+        ./internal/sched >> "$tmp/gobench.txt"
     go run ./cmd/boedagbench -inprocess -duration 3s -warmup 1s -seed 1 \
         -gobench "$tmp/gobench.txt" -label verify -out "$1"
 }
@@ -202,6 +214,10 @@ if [[ $quick -eq 1 ]]; then
     # quick mode.
     echo "== serve race check =="
     go test -race -count=1 ./internal/serve
+    # The scheduler's property/metamorphic suites and the shared
+    # stateless allocator back both engines: they run under -race too.
+    echo "== sched race check =="
+    go test -race -count=1 ./internal/sched ./internal/sched/schedtest
     explain_smoke
     incremental_smoke
     fuzz_smoke

@@ -8,6 +8,7 @@ import (
 
 	"boedag/internal/cluster"
 	"boedag/internal/dag"
+	"boedag/internal/sched"
 	"boedag/internal/simulator"
 	"boedag/internal/statemodel"
 	"boedag/internal/workload"
@@ -140,6 +141,61 @@ func (h *Hasher) caps(caps map[string]int) {
 	}
 }
 
+// floats folds a string→float64 map in sorted-key order.
+func (h *Hasher) floats(m map[string]float64) {
+	h.Int(int64(len(m)))
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Str(k)
+		h.Float(m[k])
+	}
+}
+
+// strs folds a string→string map in sorted-key order.
+func (h *Hasher) strs(m map[string]string) {
+	h.Int(int64(len(m)))
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Str(k)
+		h.Str(m[k])
+	}
+}
+
+// Hierarchy folds a queue tree's canonical spec list (nil = flat).
+func (h *Hasher) Hierarchy(t *sched.Hierarchy) {
+	if t == nil {
+		h.Int(-1)
+		return
+	}
+	specs := t.Specs()
+	h.Int(int64(len(specs)))
+	for _, sp := range specs {
+		h.Str(sp.Name)
+		h.Str(sp.Parent)
+		h.Int(int64(sp.Quota.MemoryMB))
+		h.Int(int64(sp.Quota.VCores))
+		h.Int(int64(sp.Quota.Slots))
+		h.Float(sp.Weight)
+		h.Int(int64(sp.Limit.MemoryMB))
+		h.Int(int64(sp.Limit.VCores))
+		h.Int(int64(sp.Limit.Slots))
+	}
+}
+
 // EstimatorOptions folds every semantically significant estimator option
 // (Observe is excluded: sinks do not change the plan).
 func (h *Hasher) EstimatorOptions(o statemodel.Options) {
@@ -148,6 +204,10 @@ func (h *Hasher) EstimatorOptions(o statemodel.Options) {
 	h.caps(o.ParallelismCaps)
 	h.Int(int64(o.SlotLimit))
 	h.Int(int64(o.Policy))
+	h.Hierarchy(o.Hierarchy)
+	h.strs(o.Queues)
+	h.caps(o.Gangs)
+	h.floats(o.Predictions)
 	h.Float(o.TaskFailureProb)
 	h.Bool(o.DiscreteWaves)
 	// Incremental vs from-scratch plans are byte-identical by contract,
@@ -166,6 +226,10 @@ func (h *Hasher) SimulatorOptions(o simulator.Options) {
 	h.caps(o.ParallelismCaps)
 	h.Int(int64(o.SlotLimit))
 	h.Int(int64(o.Policy))
+	h.Hierarchy(o.Hierarchy)
+	h.strs(o.Queues)
+	h.caps(o.Gangs)
+	h.floats(o.Predictions)
 	h.Float(o.TaskFailureProb)
 	h.Bool(o.NodeAware)
 	h.Bool(o.DisableSkew)

@@ -384,8 +384,8 @@ func TestPolicyStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("rows = %d", len(rows))
+	if len(rows) != len(sched.Policies()) {
+		t.Fatalf("rows = %d, want one per policy (%d)", len(rows), len(sched.Policies()))
 	}
 	for _, r := range rows {
 		if r.Makespan <= 0 {

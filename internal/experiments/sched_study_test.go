@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The study's acceptance bar (ISSUE 9): at least one prediction-guided
+// policy must beat BOTH classic baselines (FIFO and DRF) on p95 slowdown
+// AND SLO-miss rate, aggregated over the flat arrival scenarios.
+
+func schedRows(t *testing.T) []StreamPolicyRow {
+	t.Helper()
+	rows, err := SchedPolicyStudy(Scaled(16), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// aggregate averages a metric per policy over the flat (non-hierarchy)
+// scenarios.
+func aggregate(rows []StreamPolicyRow, metric func(StreamPolicyRow) float64) map[string]float64 {
+	sum, n := map[string]float64{}, map[string]int{}
+	for _, r := range rows {
+		if r.Scenario == "multitenant" {
+			continue
+		}
+		sum[r.Policy] += metric(r)
+		n[r.Policy]++
+	}
+	for k := range sum {
+		sum[k] /= float64(n[k])
+	}
+	return sum
+}
+
+func TestSchedPolicyStudyPredictiveBeatsBaselines(t *testing.T) {
+	rows := schedRows(t)
+	p95 := aggregate(rows, func(r StreamPolicyRow) float64 { return r.P95Slowdown })
+	miss := aggregate(rows, func(r StreamPolicyRow) float64 { return r.SLOMissRate })
+
+	winner := "spjf+slo"
+	for _, base := range []string{"fifo", "drf"} {
+		if !(p95[winner] < p95[base]) {
+			t.Errorf("p95 slowdown: %s (%.2f) does not beat %s (%.2f)",
+				winner, p95[winner], base, p95[base])
+		}
+		if !(miss[winner] < miss[base]) {
+			t.Errorf("SLO-miss rate: %s (%.3f) does not beat %s (%.3f)",
+				winner, miss[winner], base, miss[base])
+		}
+	}
+	if t.Failed() {
+		t.Logf("aggregate p95 slowdown: %v", p95)
+		t.Logf("aggregate SLO-miss rate: %v", miss)
+	}
+}
+
+func TestSchedPolicyStudyShape(t *testing.T) {
+	rows := schedRows(t)
+	want := 4 * len(SchedPolicies())
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Makespan <= 0 {
+			t.Errorf("%s/%s: non-positive makespan %v", r.Scenario, r.Policy, r.Makespan)
+		}
+		if r.P95Slowdown < 1 && r.Admitted > 0 {
+			t.Errorf("%s/%s: p95 slowdown %.2f < 1", r.Scenario, r.Policy, r.P95Slowdown)
+		}
+		// Flat share-based policies reclaim containers as fair shares
+		// shift, but FIFO grants never shrink.
+		if r.Policy == "fifo" && r.Scenario != "multitenant" && r.Preemptions != 0 {
+			t.Errorf("%s/%s: FIFO reclaimed %d containers", r.Scenario, r.Policy, r.Preemptions)
+		}
+		if r.Policy != "spjf+slo" && r.Rejected != 0 {
+			t.Errorf("%s/%s: rejected %d without admission control", r.Scenario, r.Policy, r.Rejected)
+		}
+	}
+}
+
+func TestSchedPolicyStudyDeterministic(t *testing.T) {
+	a := schedRows(t)
+	b := schedRows(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (cfg, seed) produced different study rows")
+	}
+}
+
+func TestArrivalScenariosSeeded(t *testing.T) {
+	cfg := Scaled(16)
+	a, err := ArrivalScenarios(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ArrivalScenarios(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a[0].Jobs, b[0].Jobs) {
+		t.Fatal("different seeds produced identical arrival streams")
+	}
+	for _, sc := range a {
+		if len(sc.Jobs) == 0 {
+			t.Fatalf("scenario %s has no jobs", sc.Name)
+		}
+		seen := map[string]bool{}
+		last := 0.0
+		for _, j := range sc.Jobs {
+			if seen[j.ID] {
+				t.Fatalf("%s: duplicate job ID %s", sc.Name, j.ID)
+			}
+			seen[j.ID] = true
+			if j.Submit < last {
+				t.Fatalf("%s: submits out of order (%f after %f)", sc.Name, j.Submit, last)
+			}
+			last = j.Submit
+			if j.Work <= 0 || j.MaxParallelism < 1 || j.Predicted <= 0 {
+				t.Fatalf("%s/%s: degenerate template %+v", sc.Name, j.ID, j)
+			}
+			if (sc.Name == "multitenant") != (j.Queue != "") {
+				t.Fatalf("%s/%s: queue %q", sc.Name, j.ID, j.Queue)
+			}
+		}
+	}
+}
+
+func TestLogApproxMatchesMathLog(t *testing.T) {
+	for _, x := range []float64{1e-6, 0.001, 0.1, 0.25, 0.5, 0.7, 0.999, 1} {
+		got, want := logApprox(x), math.Log(x)
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("logApprox(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestRenderSchedPolicy(t *testing.T) {
+	rows := schedRows(t)
+	var sb strings.Builder
+	RenderSchedPolicy(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Scenario", "p95 slowdown", "multitenant", "spjf+slo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

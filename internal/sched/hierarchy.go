@@ -1,0 +1,556 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file grows the flat DRF model into the hierarchical scheduler a
+// production resource manager actually runs (YARN's Capacity Scheduler,
+// KAI-Scheduler's queue controller): a tree of named queues, each with a
+// quota (its deserved, guaranteed capacity), an over-quota weight (its
+// share of whatever the guaranteed tiers leave idle), and an optional
+// hard limit. Allocation proceeds in three phases:
+//
+//  1. In-quota: containers go one at a time to the lowest-dominant-share
+//     job whose whole queue chain still has quota headroom — every
+//     queue's guarantee is honored before anyone goes over.
+//  2. Over-quota: remaining capacity goes to the lowest
+//     weight-normalized dominant share, so idle capacity splits between
+//     over-quota queues in proportion to their weights.
+//  3. Reclaim: when held containers (running work) exhaust the pool and
+//     an in-quota job is starved, over-quota holders are preempted —
+//     victims ordered by longest predicted remaining time first (the
+//     estimator-guided rule; without predictions, youngest submission
+//     first). Intra-quota work is never evicted.
+//
+// Gang admission is enforced after every phase: a job that declares
+// Gang=g either holds at least g containers or none, all-or-nothing.
+//
+// The whole thing is a pure deterministic function shared — like flat
+// DRF before it — by the ground-truth simulator and the state-model
+// estimator, so both sides of every experiment schedule identically.
+
+// QueueLimit bounds one queue's resources. A zero component is
+// unlimited; a zero value as a Quota means "no guarantee".
+type QueueLimit struct {
+	MemoryMB int
+	VCores   int
+	Slots    int
+}
+
+// zero reports whether no component is set.
+func (q QueueLimit) zero() bool { return q.MemoryMB == 0 && q.VCores == 0 && q.Slots == 0 }
+
+// QueueSpec declares one queue of the hierarchy.
+type QueueSpec struct {
+	// Name identifies the queue; requests reference it via Request.Queue.
+	Name string
+	// Parent names the enclosing queue ("" = directly under the root).
+	Parent string
+	// Quota is the queue's guaranteed capacity: demand inside the quota is
+	// satisfied before any queue's over-quota demand, and running work
+	// inside it is never preempted. Zero = no guarantee.
+	Quota QueueLimit
+	// Weight scales the queue's share of over-quota capacity relative to
+	// its siblings (default 1).
+	Weight float64
+	// Limit hard-caps the queue subtree (zero components = unlimited).
+	Limit QueueLimit
+}
+
+// queueNode is one resolved queue. Nodes carry no mutable state:
+// usage accumulators live in the per-call hierState (indexed by id), so
+// one Hierarchy may serve concurrent AllocateHierarchy calls — the
+// estimator and simulator share hierarchies across evalpool workers.
+type queueNode struct {
+	spec   QueueSpec
+	parent *queueNode
+	// id indexes the per-call usage slices (root = 0; declared queues in
+	// sorted-name order).
+	id int
+	// weight is the effective over-quota weight: the product of Weight
+	// along the chain from the root.
+	weight float64
+}
+
+// Hierarchy is a validated queue tree. Build one with NewHierarchy; nil
+// means flat scheduling (every request in an unlimited root).
+type Hierarchy struct {
+	nodes map[string]*queueNode
+	root  *queueNode
+}
+
+// NewHierarchy validates the queue specs into a tree: names must be
+// unique and non-empty, parents must exist (declaration order is free),
+// weights must be non-negative, and the parent links must be acyclic.
+func NewHierarchy(specs []QueueSpec) (*Hierarchy, error) {
+	root := &queueNode{weight: 1}
+	h := &Hierarchy{nodes: map[string]*queueNode{"": root}, root: root}
+	for _, sp := range specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("sched: queue with empty name")
+		}
+		if _, dup := h.nodes[sp.Name]; dup {
+			return nil, fmt.Errorf("sched: duplicate queue %q", sp.Name)
+		}
+		if sp.Weight < 0 {
+			return nil, fmt.Errorf("sched: queue %q: negative weight", sp.Name)
+		}
+		h.nodes[sp.Name] = &queueNode{spec: sp}
+	}
+	for name, n := range h.nodes {
+		if name == "" {
+			continue
+		}
+		parent, ok := h.nodes[n.spec.Parent]
+		if !ok {
+			return nil, fmt.Errorf("sched: queue %q: unknown parent %q", name, n.spec.Parent)
+		}
+		n.parent = parent
+	}
+	// Cycle check + effective weights, walking each chain to the root.
+	for name, n := range h.nodes {
+		if name == "" {
+			continue
+		}
+		seen := 0
+		for p := n; p != nil; p = p.parent {
+			if seen++; seen > len(h.nodes) {
+				return nil, fmt.Errorf("sched: queue %q: parent cycle", name)
+			}
+		}
+	}
+	for _, n := range h.nodes {
+		n.weight = effectiveWeight(n)
+	}
+	for i, name := range h.QueueNames() {
+		h.nodes[name].id = i + 1
+	}
+	return h, nil
+}
+
+func effectiveWeight(n *queueNode) float64 {
+	w := 1.0
+	for p := n; p != nil; p = p.parent {
+		pw := p.spec.Weight
+		if pw == 0 {
+			pw = 1
+		}
+		w *= pw
+	}
+	return w
+}
+
+// QueueNames lists the declared queues, sorted (the root is implicit).
+func (h *Hierarchy) QueueNames() []string {
+	names := make([]string, 0, len(h.nodes)-1)
+	for name := range h.nodes {
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Specs returns the declared queue specs in sorted-name order — the
+// canonical form cache keys and wire encodings hash (two hierarchies
+// with equal Specs allocate identically).
+func (h *Hierarchy) Specs() []QueueSpec {
+	names := h.QueueNames()
+	specs := make([]QueueSpec, len(names))
+	for i, name := range names {
+		specs[i] = h.nodes[name].spec
+	}
+	return specs
+}
+
+// String renders the tree compactly (diagnostics and test labels).
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	for i, name := range h.QueueNames() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		n := h.nodes[name]
+		fmt.Fprintf(&b, "%s(quota=%d,w=%g)", name, n.spec.Quota.Slots, n.spec.Weight)
+	}
+	return b.String()
+}
+
+// node resolves a request's queue; unknown names fall back to the root
+// (an unguaranteed, unlimited tenant) so allocation is total over any
+// input — the fuzz target's never-panic contract.
+func (h *Hierarchy) node(name string) *queueNode {
+	if n, ok := h.nodes[name]; ok {
+		return n
+	}
+	return h.root
+}
+
+// HierResult is an AllocateHierarchy outcome.
+type HierResult struct {
+	// Grants maps JobID to newly granted containers (held excluded).
+	Grants Allocation
+	// Evict maps JobID to held containers the scheduler reclaims: the
+	// caller (the simulator) must preempt that many of the job's running
+	// tasks. Empty without held over-quota work.
+	Evict Allocation
+}
+
+// hierState is the per-call working set of AllocateHierarchy.
+type hierState struct {
+	h     *Hierarchy
+	pool  Pool
+	reqs  []Request
+	nodes []*queueNode // per request
+	grant Allocation
+	held  map[string]int // mutable copy: evictions shrink it
+	evict Allocation
+	idx   []int // request indices sorted by JobID (deterministic ties)
+	// banned marks jobs zeroed by gang enforcement: once a gang fails,
+	// the job sits out the rest of the call (termination guarantee).
+	banned map[string]bool
+	// qmem/qcpu/qslots accumulate per-queue subtree usage, indexed by
+	// queueNode.id; mem/cpu/slots track the whole pool.
+	qmem, qcpu, qslots []int
+	mem, cpu, slots    int
+}
+
+// AllocateHierarchy grants containers under the queue hierarchy. A nil
+// hierarchy degenerates to flat DRF over an unlimited root — the same
+// grants DRF returns (gang enforcement aside). held lists containers
+// jobs already hold; they count toward usage and may be reclaimed (see
+// HierResult.Evict) when guaranteed queues are starved.
+func AllocateHierarchy(pool Pool, h *Hierarchy, reqs []Request, held Allocation) HierResult {
+	if h == nil {
+		h = flatHierarchy
+	}
+	s := &hierState{
+		h:     h,
+		pool:  pool,
+		reqs:  reqs,
+		nodes: make([]*queueNode, len(reqs)),
+		grant: make(Allocation, len(reqs)),
+		held:  make(map[string]int, len(held)),
+		evict: Allocation{},
+		idx:   make([]int, len(reqs)),
+	}
+	s.qmem = make([]int, len(h.nodes))
+	s.qcpu = make([]int, len(h.nodes))
+	s.qslots = make([]int, len(h.nodes))
+	for i, r := range reqs {
+		s.nodes[i] = h.node(r.Queue)
+		s.idx[i] = i
+	}
+	for i := 1; i < len(s.idx); i++ {
+		for k := i; k > 0 && reqs[s.idx[k]].JobID < reqs[s.idx[k-1]].JobID; k-- {
+			s.idx[k], s.idx[k-1] = s.idx[k-1], s.idx[k]
+		}
+	}
+	for i, r := range reqs {
+		hh := held[r.JobID]
+		if hh == 0 {
+			continue
+		}
+		s.held[r.JobID] = hh
+		s.grant[r.JobID] = 0
+		s.charge(s.nodes[i], r, hh)
+	}
+
+	// Fill in-quota guarantees, then over-quota by weight; when reclaim
+	// preempts held over-quota containers it can free more capacity than
+	// the starved job consumes (container shapes differ), so re-offer the
+	// remainder through both fill phases and iterate. Terminates: every
+	// extra round is paid for by at least one evicted held container.
+	for {
+		s.fill(true)
+		s.fill(false)
+		if !s.reclaim() {
+			break
+		}
+	}
+	s.enforceGangs()
+
+	if len(s.evict) == 0 {
+		s.evict = nil
+	}
+	return HierResult{Grants: s.grant, Evict: s.evict}
+}
+
+// flatHierarchy is the nil-hierarchy degenerate: one unlimited root.
+var flatHierarchy = func() *Hierarchy {
+	h, err := NewHierarchy(nil)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}()
+
+// charge adds n containers of r's shape to the pool usage and every
+// queue on the chain (negative n removes them).
+func (s *hierState) charge(node *queueNode, r Request, n int) {
+	s.mem += n * r.MemoryMB
+	s.cpu += n * r.VCores
+	s.slots += n
+	for p := node; p != nil; p = p.parent {
+		s.qmem[p.id] += n * r.MemoryMB
+		s.qcpu[p.id] += n * r.VCores
+		s.qslots[p.id] += n
+	}
+}
+
+// have is the job's current container count (held + granted − evicted).
+func (s *hierState) have(r Request) int {
+	return s.grant[r.JobID] + s.held[r.JobID]
+}
+
+// wants reports whether the job still demands a container: pending
+// unmet, cap unreached, and not banned by a failed gang.
+func (s *hierState) wants(i int) bool {
+	r := s.reqs[i]
+	if s.banned[r.JobID] {
+		return false
+	}
+	if s.grant[r.JobID] >= r.Pending {
+		return false
+	}
+	if r.Cap > 0 && s.have(r) >= r.Cap {
+		return false
+	}
+	return true
+}
+
+// poolFits reports whether one more container of r's shape fits the
+// cluster pool.
+func (s *hierState) poolFits(r Request) bool {
+	if s.pool.MemoryMB > 0 && s.mem+r.MemoryMB > s.pool.MemoryMB {
+		return false
+	}
+	if s.pool.VCores > 0 && s.cpu+r.VCores > s.pool.VCores {
+		return false
+	}
+	if s.pool.Slots > 0 && s.slots+1 > s.pool.Slots {
+		return false
+	}
+	return true
+}
+
+// limitFits reports whether one more container of r's shape respects
+// every hard limit on the chain.
+func (s *hierState) limitFits(node *queueNode, r Request) bool {
+	for p := node; p != nil; p = p.parent {
+		l := p.spec.Limit
+		if l.MemoryMB > 0 && s.qmem[p.id]+r.MemoryMB > l.MemoryMB {
+			return false
+		}
+		if l.VCores > 0 && s.qcpu[p.id]+r.VCores > l.VCores {
+			return false
+		}
+		if l.Slots > 0 && s.qslots[p.id]+1 > l.Slots {
+			return false
+		}
+	}
+	return true
+}
+
+// quotaHeadroom reports whether one more container of r's shape stays
+// inside every quota on the chain. Queues without a quota contribute no
+// headroom (their demand is over-quota by definition), and root-parked
+// requests have none either — flat work holds no guarantee, it competes
+// in the weighted phase (where weight-1 arbitration is exactly DRF, so
+// a nil hierarchy still reproduces flat DRF grant for grant).
+func (s *hierState) quotaHeadroom(node *queueNode, r Request) bool {
+	if node.parent == nil {
+		return false
+	}
+	for p := node; p != nil && p.parent != nil; p = p.parent {
+		q := p.spec.Quota
+		if q.zero() {
+			return false
+		}
+		if q.MemoryMB > 0 && s.qmem[p.id]+r.MemoryMB > q.MemoryMB {
+			return false
+		}
+		if q.VCores > 0 && s.qcpu[p.id]+r.VCores > q.VCores {
+			return false
+		}
+		if q.Slots > 0 && s.qslots[p.id]+1 > q.Slots {
+			return false
+		}
+	}
+	return true
+}
+
+// dominantShare is the job's maximum share across memory and vcores
+// at count n — flat DRF's priority key.
+func dominantShare(pool Pool, r Request, n int) float64 {
+	memShare, cpuShare := 0.0, 0.0
+	if pool.MemoryMB > 0 {
+		memShare = float64(n*r.MemoryMB) / float64(pool.MemoryMB)
+	}
+	if pool.VCores > 0 {
+		cpuShare = float64(n*r.VCores) / float64(pool.VCores)
+	}
+	if memShare > cpuShare {
+		return memShare
+	}
+	return cpuShare
+}
+
+// fill grants containers one at a time to the best eligible job until
+// nothing fits. inQuota restricts candidates to chains with quota
+// headroom and ranks by plain dominant share; the over-quota phase
+// admits everyone within limits and ranks by weight-normalized share.
+func (s *hierState) fill(inQuota bool) {
+	for {
+		best, bestKey := -1, 0.0
+		for _, i := range s.idx {
+			r := s.reqs[i]
+			if !s.wants(i) || !s.poolFits(r) || !s.limitFits(s.nodes[i], r) {
+				continue
+			}
+			if inQuota && !s.quotaHeadroom(s.nodes[i], r) {
+				continue
+			}
+			key := dominantShare(s.pool, r, s.have(r))
+			if !inQuota {
+				key /= s.nodes[i].weight
+			}
+			if best == -1 || key < bestKey {
+				best, bestKey = i, key
+			}
+		}
+		if best == -1 {
+			return
+		}
+		r := s.reqs[best]
+		s.grant[r.JobID]++
+		s.charge(s.nodes[best], r, 1)
+	}
+}
+
+// reclaim preempts held over-quota containers to unblock starved
+// in-quota demand: while some job with quota headroom wants a container
+// that only fails for pool capacity, evict one preemptible held
+// container and grant in its place. Victims are jobs whose chain holds
+// no quota headroom for the container being returned — i.e. over-quota
+// (or unguaranteed) work — ordered by longest predicted remaining time,
+// then youngest submission, then JobID. Reports whether anything was
+// evicted (the caller re-offers leftover freed capacity).
+func (s *hierState) reclaim() bool {
+	evicted := false
+	for {
+		starved := -1
+		for _, i := range s.idx {
+			r := s.reqs[i]
+			if s.wants(i) && hasGuarantee(s.nodes[i]) && s.limitFits(s.nodes[i], r) &&
+				s.quotaHeadroom(s.nodes[i], r) && !s.poolFits(r) {
+				starved = i
+				break
+			}
+		}
+		if starved == -1 {
+			return evicted
+		}
+		victim := s.pickVictim(starved)
+		if victim == -1 {
+			return evicted
+		}
+		vr := s.reqs[victim]
+		s.held[vr.JobID]--
+		s.evict[vr.JobID]++
+		evicted = true
+		s.charge(s.nodes[victim], vr, -1)
+		if s.poolFits(s.reqs[starved]) {
+			r := s.reqs[starved]
+			s.grant[r.JobID]++
+			s.charge(s.nodes[starved], r, 1)
+		}
+	}
+}
+
+// pickVictim selects the held container to preempt for the starved
+// request, or -1 when every holder is inside its guarantee.
+func (s *hierState) pickVictim(starved int) int {
+	best := -1
+	for _, i := range s.idx {
+		r := s.reqs[i]
+		if i == starved || s.held[r.JobID] <= 0 {
+			continue
+		}
+		// Releasing one container must not cut into guaranteed work: the
+		// holder is preemptible only if, after hypothetically releasing
+		// the container, its chain has no quota headroom to take it back
+		// — i.e. the container sat above the guarantee. Requests parked
+		// directly under the root (flat scheduling) always have vacuous
+		// headroom and are therefore never preempted, which keeps flat
+		// DRF's held containers untouchable, as before.
+		s.charge(s.nodes[i], r, -1)
+		over := s.nodes[i] != s.h.root && !s.quotaHeadroom(s.nodes[i], r)
+		s.charge(s.nodes[i], r, 1)
+		if !over {
+			continue
+		}
+		if best == -1 || victimLess(s.reqs[best], r) {
+			best = i
+		}
+	}
+	return best
+}
+
+// victimLess reports whether b preempts before a: longer predicted
+// remaining time first (the estimator-guided reclaim order — evicting
+// the job that would run longest anyway delays the fleet least),
+// youngest submission on ties, JobID as the final deterministic key.
+func victimLess(a, b Request) bool {
+	if a.Predicted != b.Predicted {
+		return b.Predicted > a.Predicted
+	}
+	if a.Order != b.Order {
+		return b.Order > a.Order
+	}
+	return b.JobID < a.JobID
+}
+
+// enforceGangs zeroes any job granted fewer total containers than its
+// gang minimum, bans it for the rest of the call, and re-offers the
+// freed capacity — iterating to a fixpoint (a zeroed gang can unblock
+// another gang). The ban guarantees termination: each round either
+// converges or permanently retires at least one job.
+func (s *hierState) enforceGangs() {
+	for {
+		changed := false
+		for _, i := range s.idx {
+			r := s.reqs[i]
+			if r.Gang <= 0 || s.grant[r.JobID] == 0 || s.have(r) >= r.Gang {
+				continue
+			}
+			s.charge(s.nodes[i], r, -s.grant[r.JobID])
+			s.grant[r.JobID] = 0
+			if s.banned == nil {
+				s.banned = make(map[string]bool)
+			}
+			s.banned[r.JobID] = true
+			changed = true
+		}
+		if !changed {
+			return
+		}
+		s.fill(true)
+		s.fill(false)
+	}
+}
+
+// hasGuarantee reports whether some queue on the chain (the root aside)
+// declares a quota — only guaranteed demand may trigger reclaim.
+func hasGuarantee(node *queueNode) bool {
+	for p := node; p != nil && p.parent != nil; p = p.parent {
+		if !p.spec.Quota.zero() {
+			return true
+		}
+	}
+	return false
+}

@@ -21,6 +21,11 @@ const (
 	// PolicyFair splits slots evenly across jobs regardless of container
 	// sizes — the Fair Scheduler's slot view.
 	PolicyFair
+	// PolicySPJF is shortest-predicted-job-first: FIFO's drain discipline
+	// ordered by Request.Predicted (the estimator-in-the-loop policy).
+	// With equal predictions it degrades to exactly FIFO — the metamorphic
+	// contract the policy suite enforces.
+	PolicySPJF
 )
 
 // String names the policy.
@@ -32,12 +37,24 @@ func (p Policy) String() string {
 		return "fifo"
 	case PolicyFair:
 		return "fair"
+	case PolicySPJF:
+		return "spjf"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
 // Policies lists all scheduling disciplines.
-func Policies() []Policy { return []Policy{PolicyDRF, PolicyFIFO, PolicyFair} }
+func Policies() []Policy { return []Policy{PolicyDRF, PolicyFIFO, PolicyFair, PolicySPJF} }
+
+// ParsePolicy resolves a policy name as printed by String.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return PolicyDRF, fmt.Errorf("sched: unknown policy %q", name)
+}
 
 // Grant allocates containers under the chosen policy. Request.Order
 // carries submission order for FIFO (lower is earlier; ties break by
@@ -48,6 +65,8 @@ func Grant(policy Policy, pool Pool, reqs []Request, held Allocation) Allocation
 		return fifo(pool, reqs, held)
 	case PolicyFair:
 		return fair(pool, reqs, held)
+	case PolicySPJF:
+		return spjf(pool, reqs, held)
 	default:
 		return DRF(pool, reqs, held)
 	}
@@ -62,6 +81,29 @@ func fifo(pool Pool, reqs []Request, held Allocation) Allocation {
 		}
 		return ordered[a].JobID < ordered[b].JobID
 	})
+	return drain(pool, ordered, reqs, held)
+}
+
+// spjf drains the pool shortest-predicted-job-first: FIFO's discipline
+// with Predicted as the primary key, so equal predictions reproduce
+// FIFO exactly (Order, then JobID, break ties).
+func spjf(pool Pool, reqs []Request, held Allocation) Allocation {
+	ordered := append([]Request(nil), reqs...)
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].Predicted != ordered[b].Predicted {
+			return ordered[a].Predicted < ordered[b].Predicted
+		}
+		if ordered[a].Order != ordered[b].Order {
+			return ordered[a].Order < ordered[b].Order
+		}
+		return ordered[a].JobID < ordered[b].JobID
+	})
+	return drain(pool, ordered, reqs, held)
+}
+
+// drain gives each job, in the given priority order, every container it
+// can take before moving to the next.
+func drain(pool Pool, ordered, reqs []Request, held Allocation) Allocation {
 	grant := make(Allocation, len(reqs))
 	memUsed, cpuUsed, slotsUsed := heldUsage(reqs, held)
 	for _, r := range ordered {

@@ -101,7 +101,7 @@ func TestPoliciesRespectPools(t *testing.T) {
 }
 
 func TestPolicyStrings(t *testing.T) {
-	want := map[Policy]string{PolicyDRF: "drf", PolicyFIFO: "fifo", PolicyFair: "fair"}
+	want := map[Policy]string{PolicyDRF: "drf", PolicyFIFO: "fifo", PolicyFair: "fair", PolicySPJF: "spjf"}
 	for p, s := range want {
 		if p.String() != s {
 			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
@@ -110,7 +110,16 @@ func TestPolicyStrings(t *testing.T) {
 	if !strings.Contains(Policy(9).String(), "9") {
 		t.Error("unknown policy string")
 	}
-	if len(Policies()) != 3 {
+	if len(Policies()) != len(want) {
 		t.Error("Policies() incomplete")
+	}
+	for _, p := range Policies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted bogus name")
 	}
 }

@@ -26,6 +26,17 @@ type Request struct {
 	// Order is the job's submission sequence number, consumed by the FIFO
 	// policy (lower is earlier); DRF and Fair ignore it.
 	Order int
+	// Queue names the job's leaf queue in the hierarchy ("" = root/flat).
+	// Only AllocateHierarchy consults it.
+	Queue string
+	// Gang is the all-or-nothing minimum: a job holding fewer than Gang
+	// containers after allocation holds none (0 = no gang constraint).
+	// Only AllocateHierarchy enforces it.
+	Gang int
+	// Predicted is the estimator's predicted (remaining) runtime in
+	// seconds, consumed by PolicySPJF ordering and the hierarchical
+	// reclaim victim order. Zero means "no prediction".
+	Predicted float64
 }
 
 // Pool is the cluster-aggregate capacity DRF divides.

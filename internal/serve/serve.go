@@ -12,6 +12,10 @@
 //	                    path, bottleneck attribution, θ-sensitivity
 //	POST /v1/batch      many scenarios fanned out through the evalpool
 //	                    worker pool, results in input order
+//	POST /v1/schedule   an arrival stream of jobs → per-job fates and
+//	                    aggregate policy metrics under FIFO/DRF/Fair/
+//	                    SPJF or hierarchical queues with preemptive
+//	                    reclaim and deadline-aware admission
 //	GET  /v1/workflows  the workflow registry names
 //	GET  /v1/cluster    the serving cluster specification
 //	GET  /healthz       liveness (200 while the process runs)
@@ -147,10 +151,10 @@ type Server struct {
 	// per endpoint (request_duration_s{route=…}); it is written only
 	// during New's route registration and read-only thereafter.
 	requests, errors, rejected, queued, panics, computed, coalesced *obs.Counter
-	explained                                                       *obs.Counter
+	explained, scheduled                                            *obs.Counter
 	reqDur, queueWait                                               *obs.Histogram
 	phaseDecode, phaseEstimate, phaseEncode, coalescedWait          *obs.Histogram
-	phaseExplain                                                    *obs.Histogram
+	phaseExplain, phaseSchedule                                     *obs.Histogram
 	inflightG, queueG                                               *obs.Gauge
 	routeDur                                                        map[string]*obs.Histogram
 
@@ -188,12 +192,14 @@ func New(cfg Config) (*Server, error) {
 		computed:      reg.Counter("estimates_computed"),
 		coalesced:     reg.Counter("estimates_coalesced"),
 		explained:     reg.Counter("explains_computed"),
+		scheduled:     reg.Counter("schedules_computed"),
 		reqDur:        reg.Histogram("request_duration_s"),
 		queueWait:     reg.Histogram("queue_wait_s"),
 		phaseDecode:   reg.Histogram("phase_decode_s"),
 		phaseEstimate: reg.Histogram("phase_estimate_s"),
 		phaseEncode:   reg.Histogram("phase_encode_s"),
 		phaseExplain:  reg.Histogram("phase_explain_s"),
+		phaseSchedule: reg.Histogram("phase_schedule_s"),
 		coalescedWait: reg.Histogram("coalesced_wait_s"),
 		inflightG:     reg.Gauge("requests_inflight"),
 		queueG:        reg.Gauge("requests_queued"),
@@ -204,10 +210,12 @@ func New(cfg Config) (*Server, error) {
 	obs.SetMetricHelp("estimates_computed", "Estimator runs executed (cache misses).")
 	obs.SetMetricHelp("estimates_coalesced", "Requests that shared another request's run or its cached bytes.")
 	obs.SetMetricHelp("explains_computed", "Explanation runs executed (cache misses).")
+	obs.SetMetricHelp("schedules_computed", "Arrival-stream schedule replays executed.")
 	s.mux = http.NewServeMux()
 	s.route("POST", "/v1/estimate", true, s.handleEstimate)
 	s.route("POST", "/v1/explain", true, s.handleExplain)
 	s.route("POST", "/v1/batch", true, s.handleBatch)
+	s.route("POST", "/v1/schedule", true, s.handleSchedule)
 	s.route("GET", "/v1/workflows", false, s.handleWorkflows)
 	s.route("GET", "/v1/cluster", false, s.handleCluster)
 	s.route("GET", "/version", false, s.handleVersion)

@@ -1,0 +1,146 @@
+package simulator
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"boedag/internal/dag"
+	"boedag/internal/sched"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// The simulator executes hierarchical scheduling with the same pure
+// allocator the estimator models. Beyond the shared contract (a hierarchy
+// that declares nothing is flat scheduling, byte for byte), the simulator
+// owns the one effect the fluid estimator cannot express: reclaim
+// evictions preempt running tasks, which restart from scratch.
+
+func hierPair() *dag.Workflow {
+	a := workload.WordCount(10 * units.GB)
+	a.Name = "A"
+	b := workload.TeraSort(10 * units.GB)
+	b.Name = "B"
+	return &dag.Workflow{Name: "pair", Jobs: []dag.Job{
+		{ID: "A", Profile: a},
+		{ID: "B", Profile: b},
+	}}
+}
+
+func TestSimulatorNeuteredHierarchyMatchesFlat(t *testing.T) {
+	flow := hierPair()
+	flat := run(t, flow, Options{Seed: 3})
+
+	h, err := sched.NewHierarchy([]sched.QueueSpec{
+		{Name: "qa", Weight: 1},
+		{Name: "qb", Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := run(t, flow, Options{
+		Seed:      3,
+		Hierarchy: h,
+		Queues:    map[string]string{"A": "qa", "B": "qb"},
+	})
+	if hier.Preemptions != 0 {
+		t.Fatalf("neutered hierarchy preempted %d tasks", hier.Preemptions)
+	}
+	if !reflect.DeepEqual(flat, hier) {
+		t.Fatalf("neutered hierarchy changed the run: flat %v, hier %v",
+			flat.Makespan, hier.Makespan)
+	}
+}
+
+func TestSimulatorHierarchyLimitCapsParallelism(t *testing.T) {
+	flow := hierPair()
+	h, err := sched.NewHierarchy([]sched.QueueSpec{
+		{Name: "capped", Limit: sched.QueueLimit{Slots: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, flow, Options{
+		Seed:      3,
+		Hierarchy: h,
+		Queues:    map[string]string{"A": "capped"},
+	})
+	for _, st := range res.Stages {
+		if st.Job == "A" && st.MaxParallelism > 4 {
+			t.Fatalf("A %s peaked at %d > limit 4", st.Stage, st.MaxParallelism)
+		}
+	}
+}
+
+// TestSimulatorHierarchyReclaimPreempts builds the canonical reclaim
+// scenario: a best-effort job absorbs the whole (slot-limited) cluster
+// while the guaranteed queue is empty; when a production job lands in
+// the quota'd queue, reclaim must evict running best-effort tasks — and
+// every task of both jobs must still complete exactly once.
+func TestSimulatorHierarchyReclaimPreempts(t *testing.T) {
+	be := workload.WordCount(20 * units.GB)
+	be.Name = "be"
+	tiny := workload.WordCount(1 * units.GB)
+	tiny.Name = "tiny"
+	prod := workload.WordCount(10 * units.GB)
+	prod.Name = "prod"
+	flow := &dag.Workflow{Name: "reclaim", Jobs: []dag.Job{
+		{ID: "be", Profile: be},
+		{ID: "tiny", Profile: tiny},
+		{ID: "prod", Profile: prod, Deps: []string{"tiny"}},
+	}}
+	h, err := sched.NewHierarchy([]sched.QueueSpec{
+		{Name: "guaranteed", Quota: sched.QueueLimit{Slots: 6}},
+		{Name: "best-effort"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		Seed:      3,
+		SlotLimit: 8,
+		Hierarchy: h,
+		Queues:    map[string]string{"be": "best-effort", "prod": "guaranteed", "tiny": "guaranteed"},
+	}
+	res := run(t, flow, opt)
+	if res.Preemptions == 0 {
+		t.Fatal("quota reclaim over a saturated pool evicted nothing")
+	}
+	for _, j := range flow.Jobs {
+		if got := len(res.TasksOf(j.ID, workload.Map)); got != j.Profile.MapTasks() {
+			t.Fatalf("%s: %d map tasks recorded, want %d", j.ID, got, j.Profile.MapTasks())
+		}
+		if got := len(res.TasksOf(j.ID, workload.Reduce)); got != j.Profile.ReduceTasks {
+			t.Fatalf("%s: %d reduce tasks recorded, want %d", j.ID, got, j.Profile.ReduceTasks)
+		}
+	}
+	// Determinism holds through preemption.
+	again := run(t, flow, opt)
+	if !reflect.DeepEqual(res, again) {
+		t.Fatal("preempting run is not deterministic")
+	}
+	// The same flow without the hierarchy never preempts.
+	flat := run(t, flow, Options{Seed: 3, SlotLimit: 8})
+	if flat.Preemptions != 0 {
+		t.Fatalf("flat run reported %d preemptions", flat.Preemptions)
+	}
+}
+
+func TestSimulatorHierarchyGangDeadlockDetected(t *testing.T) {
+	flow := dag.Single(workload.WordCount(5 * units.GB))
+	h, err := sched.NewHierarchy([]sched.QueueSpec{
+		{Name: "narrow", Limit: sched.QueueLimit{Slots: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(spec(), Options{
+		Hierarchy: h,
+		Queues:    map[string]string{flow.Jobs[0].ID: "narrow"},
+		Gangs:     map[string]int{flow.Jobs[0].ID: 5},
+	}).Run(flow)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("gang wider than its queue limit: err = %v, want deadlock", err)
+	}
+}

@@ -1,0 +1,118 @@
+package statemodel
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"boedag/internal/dag"
+	"boedag/internal/sched"
+	"boedag/internal/units"
+	"boedag/internal/workload"
+)
+
+// The estimator models hierarchical scheduling with the same pure
+// allocator the simulator executes, so the contract splits in two: a
+// hierarchy that declares nothing must leave the flat plan byte-identical,
+// and one that declares quotas/limits must visibly shape the predicted
+// parallelism.
+
+func twoRoots() *dag.Workflow {
+	a := workload.WordCount(10 * units.GB)
+	a.Name = "A"
+	b := workload.TeraSort(10 * units.GB)
+	b.Name = "B"
+	return &dag.Workflow{Name: "pair", Jobs: []dag.Job{
+		{ID: "A", Profile: a},
+		{ID: "B", Profile: b},
+	}}
+}
+
+func TestEstimatorNeuteredHierarchyMatchesFlat(t *testing.T) {
+	flow := twoRoots()
+	flat := estimate(t, flow, Options{})
+
+	h, err := sched.NewHierarchy([]sched.QueueSpec{
+		{Name: "qa", Weight: 1},
+		{Name: "qb", Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := estimate(t, flow, Options{
+		Hierarchy: h,
+		Queues:    map[string]string{"A": "qa", "B": "qb"},
+	})
+	if !reflect.DeepEqual(flat, hier) {
+		t.Fatalf("neutered hierarchy changed the plan:\nflat %v\nhier %v",
+			flat.Makespan, hier.Makespan)
+	}
+}
+
+func TestEstimatorHierarchyLimitCapsParallelism(t *testing.T) {
+	flow := twoRoots()
+	h, err := sched.NewHierarchy([]sched.QueueSpec{
+		{Name: "capped", Limit: sched.QueueLimit{Slots: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := estimate(t, flow, Options{
+		Hierarchy: h,
+		Queues:    map[string]string{"A": "capped"},
+	})
+	for _, st := range plan.States {
+		if d := st.Parallelism["A"]; d > 4 {
+			t.Fatalf("state %d: A granted %d > limit 4", st.Seq, d)
+		}
+	}
+	// The cap must cost wall-clock time relative to the flat plan.
+	flat := estimate(t, flow, Options{})
+	if plan.Makespan < flat.Makespan {
+		t.Fatalf("capped plan (%v) faster than flat (%v)", plan.Makespan, flat.Makespan)
+	}
+}
+
+func TestEstimatorHierarchyQuotaGuaranteesShare(t *testing.T) {
+	flow := twoRoots()
+	h, err := sched.NewHierarchy([]sched.QueueSpec{
+		{Name: "prod", Quota: sched.QueueLimit{Slots: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := estimate(t, flow, Options{
+		Hierarchy: h,
+		Queues:    map[string]string{"A": "prod"},
+	})
+	// While both jobs contend, A's guarantee must hold: it gets at least
+	// its demand or its quota's worth before B shares the rest.
+	for _, st := range plan.States {
+		da, ok := st.Parallelism["A"]
+		if !ok || len(st.Parallelism) < 2 {
+			continue
+		}
+		if da < st.Parallelism["B"] {
+			t.Fatalf("state %d: quota'd A (%d) below unguaranteed B (%d)",
+				st.Seq, da, st.Parallelism["B"])
+		}
+	}
+}
+
+func TestEstimatorHierarchyStarvationDetected(t *testing.T) {
+	flow := dag.Single(workload.WordCount(5 * units.GB))
+	h, err := sched.NewHierarchy([]sched.QueueSpec{
+		{Name: "narrow", Limit: sched.QueueLimit{Slots: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(spec(), boeTimer(), Options{
+		Hierarchy: h,
+		Queues:    map[string]string{flow.Jobs[0].ID: "narrow"},
+		Gangs:     map[string]int{flow.Jobs[0].ID: 5},
+	}).Estimate(flow)
+	if err == nil || !strings.Contains(err.Error(), "starved") {
+		t.Fatalf("gang wider than its queue limit: err = %v, want starvation", err)
+	}
+}

@@ -20,6 +20,7 @@
 //	boedagbench -addr http://localhost:8080 -conns 8 -duration 30s
 //	boedagbench -inprocess -rate 200 -duration 10s   # open loop
 //	boedagbench -inprocess -out BENCH_today.json -label pr6
+//	boedagbench -inprocess -fleet 3 -duration 5s     # 3-node sharded fleet
 //	go test -bench . -run '^$' . | boedagbench -gobench - -out BENCH_micro.json
 package main
 
@@ -38,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"boedag/internal/fleet"
 	"boedag/internal/loadgen"
 	"boedag/internal/perfledger"
 	"boedag/internal/serve"
@@ -47,6 +49,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", "", "target server base URL (e.g. http://localhost:8080)")
 		inprocess = flag.Bool("inprocess", false, "serve in-process over a loopback listener instead of targeting -addr")
+		fleetN    = flag.Int("fleet", 0, "with -inprocess: run N fleet nodes sharding by plan key, load round-robined across them")
 		workers   = flag.Int("workers", 0, "in-process server worker pool (0 = GOMAXPROCS)")
 		conns     = flag.Int("conns", 4, "closed-loop connections")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
@@ -80,7 +83,7 @@ func main() {
 
 	if *duration > 0 {
 		run, err := loadRun(loadCfg{
-			addr: *addr, inprocess: *inprocess, workers: *workers,
+			addr: *addr, inprocess: *inprocess, fleet: *fleetN, workers: *workers,
 			conns: *conns, rate: *rate, duration: *duration, warmup: *warmup,
 			seed: *seed, mix: *mix, sizes: *sizes,
 		})
@@ -108,22 +111,52 @@ func main() {
 }
 
 type loadCfg struct {
-	addr             string
-	inprocess        bool
-	workers, conns   int
-	rate             float64
-	duration, warmup time.Duration
-	seed             int64
-	mix, sizes       string
+	addr                  string
+	inprocess             bool
+	fleet, workers, conns int
+	rate                  float64
+	duration, warmup      time.Duration
+	seed                  int64
+	mix, sizes            string
 }
 
 // loadRun executes the service half: resolve the target (spinning up an
-// in-process server when asked), tag it via GET /version, drive the
-// seeded mix, and summarize.
+// in-process server — or an N-node fleet — when asked), tag it via
+// GET /version, drive the seeded mix, and summarize.
 func loadRun(c loadCfg) (*perfledger.ServiceRun, error) {
-	target := c.addr
+	targets := []string{c.addr}
 	targetLabel := c.addr
-	if c.inprocess {
+	switch {
+	case c.inprocess && c.fleet > 1:
+		if c.addr != "" {
+			return nil, fmt.Errorf("-inprocess and -addr are mutually exclusive")
+		}
+		// An in-process fleet: N servers behind fleet nodes on a shared
+		// ring, every request routed to (or forwarded to) its shard owner.
+		dir := fleet.NewMutableDirectory()
+		peers := make([]string, c.fleet)
+		for i := range peers {
+			peers[i] = fmt.Sprintf("node%d", i)
+		}
+		targets = targets[:0]
+		for _, id := range peers {
+			s, err := serve.New(serve.Config{Workers: c.workers})
+			if err != nil {
+				return nil, err
+			}
+			node, err := fleet.NewNode(s, fleet.Config{
+				NodeID: id, Peers: peers, Directory: dir,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ts := httptest.NewServer(node.Handler())
+			defer ts.Close()
+			dir.Set(id, ts.URL)
+			targets = append(targets, ts.URL)
+		}
+		targetLabel = fmt.Sprintf("in-process fleet of %d", c.fleet)
+	case c.inprocess:
 		if c.addr != "" {
 			return nil, fmt.Errorf("-inprocess and -addr are mutually exclusive")
 		}
@@ -133,9 +166,11 @@ func loadRun(c loadCfg) (*perfledger.ServiceRun, error) {
 		}
 		ts := httptest.NewServer(s.Handler())
 		defer ts.Close()
-		target = ts.URL
+		targets = []string{ts.URL}
 		targetLabel = "in-process"
-	} else if target == "" {
+	case c.fleet > 1:
+		return nil, fmt.Errorf("-fleet requires -inprocess")
+	case c.addr == "":
 		return nil, fmt.Errorf("no target: set -addr or -inprocess")
 	}
 
@@ -153,7 +188,7 @@ func loadRun(c loadCfg) (*perfledger.ServiceRun, error) {
 		mode = "open"
 	}
 	cfg := loadgen.Config{
-		BaseURL: target, Mode: mode,
+		BaseURLs: targets, Mode: mode,
 		Connections: c.conns, RatePerSec: c.rate,
 		Warmup: c.warmup, Duration: c.duration,
 		Seed: c.seed, Workflows: workflows, SizesGB: sizesGB,
@@ -166,7 +201,7 @@ func loadRun(c loadCfg) (*perfledger.ServiceRun, error) {
 	}
 	run := loadgen.Summarize(cfg, res)
 	run.Target = targetLabel
-	run.TargetBuild = fetchBuild(target)
+	run.TargetBuild = fetchBuild(targets[0])
 	return &run, nil
 }
 

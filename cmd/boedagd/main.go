@@ -11,8 +11,14 @@
 //	boedagd -max-concurrent 16 -queue 64  # tighter admission control
 //	boedagd -quiet                        # suppress per-request log lines
 //	boedagd -debug-pprof                  # live profiles at /debug/pprof/
+//	boedagd -cache-dir /var/lib/boedag    # warm-restart estimate cache
+//
+//	# a two-node fleet sharding PlanKey space over a consistent-hash ring:
+//	boedagd -addr :8080 -node-id a -peers a=http://h1:8080,b=http://h2:8080
+//	boedagd -addr :8080 -node-id b -peers a=http://h1:8080,b=http://h2:8080
 //
 //	curl -s localhost:8080/v1/estimate -d '{"workflow":"wc+ts"}'
+//	curl -s localhost:8080/v1/estimate?stream=1 -d '{"workflow":"wc+ts"}'
 //	curl -s localhost:8080/metrics
 package main
 
@@ -20,13 +26,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"boedag/internal/cliobs"
 	"boedag/internal/cluster"
+	"boedag/internal/fleet"
 	"boedag/internal/obs"
 	"boedag/internal/serve"
 )
@@ -44,6 +54,10 @@ func main() {
 		maxBody   = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 1 MiB)")
 		quiet     = flag.Bool("quiet", false, "suppress per-request log lines")
 		debugProf = flag.Bool("debug-pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving mux (bypasses admission control)")
+		cacheDir  = flag.String("cache-dir", "", "persist the estimate cache here: snapshot on drain, restore on boot")
+		cacheMax  = flag.Int("cache-max", 0, "estimate cache capacity in entries before LRU eviction (0 = default 65536, negative = unbounded)")
+		nodeID    = flag.String("node-id", "", "this node's fleet identity (requires -peers)")
+		peersFlag = flag.String("peers", "", "fleet membership as id=url pairs, e.g. a=http://h1:8080,b=http://h2:8080 (requires -node-id)")
 	)
 	var ob cliobs.Flags
 	ob.Register(nil)
@@ -55,14 +69,16 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Workers:        *workers,
-		MaxConcurrent:  *maxConc,
-		QueueDepth:     *queue,
-		MaxBatch:       *maxBatch,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		MaxBodyBytes:   *maxBody,
-		EnablePprof:    *debugProf,
+		Workers:         *workers,
+		MaxConcurrent:   *maxConc,
+		QueueDepth:      *queue,
+		MaxBatch:        *maxBatch,
+		RequestTimeout:  *timeout,
+		DrainTimeout:    *drain,
+		MaxBodyBytes:    *maxBody,
+		EnablePprof:     *debugProf,
+		CacheDir:        *cacheDir,
+		CacheMaxEntries: *cacheMax,
 		// Share the cliobs registry when one exists so -metrics-out /
 		// -otlp-out snapshots written at shutdown include the server's
 		// runtime counters.
@@ -114,14 +130,72 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	fmt.Printf("boedagd listening on %s\n", *addr)
-	if err := srv.ListenAndServe(ctx, *addr); err != nil {
-		fatal(err)
+	if (*nodeID == "") != (*peersFlag == "") {
+		fatal(fmt.Errorf("-node-id and -peers must be set together"))
+	}
+	if *peersFlag != "" {
+		dir, peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			fatal(err)
+		}
+		// No Observe: NewNode defaults to the server's registry, so the
+		// fleet_* counters land in /metrics (and in any -metrics-out
+		// snapshot, which shares that registry).
+		node, err := fleet.NewNode(srv, fleet.Config{
+			NodeID:    *nodeID,
+			Peers:     peers,
+			Directory: dir,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("boedagd %s listening on %s, fleet of %d\n", *nodeID, *addr, len(peers))
+		if err := srv.ServeWith(ctx, ln, node.Handler()); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("boedagd listening on %s\n", *addr)
+		if err := srv.ListenAndServe(ctx, *addr); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Println("boedagd drained cleanly")
 	if err := ob.Finish(); err != nil {
 		fatal(err)
 	}
+}
+
+// parsePeers turns "a=http://h1:8080,b=http://h2:8080" into a fleet
+// directory plus the sorted membership list.
+func parsePeers(s string) (fleet.StaticDirectory, []string, error) {
+	dir := fleet.StaticDirectory{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || url == "" {
+			return nil, nil, fmt.Errorf("bad -peers entry %q: want id=url", pair)
+		}
+		if _, dup := dir[id]; dup {
+			return nil, nil, fmt.Errorf("duplicate -peers node ID %q", id)
+		}
+		dir[id] = strings.TrimRight(url, "/")
+	}
+	if len(dir) == 0 {
+		return nil, nil, fmt.Errorf("empty -peers")
+	}
+	peers := make([]string, 0, len(dir))
+	for id := range dir {
+		peers = append(peers, id)
+	}
+	sort.Strings(peers)
+	return dir, peers, nil
 }
 
 func fatal(err error) {

@@ -2,9 +2,10 @@
 # verify.sh — the repo's full verification gate:
 #   gofmt cleanliness, go vet, the race-enabled test suite with the
 #   per-package coverage gate (hack/coverage_baseline.txt), the trace
-#   parser / request decoder / hierarchical allocator fuzz smokes, the
-#   scheduler property suite under -race, the boedagbench ledger smoke,
-#   the perf regression
+#   parser / request decoder / hierarchical allocator / cache snapshot
+#   fuzz smokes, the scheduler property suite under -race, the fleet
+#   smoke (sharded-tier race suites plus a zero-error 3-node load run),
+#   the boedagbench ledger smoke, the perf regression
 #   gate (hack/bench_baseline.json, with an injected-slowdown
 #   self-check), the instrumentation-overhead guard (disabled-path
 #   observability must stay within 5% of an uninstrumented run), the
@@ -96,6 +97,26 @@ fuzz_smoke() {
     echo "== hierarchical allocator fuzz smoke =="
     go test ./internal/sched -run '^$' \
         -fuzz '^FuzzHierarchyAllocate$' -fuzztime "${FUZZTIME:-5s}"
+    echo "== cache snapshot reader fuzz smoke =="
+    go test ./internal/cachestore -run '^$' \
+        -fuzz '^FuzzReadSnapshot$' -fuzztime "${FUZZTIME:-5s}"
+}
+
+# fleet_smoke pins the sharded-fleet tier: the ring/proxy/fleettest
+# suites under -race (byte-identity, fault injection, warm restart, SSE
+# through the proxy), then a short boedagbench run against an in-process
+# 3-node fleet that must complete without a single failed request.
+fleet_smoke() {
+    echo "== fleet race check =="
+    go test -race -count=1 ./internal/fleet/...
+    echo "== fleet load smoke (3 nodes, zero errors required) =="
+    local out
+    out=$(go run ./cmd/boedagbench -inprocess -fleet 3 -duration 2s -warmup 500ms -seed 1)
+    echo "$out" | sed 's/^/  /'
+    if ! echo "$out" | grep -q '(0 errors)'; then
+        echo "FAIL: fleet load smoke saw request errors" >&2
+        exit 1
+    fi
 }
 
 # explain_smoke pins the explainability surface: the internal/explain
@@ -166,6 +187,8 @@ fresh_ledger() {
         ./internal/sched >> "$tmp/gobench.txt"
     go test -run '^$' -bench 'BenchmarkStreamPolicySweep$' -benchtime 3x \
         ./internal/sched >> "$tmp/gobench.txt"
+    go test -run '^$' -bench 'BenchmarkFleetEstimate$' -benchtime 50x \
+        ./internal/fleet >> "$tmp/gobench.txt"
     go run ./cmd/boedagbench -inprocess -duration 3s -warmup 1s -seed 1 \
         -gobench "$tmp/gobench.txt" -label verify -out "$1"
 }
@@ -220,6 +243,7 @@ if [[ $quick -eq 1 ]]; then
     go test -race -count=1 ./internal/sched ./internal/sched/schedtest
     explain_smoke
     incremental_smoke
+    fleet_smoke
     fuzz_smoke
     bench_smoke
     ledger_smoke
@@ -233,6 +257,7 @@ go test -race -cover ./... | tee "$cover_out"
 coverage_gate "$cover_out"
 
 explain_smoke
+fleet_smoke
 fuzz_smoke
 bench_smoke
 ledger_smoke

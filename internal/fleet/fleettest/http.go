@@ -1,0 +1,21 @@
+package fleettest
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// post sends one JSON POST and returns status, body, and headers.
+func post(url string, body []byte) (int, []byte, http.Header, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, b, resp.Header, nil
+}

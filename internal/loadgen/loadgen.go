@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,10 @@ import (
 type Config struct {
 	// BaseURL is the server to drive (e.g. "http://127.0.0.1:8080").
 	BaseURL string
+	// BaseURLs drives a fleet: request i goes to BaseURLs[i mod n], so
+	// the target of every request is as deterministic as its body. When
+	// set, BaseURL is optional and used only as the ledger label.
+	BaseURLs []string
 	// Client is the HTTP client (default: a dedicated client with an
 	// idle-connection pool sized to the run's concurrency).
 	Client *http.Client
@@ -63,8 +68,11 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Mode == "" {
 		c.Mode = "closed"
 	}
+	if len(c.BaseURLs) == 0 && c.BaseURL != "" {
+		c.BaseURLs = []string{c.BaseURL}
+	}
 	switch {
-	case c.BaseURL == "":
+	case len(c.BaseURLs) == 0:
 		return c, errors.New("loadgen: no BaseURL")
 	case c.Mode != "closed" && c.Mode != "open":
 		return c, fmt.Errorf("loadgen: mode %q (closed | open)", c.Mode)
@@ -181,8 +189,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	shoot := func(t *tally) {
 		i := next.Add(1) - 1
 		workflow, body := Body(cfg.Seed, i, cfg.Workflows, cfg.SizesGB)
+		target := cfg.BaseURLs[int(i)%len(cfg.BaseURLs)]
 		t0 := time.Now()
-		status, err := fire(rctx, cfg.Client, cfg.BaseURL+"/v1/estimate", body)
+		status, err := fire(rctx, cfg.Client, target+"/v1/estimate", body)
 		lat := time.Since(t0).Seconds()
 		if t0.Before(measureFrom) {
 			return // warmup request: issued, not measured
@@ -300,8 +309,12 @@ func fire(ctx context.Context, client *http.Client, url string, body []byte) (in
 // Summarize folds a run into the perfledger interchange shape, with
 // exact nearest-rank percentiles over the raw samples.
 func Summarize(cfg Config, res Result) perfledger.ServiceRun {
+	target := cfg.BaseURL
+	if target == "" && len(cfg.BaseURLs) > 0 {
+		target = strings.Join(cfg.BaseURLs, ",")
+	}
 	run := perfledger.ServiceRun{
-		Target:        cfg.BaseURL,
+		Target:        target,
 		Mode:          cfg.Mode,
 		Seed:          cfg.Seed,
 		Workflows:     cfg.Workflows,

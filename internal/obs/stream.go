@@ -85,7 +85,6 @@ func (s *Stream) SubscribeWith(buffer int, policy DropPolicy) *Subscriber {
 	if s.closed {
 		s.mu.Unlock()
 		close(sub.ch)
-		sub.detached = true
 		return sub
 	}
 	s.subs = append(s.subs, sub)
@@ -109,7 +108,6 @@ func (s *Stream) Close() {
 	s.active.Store(0)
 	s.mu.Unlock()
 	for _, sub := range subs {
-		sub.detached = true
 		close(sub.ch)
 	}
 }
@@ -137,10 +135,7 @@ type Subscriber struct {
 	policy DropPolicy
 	stream *Stream
 	drops  atomic.Int64
-	// detached guards channel close; it is only flipped while the
-	// subscriber is out of the stream's subs list (no deliver in flight).
-	detached bool
-	once     sync.Once
+	once   sync.Once
 }
 
 // Events returns the subscriber's receive channel. It closes when the
@@ -161,7 +156,6 @@ func (u *Subscriber) Policy() DropPolicy { return u.policy }
 func (u *Subscriber) Close() {
 	u.once.Do(func() {
 		if u.stream.detach(u) {
-			u.detached = true
 			close(u.ch)
 		}
 	})

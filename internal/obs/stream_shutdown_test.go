@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// These tests pin the Stream shutdown-ordering contract: a subscriber's
+// channel is closed only after the subscriber has left the stream's
+// fan-out list, so a concurrent Emit can never deliver to (or race with)
+// a closed channel. Emit holds the read lock while delivering; detach and
+// Close take the write lock before any close(ch) — the happens-before
+// edge the race detector verifies here.
+
+// TestStreamNoDeliverAfterClose hammers Emit against Subscriber.Close and
+// Stream.Close from many goroutines. Any deliver-after-close would panic
+// ("send on closed channel") and any missing synchronization trips -race.
+func TestStreamNoDeliverAfterClose(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		s := NewStream()
+		subs := make([]*Subscriber, 4)
+		for i := range subs {
+			subs[i] = s.SubscribeWith(4, DropPolicy(i%2))
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for p := 0; p < 2; p++ { // producers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 64; i++ {
+					s.Emit(Event{Type: EvEstimatorState, Seq: i})
+				}
+			}()
+		}
+		for i, sub := range subs { // consumers; half bail out early
+			wg.Add(1)
+			go func(i int, sub *Subscriber) {
+				defer wg.Done()
+				<-start
+				if i%2 == 0 {
+					sub.Close()
+				}
+				for range sub.Events() {
+				}
+			}(i, sub)
+		}
+		wg.Add(1)
+		go func() { // the stream shuts down mid-traffic
+			defer wg.Done()
+			<-start
+			s.Close()
+		}()
+		close(start)
+		wg.Wait()
+		// Post-close emits are silently dropped, never a panic.
+		s.Emit(Event{Seq: -1})
+		for _, sub := range subs {
+			sub.Close() // idempotent after any interleaving
+		}
+	}
+}
+
+// TestStreamCloseFlushesBufferedTail pins the documented close semantics:
+// events buffered before Close are still delivered, and nothing emitted
+// after Close ever reaches a consumer.
+func TestStreamCloseFlushesBufferedTail(t *testing.T) {
+	s := NewStream()
+	sub := s.Subscribe(8)
+	for i := 0; i < 5; i++ {
+		s.Emit(Event{Seq: i})
+	}
+	s.Close()
+	s.Emit(Event{Seq: 999}) // after close: dropped
+	var got []int
+	for ev := range sub.Events() {
+		got = append(got, ev.Seq)
+	}
+	if len(got) != 5 {
+		t.Fatalf("drained %d events, want the 5 buffered before Close: %v", len(got), got)
+	}
+	for i, seq := range got {
+		if seq != i {
+			t.Errorf("event %d has seq %d, want %d", i, seq, i)
+		}
+	}
+}
+
+// TestSubscriberCloseDuringConcurrentEmit focuses the original audit
+// question: Unsubscribe during a concurrent Publish. After Close returns,
+// the channel is closed — so a successful receive can only be of an event
+// delivered before the detach, and the producer never panics.
+func TestSubscriberCloseDuringConcurrentEmit(t *testing.T) {
+	for round := 0; round < 500; round++ {
+		s := NewStream()
+		sub := s.Subscribe(2)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 32; i++ {
+				s.Emit(Event{Seq: i})
+			}
+		}()
+		sub.Close()
+		for range sub.Events() {
+		}
+		<-done
+		if s.Enabled() {
+			t.Fatal("stream still enabled after its only subscriber closed")
+		}
+	}
+}

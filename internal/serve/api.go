@@ -273,6 +273,12 @@ func trailingData(dec *json.Decoder) *APIError {
 // is byte-deterministic: struct field order is fixed and the one map
 // (state parallelism) marshals in encoding/json's sorted-key order.
 func encodeEstimateResponse(plan *statemodel.Plan) ([]byte, error) {
+	return marshalBody(buildEstimateResponse(plan))
+}
+
+// buildEstimateResponse shapes a plan into the wire struct; the SSE
+// stream marshals it compactly while /v1/estimate indents it.
+func buildEstimateResponse(plan *statemodel.Plan) EstimateResponse {
 	resp := EstimateResponse{
 		Workflow:  plan.Workflow,
 		MakespanS: plan.Makespan.Seconds(),
@@ -299,7 +305,7 @@ func encodeEstimateResponse(plan *statemodel.Plan) ([]byte, error) {
 			Parallelism: st.Parallelism,
 		})
 	}
-	return marshalBody(resp)
+	return resp
 }
 
 // marshalBody renders a response body: indented for curl-friendliness,

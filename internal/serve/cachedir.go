@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"boedag/internal/cachestore"
+)
+
+// snapshotFile is the on-disk name of the warm cache inside CacheDir.
+const snapshotFile = "estimate_cache.snap"
+
+// SnapshotPath returns where the warm cache snapshot lives, or "" when no
+// CacheDir is configured.
+func (s *Server) SnapshotPath() string {
+	if s.cfg.CacheDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.CacheDir, snapshotFile)
+}
+
+// restoreCache warms the response cache from the CacheDir snapshot during
+// New. A missing snapshot is a clean cold start; a damaged one is counted
+// in cache_restore_failed and otherwise ignored — a bad warm cache must
+// never stop the daemon from booting. Only an unusable CacheDir (cannot
+// be created) is a hard error, because the operator asked for durability
+// the server cannot provide.
+func (s *Server) restoreCache() error {
+	path := s.SnapshotPath()
+	if path == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.CacheDir, 0o755); err != nil {
+		return fmt.Errorf("serve: cache dir: %w", err)
+	}
+	entries, err := cachestore.Read(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return nil // first boot: nothing to restore
+	case err != nil:
+		s.restoreFailed.Inc()
+		return nil
+	}
+	for _, e := range entries {
+		s.cache.Seed(e.Key, e.Val)
+		s.restored.Inc()
+	}
+	return nil
+}
+
+// SaveCacheSnapshot persists the completed response-cache entries to the
+// CacheDir snapshot (atomically — a crash mid-save keeps the previous
+// snapshot). It is a no-op without a CacheDir. Serve calls it after the
+// graceful drain; long-running deployments may also call it periodically.
+func (s *Server) SaveCacheSnapshot() error {
+	path := s.SnapshotPath()
+	if path == "" {
+		return nil
+	}
+	var entries []cachestore.Entry
+	s.cache.Range(func(key string, val []byte) bool {
+		entries = append(entries, cachestore.Entry{Key: key, Val: val})
+		return true
+	})
+	return cachestore.Write(path, entries)
+}

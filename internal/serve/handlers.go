@@ -19,8 +19,13 @@ import (
 	"time"
 )
 
-// handleEstimate serves POST /v1/estimate.
+// handleEstimate serves POST /v1/estimate, dispatching ?stream=1 to the
+// SSE variant (stream.go).
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if wantsStream(r) {
+		s.handleEstimateStream(w, r)
+		return
+	}
 	t0 := time.Now()
 	req, apiErr := DecodeEstimateRequest(r.Body)
 	s.phase(r.Context(), "decode", t0, s.phaseDecode)
@@ -218,6 +223,12 @@ func (s *Server) estimate(ctx context.Context, req *EstimateRequest) ([]byte, *A
 // estimator, mirroring the boepredict CLI's defaults (the paper's
 // overheads, BOE task timer).
 func (s *Server) scenario(req *EstimateRequest) (*dag.Workflow, *statemodel.Estimator, *APIError) {
+	return s.scenarioWith(req, nil)
+}
+
+// scenarioWith is scenario with a per-request tracer wired into the
+// estimator — the SSE stream handler's hook for per-state progress.
+func (s *Server) scenarioWith(req *EstimateRequest, tracer obs.Tracer) (*dag.Workflow, *statemodel.Estimator, *APIError) {
 	spec := s.cfg.Spec
 	if req.spec != nil {
 		spec = *req.spec
@@ -245,7 +256,7 @@ func (s *Server) scenario(req *EstimateRequest) (*dag.Workflow, *statemodel.Esti
 	opt := statemodel.Options{
 		Mode:              req.mode,
 		JobSubmitOverhead: cfg.JobSubmitOverhead,
-		Observe:           obs.Options{Metrics: s.reg},
+		Observe:           obs.Options{Metrics: s.reg, Tracer: tracer},
 	}
 	if req.Options.PerNode > 0 {
 		opt.SlotLimit = req.Options.PerNode * spec.Nodes

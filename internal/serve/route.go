@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"bytes"
+
+	"boedag/internal/evalpool"
+)
+
+// RouteKey maps a request (endpoint path + body) to its canonical shard
+// key — the same evalpool signature the response cache uses — so a fleet
+// of replicas can route every scenario to the node that owns its cache
+// line. The second result is false when the request does not shard: a
+// body that fails validation (any node answers the 4xx identically), an
+// unkeyable scenario, or a path with no per-scenario state (/v1/batch
+// fans out internally; health and metadata endpoints are node-local).
+//
+// Keys are exactly the cache keys: an /v1/estimate and an /v1/explain of
+// the same scenario land on the same owner, so the explain run reuses the
+// plans its estimate already computed.
+func (s *Server) RouteKey(path string, body []byte) (string, bool) {
+	switch path {
+	case "/v1/estimate", "/v1/explain":
+		req, apiErr := DecodeEstimateRequest(bytes.NewReader(body))
+		if apiErr != nil {
+			return "", false
+		}
+		flow, est, apiErr := s.scenario(req)
+		if apiErr != nil {
+			return "", false
+		}
+		return evalpool.PlanKey(est, flow)
+	case "/v1/schedule":
+		if _, apiErr := DecodeScheduleRequest(bytes.NewReader(body)); apiErr != nil {
+			return "", false
+		}
+		// Schedule replays are pure (no cache), so any consistent key
+		// works; hashing the raw body keeps identical streams together.
+		h := evalpool.NewHasher()
+		h.Str("schedule")
+		h.Str(string(body))
+		return h.Key(), true
+	default:
+		return "", false
+	}
+}

@@ -80,6 +80,17 @@ type Config struct {
 	// goroutine profiles of the serving process. Off by default: the
 	// profile endpoints bypass admission control.
 	EnablePprof bool
+	// CacheDir enables the disk-backed warm cache: on startup the server
+	// restores the response cache from <CacheDir>/estimate_cache.snap (a
+	// missing snapshot is a clean cold start, a corrupt one is counted in
+	// cache_restore_failed and ignored), and Serve writes a fresh snapshot
+	// after the graceful drain — so a restarted daemon answers repeat
+	// scenarios as cache hits instead of re-running the estimator.
+	CacheDir string
+	// CacheMaxEntries bounds the response cache; beyond it the least
+	// recently used entries are evicted (estimate_cache_evictions counts
+	// them). 0 means the 65536 default; negative means unbounded.
+	CacheMaxEntries int
 	// Observe wires the observability layer: Tracer receives one
 	// EvRequest event per served request (point a TraceStream here for
 	// structured request logging); Metrics receives the server's
@@ -116,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.CacheMaxEntries == 0 {
+		c.CacheMaxEntries = 65536
+	}
 	if c.Observe.Metrics == nil {
 		c.Observe.Metrics = obs.NewRegistry()
 	}
@@ -151,7 +165,8 @@ type Server struct {
 	// per endpoint (request_duration_s{route=…}); it is written only
 	// during New's route registration and read-only thereafter.
 	requests, errors, rejected, queued, panics, computed, coalesced *obs.Counter
-	explained, scheduled                                            *obs.Counter
+	explained, scheduled, streamed                                  *obs.Counter
+	restored, restoreFailed                                         *obs.Counter
 	reqDur, queueWait                                               *obs.Histogram
 	phaseDecode, phaseEstimate, phaseEncode, coalescedWait          *obs.Histogram
 	phaseExplain, phaseSchedule                                     *obs.Histogram
@@ -175,10 +190,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	reg := cfg.Observe.Metrics
+	capacity := cfg.CacheMaxEntries
+	if capacity < 0 { // negative means unbounded, which WithCapacity spells 0
+		capacity = 0
+	}
 	s := &Server{
 		cfg:   cfg,
 		reg:   reg,
-		cache: evalpool.NewCache[[]byte]().WithMetrics(reg, "estimate_cache"),
+		cache: evalpool.NewCache[[]byte]().WithCapacity(capacity).WithMetrics(reg, "estimate_cache"),
 		plans: evalpool.NewPlanCache().WithMetrics(reg),
 		start: time.Now(),
 		slots: make(chan struct{}, cfg.MaxConcurrent),
@@ -193,6 +212,9 @@ func New(cfg Config) (*Server, error) {
 		coalesced:     reg.Counter("estimates_coalesced"),
 		explained:     reg.Counter("explains_computed"),
 		scheduled:     reg.Counter("schedules_computed"),
+		streamed:      reg.Counter("estimates_streamed"),
+		restored:      reg.Counter("cache_restored_entries"),
+		restoreFailed: reg.Counter("cache_restore_failed"),
 		reqDur:        reg.Histogram("request_duration_s"),
 		queueWait:     reg.Histogram("queue_wait_s"),
 		phaseDecode:   reg.Histogram("phase_decode_s"),
@@ -211,6 +233,13 @@ func New(cfg Config) (*Server, error) {
 	obs.SetMetricHelp("estimates_coalesced", "Requests that shared another request's run or its cached bytes.")
 	obs.SetMetricHelp("explains_computed", "Explanation runs executed (cache misses).")
 	obs.SetMetricHelp("schedules_computed", "Arrival-stream schedule replays executed.")
+	obs.SetMetricHelp("estimates_streamed", "Estimates served over SSE (stream=1).")
+	obs.SetMetricHelp("estimate_cache_evictions", "Response-cache entries evicted by the LRU size bound.")
+	obs.SetMetricHelp("cache_restored_entries", "Response-cache entries restored from the disk snapshot at boot.")
+	obs.SetMetricHelp("cache_restore_failed", "Snapshot restore attempts rejected (corrupt or unreadable file).")
+	if err := s.restoreCache(); err != nil {
+		return nil, err
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST", "/v1/estimate", true, s.handleEstimate)
 	s.route("POST", "/v1/explain", true, s.handleExplain)
@@ -285,6 +314,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer so SSE streaming works through
+// the middleware chain (embedding the interface would hide the method).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // reqIDKey carries the server-assigned request ordinal through a
@@ -485,10 +522,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Serve accepts connections on ln until ctx is cancelled, then drains:
 // readiness flips, new /v1 requests get 503 while in-flight ones finish
-// (bounded by DrainTimeout), and finally the listener closes. The
+// (bounded by DrainTimeout), finally the listener closes and — when a
+// CacheDir is configured — the response cache snapshots to disk. The
 // returned error is the drain outcome (nil on a clean drain).
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	return s.ServeWith(ctx, ln, s.mux)
+}
+
+// ServeWith is Serve with a caller-supplied handler in front of the
+// server — the fleet tier wraps the local mux with shard routing while
+// keeping this server's graceful drain and snapshot-on-shutdown.
+func (s *Server) ServeWith(ctx context.Context, ln net.Listener, handler http.Handler) error {
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	select {
@@ -507,6 +552,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		srv.Close()
 	}
 	<-errCh // http.ErrServerClosed
+	if err := s.SaveCacheSnapshot(); err != nil && drainErr == nil {
+		drainErr = err
+	}
 	return drainErr
 }
 

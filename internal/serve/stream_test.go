@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// checkGoldenSSE compares a raw SSE transcript against
+// testdata/<name>.golden.sse, rewriting it under the shared -update flag.
+func checkGoldenSSE(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden.sse")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: stream diverged from golden.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestEstimateStreamGolden pins the SSE wire shape for two registry
+// workflows: the transcript is byte-deterministic because every event
+// field is model time, and the terminal result frame must agree with the
+// plain /v1/estimate answer for the same scenario.
+func TestEstimateStreamGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, name := range []string{"stream_wc_ts", "stream_q21"} {
+		t.Run(name, func(t *testing.T) {
+			body := readRequest(t, name)
+			status, sse, hdr := post(t, ts.URL+"/v1/estimate?stream=1", body)
+			if status != http.StatusOK {
+				t.Fatalf("status = %d: %s", status, sse)
+			}
+			if ct := hdr.Get("Content-Type"); ct != "text/event-stream" {
+				t.Errorf("Content-Type = %q, want text/event-stream", ct)
+			}
+			checkGoldenSSE(t, name, sse)
+
+			// Cross-check: the stream's result frame carries the same numbers
+			// as the non-streaming endpoint.
+			status, plain, _ := post(t, ts.URL+"/v1/estimate", body)
+			if status != http.StatusOK {
+				t.Fatalf("plain estimate status = %d", status)
+			}
+			var want, got EstimateResponse
+			if err := json.Unmarshal(plain, &want); err != nil {
+				t.Fatalf("parse plain: %v", err)
+			}
+			result := lastSSEData(t, sse, "result")
+			if err := json.Unmarshal(result, &got); err != nil {
+				t.Fatalf("parse stream result: %v", err)
+			}
+			if got.MakespanS != want.MakespanS || got.Workflow != want.Workflow {
+				t.Errorf("stream result %v/%q != estimate %v/%q",
+					got.MakespanS, got.Workflow, want.MakespanS, want.Workflow)
+			}
+			// Every predicted state appears as a state frame, in order.
+			if n := strings.Count(string(sse), "event: state\n"); n != len(want.States) {
+				t.Errorf("stream carried %d state frames, estimate has %d states", n, len(want.States))
+			}
+		})
+	}
+}
+
+// lastSSEData extracts the data payload of the final frame with the given
+// event name.
+func lastSSEData(t *testing.T, sse []byte, event string) []byte {
+	t.Helper()
+	var data []byte
+	sc := bufio.NewScanner(bytes.NewReader(sse))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inEvent := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: "+event:
+			inEvent = true
+		case strings.HasPrefix(line, "event: "):
+			inEvent = false
+		case inEvent && strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if data == nil {
+		t.Fatalf("no %q frame in stream:\n%s", event, sse)
+	}
+	return data
+}
+
+// TestEstimateStreamBadRequest keeps the error contract: a request that
+// fails validation answers with the plain JSON error envelope, not SSE.
+func TestEstimateStreamBadRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body, hdr := post(t, ts.URL+"/v1/estimate?stream=1", []byte(`{"workflow":"nope"}`))
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == nil || env.Error.Code != CodeUnknownWorkflow {
+		t.Errorf("error body = %s", body)
+	}
+}
+
+// TestEstimateStreamClientDisconnect proves a mid-stream disconnect leaks
+// nothing: the handler waits for the estimator goroutine, and the
+// goroutine count returns to its baseline.
+func TestEstimateStreamClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s.testHookEstimate = func() {
+		entered <- struct{}{}
+		<-block
+	}
+
+	// A dedicated no-keep-alive client so every connection goroutine on
+	// both sides unwinds once the request dies.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	defer client.CloseIdleConnections()
+
+	baseline := runtime.NumGoroutine()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/estimate?stream=1",
+		bytes.NewReader(readRequest(t, "stream_wc_ts")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	<-entered         // the estimator goroutine is now parked mid-run
+	resp.Body.Close() // client walks away mid-stream
+	close(block)      // let the estimator finish
+
+	// The handler must notice the disconnect, wait out the estimator, and
+	// unwind every goroutine it started.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked after disconnect: baseline %d, now %d\n%s",
+		baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
